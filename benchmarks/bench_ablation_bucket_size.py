@@ -1,0 +1,68 @@
+"""Ablation: the bucket-size trade-off (paper Section 4, "Quantization").
+
+"Larger buckets lead to faster and higher compression, but higher
+per-element error.  Therefore, one has to pick the bucket size
+appropriate for the chosen bit-width empirically."
+
+This bench sweeps the bucket size at 4 bits and measures (a) wire size,
+(b) compression error, and (c) end-metric of a scaled Transformer run —
+reproducing why the paper lands on 1024 for CNNs but needs 128 for
+Transformers.
+"""
+
+import numpy as np
+
+from common import emit, format_table, run_once
+
+from repro.compression import CompressionSpec, measure_error
+from repro.core import CGXConfig
+from repro.training import train_family
+
+BUCKETS = [32, 128, 1024, 8192]
+TRAIN_BUCKETS = [128, 8192]
+STEPS = 100
+
+
+def campaign():
+    rng = np.random.default_rng(0)
+    gradient = rng.normal(size=1 << 17).astype(np.float32)
+    rows = []
+    sweep = {}
+    for bucket in BUCKETS:
+        spec = CompressionSpec("qsgd", bits=4, bucket_size=bucket)
+        stats = measure_error(spec, gradient, np.random.default_rng(1))
+        sweep[bucket] = (stats.relative, spec.wire_bytes(gradient.size))
+        rows.append([bucket, f"{stats.relative:.4f}",
+                     f"{spec.wire_bytes(gradient.size)}",
+                     f"{spec.compression_ratio(gradient.size):.2f}x"])
+
+    # end-to-end: a Transformer trained at bucket 128 vs bucket 8192
+    metrics = {}
+    for bucket in TRAIN_BUCKETS:
+        config = CGXConfig.cgx_default(bucket)
+        result = train_family("transformer_xl", world_size=2, config=config,
+                              steps=STEPS, eval_every=STEPS)
+        metrics[bucket] = result.final_metric
+    return rows, sweep, metrics
+
+
+def test_ablation_bucket_size(benchmark):
+    rows, sweep, metrics = run_once(benchmark, campaign)
+    table = format_table(
+        "Ablation — bucket size at 4 bits: error vs wire size",
+        ["bucket", "rel error", "wire bytes (128K elems)", "compression"],
+        rows,
+        note=f"Scaled TXL perplexity after {STEPS} steps: "
+             + ", ".join(f"bucket {b}: {m:.1f}"
+                         for b, m in metrics.items())
+             + " (paper: Transformers need bucket 128 to recover).",
+    )
+    emit("ablation_bucket_size", table)
+
+    # error grows with bucket size, wire shrinks
+    errs = [sweep[b][0] for b in BUCKETS]
+    wires = [sweep[b][1] for b in BUCKETS]
+    assert errs == sorted(errs)
+    assert wires == sorted(wires, reverse=True)
+    # the small bucket trains at least as well (lower perplexity)
+    assert metrics[128] <= metrics[8192] * 1.05

@@ -1,0 +1,126 @@
+"""Ablation: layer filtering — why QNCCL loses accuracy (Section 6.2).
+
+"QNCCL ... has higher accuracy degradation because it cannot perform
+layer-wise compression."
+
+Two measurements:
+
+1. **Mechanism** — on real training gradients from a scaled Transformer,
+   the gradient error of the *sensitive* tensors (LayerNorm/bias) under
+   three plans: CGX (filtered to fp32 -> exact), per-layer quantization
+   without filters, and QNCCL's fused blob (buckets cross layer
+   boundaries).  The filtered path must be exact and the blob path worst.
+2. **Recovery table** — end metrics of all configurations at this scale.
+   At scaled-down size every 4-bit variant recovers (the paper too found
+   QNCCL recovers once the bucket shrinks to 128); the degradation the
+   paper reports appears at full scale, so the end-to-end column is
+   reported, not asserted, while the mechanism column is asserted.
+"""
+
+import numpy as np
+
+from common import emit, format_table, run_once
+
+from repro.compression import CompressionSpec
+from repro.core import CGXConfig, CommunicationEngine
+from repro.core.qnccl import qnccl_config
+from repro.training import DataParallelTrainer, get_recipe, make_task, \
+    train_family
+
+STEPS = 80
+
+
+def sensitive_error(engine_config, mode, per_worker_grads, sensitive):
+    """Mean relative reduction error over the sensitive tensors."""
+    engine = CommunicationEngine(engine_config)
+    reduced, _ = engine.reduce(per_worker_grads, np.random.default_rng(0),
+                               mode=mode)
+    errors = []
+    for name in sensitive:
+        exact = np.mean([g[name] for g in per_worker_grads], axis=0)
+        got = reduced[0][name]
+        norm = np.linalg.norm(exact)
+        if norm == 0:
+            continue
+        errors.append(float(np.linalg.norm(got - exact) / norm))
+    return float(np.mean(errors))
+
+
+def campaign():
+    # gather real gradients from a short training run
+    recipe = get_recipe("transformer_xl")
+    task = make_task("transformer_xl", batch_size=recipe.batch_size,
+                     **recipe.kwargs())
+    trainer = DataParallelTrainer(task, world_size=2,
+                                  config=CGXConfig.cgx_default(),
+                                  recipe=recipe, seed=5)
+    for _ in range(5):   # a few steps so gradients are non-degenerate
+        trainer.train_step()
+    per_worker = []
+    for replica in trainer.replicas:
+        replica.zero_grad()
+        batch = task.sample_batch(np.random.default_rng(9))
+        logits = replica(batch[0])
+        _, grad = task.loss_and_grad(logits, batch)
+        replica.backward(grad)
+        per_worker.append({n: p.grad for n, p in replica.named_parameters()
+                           if p.grad is not None})
+    sensitive = [n for n in per_worker[0]
+                 if "ln" in n or n.endswith(".bias") or "norm" in n]
+
+    spec = CompressionSpec("qsgd", bits=4, bucket_size=128)
+    mech = {
+        "CGX (filters on)": sensitive_error(
+            CGXConfig(compression=spec), "cgx", per_worker, sensitive),
+        "no filtering": sensitive_error(
+            CGXConfig(compression=spec, filtered_keywords=(),
+                      min_compress_numel=0), "cgx", per_worker, sensitive),
+        "QNCCL (fused blob)": sensitive_error(
+            qnccl_config(bits=4, bucket_size=128), "fused", per_worker,
+            sensitive),
+    }
+
+    # end-to-end recovery at this scale (reported, not asserted)
+    metrics = {}
+    for label, config, mode in [
+        ("baseline (fp32)", None, "cgx"),
+        ("CGX (filters on)", CGXConfig(compression=spec), "cgx"),
+        ("QNCCL (fused blob)", qnccl_config(bits=4, bucket_size=128),
+         "fused"),
+    ]:
+        result = train_family("transformer_xl", world_size=2, config=config,
+                              steps=STEPS, eval_every=STEPS, mode=mode,
+                              seed=7)
+        metrics[label] = result.final_metric
+
+    rows = []
+    for label in ["CGX (filters on)", "no filtering", "QNCCL (fused blob)"]:
+        metric = metrics.get(label)
+        rows.append([label, f"{mech[label]:.4f}",
+                     f"{metric:.2f}" if metric is not None else "-"])
+    rows.append(["baseline (fp32)", "0.0000",
+                 f"{metrics['baseline (fp32)']:.2f}"])
+    return rows, mech, metrics
+
+
+def test_ablation_layer_filtering(benchmark):
+    rows, mech, metrics = run_once(benchmark, campaign)
+    table = format_table(
+        "Ablation — sensitive-layer (norm/bias) gradient error by plan",
+        ["configuration", "rel error on norm/bias grads",
+         "TXL perplexity (scaled)"],
+        rows,
+        note="Paper: QNCCL degrades accuracy because it cannot filter "
+             "layers; at our scaled size all 4-bit variants still recover "
+             "(as the paper's QNCCL did at bucket 128), so the mechanism "
+             "column carries the assertion.",
+    )
+    emit("ablation_filters", table)
+
+    # filtered tensors come back exact; blob-mode is the worst
+    assert mech["CGX (filters on)"] < 1e-6
+    assert mech["no filtering"] > 0.01
+    assert mech["QNCCL (fused blob)"] > mech["no filtering"]
+    # everything still trains at this scale
+    for value in metrics.values():
+        assert np.isfinite(value)

@@ -1,0 +1,72 @@
+"""Ablation: quantizer design — CGX's max-scaled grid vs the literature.
+
+Three quantizers at equal bit-width and bucket size on a synthetic
+gradient:
+
+* **QSGD (L2-scaled)** — the original Alistarh et al. formulation;
+* **NUQSGD (L2-scaled)** — exponential levels (Ramezani-Kebrya et al.),
+  the "improved quantizer" line of work the paper cites;
+* **QSGD (max-scaled)** — what the CGX kernels actually do.
+
+Expected: NUQSGD improves on L2-QSGD at low bit-widths (its paper's
+claim), and CGX's max scaling with small buckets beats both — the
+design justification for CGX's default operator.
+"""
+
+import numpy as np
+
+from common import emit, format_table, run_once
+
+from repro.compression import CompressionSpec, measure_error
+
+BITS = [2, 3, 4, 6, 8]
+BUCKET = 128
+
+
+def campaign():
+    rng = np.random.default_rng(0)
+    gradient = rng.normal(size=1 << 17).astype(np.float32)
+    rows = []
+    errors = {}
+    for bits in BITS:
+        variants = {
+            "qsgd-l2": CompressionSpec("qsgd", bits=bits, bucket_size=BUCKET,
+                                       scaling="l2"),
+            "nuq-l2": CompressionSpec("nuq", bits=bits, bucket_size=BUCKET,
+                                      scaling="l2"),
+            "qsgd-max": CompressionSpec("qsgd", bits=bits,
+                                        bucket_size=BUCKET),
+        }
+        measured = {
+            name: measure_error(spec, gradient,
+                                np.random.default_rng(1)).relative
+            for name, spec in variants.items()
+        }
+        errors[bits] = measured
+        rows.append([bits] + [f"{measured[k]:.4f}"
+                              for k in ("qsgd-l2", "nuq-l2", "qsgd-max")])
+    return rows, errors
+
+
+def test_ablation_quantizer_design(benchmark):
+    rows, errors = run_once(benchmark, campaign)
+    table = format_table(
+        "Ablation — relative compression error by quantizer (bucket 128)",
+        ["bits", "QSGD (L2)", "NUQSGD (L2)", "QSGD (max, CGX)"],
+        rows,
+        note="NUQSGD beats L2-QSGD at low bits (its claim); CGX's "
+             "max-scaled small-bucket grid beats both at every width, "
+             "justifying the default operator.",
+    )
+    emit("ablation_quantizers", table)
+
+    # NUQSGD's low-bit advantage over the original QSGD
+    for bits in [3, 4]:
+        assert errors[bits]["nuq-l2"] < errors[bits]["qsgd-l2"], bits
+    # CGX's operator dominates at every bit-width
+    for bits in BITS:
+        assert errors[bits]["qsgd-max"] <= \
+            min(errors[bits]["qsgd-l2"], errors[bits]["nuq-l2"]), bits
+    # uniform max-scaled error falls monotonically with bits
+    maxes = [errors[b]["qsgd-max"] for b in BITS]
+    assert maxes == sorted(maxes, reverse=True)

@@ -1,0 +1,38 @@
+"""Figure 8: the PCIe topology of the commodity RTX machines.
+
+Renders the simulated interconnect: two NUMA roots of four GPUs bridged
+by QPI, host-staged peer transfers, and the measured per-route
+bandwidth matrix that the schedulers operate on.
+"""
+
+from common import emit, run_once
+
+from repro.cluster import get_machine
+
+
+def render():
+    machine = get_machine("rtx3090-8x")
+    topo = machine.topology()
+    lines = [topo.describe(), "", "route bottleneck bandwidth (GB/s):"]
+    header = "      " + " ".join(f"g{d}" for d in range(topo.n_gpus))
+    lines.append(header)
+    for src in range(topo.n_gpus):
+        cells = []
+        for dst in range(topo.n_gpus):
+            if src == dst:
+                cells.append(" -")
+            else:
+                cells.append(f"{topo.path_bandwidth(src, dst) / 1e9:4.0f}")
+        lines.append(f"  g{src}: " + " ".join(cells))
+    return topo, "\n".join(lines)
+
+
+def test_fig8_pcie_topology(benchmark):
+    topo, text = run_once(benchmark, render)
+    emit("fig8_topology", "Figure 8 — RTX machine PCIe topology\n" + text)
+
+    assert topo.n_gpus == 8
+    assert topo.numa_of == [0, 0, 0, 0, 1, 1, 1, 1]
+    assert topo.staged_through_host
+    # cross-NUMA routes bottleneck on QPI, same-NUMA on PCIe
+    assert topo.path_bandwidth(0, 7) < topo.path_bandwidth(0, 1)

@@ -1,0 +1,75 @@
+"""Section 6.2 "Heterogeneous compression": TopK on embeddings.
+
+CGX can apply different *methods* per layer: TopK-SGD with error
+feedback (1% density) on the naturally sparse Transformer embeddings,
+quantization elsewhere.  The paper measures only ~3% extra speedup over
+pure quantization — the system is already close to the bandwidth
+ceiling — and we verify both the modest gain and that the heterogeneous
+data path still trains.
+"""
+
+import numpy as np
+
+from common import emit, format_table, run_once
+
+from repro.cluster import get_machine
+from repro.compression import CompressionSpec
+from repro.core import CGXConfig
+from repro.models import build_spec
+from repro.training import (
+    DataParallelTrainer,
+    get_recipe,
+    make_task,
+    simulate_machine_step,
+)
+
+MACHINE = get_machine("rtx3090-8x")
+
+
+def campaign():
+    spec = build_spec("transformer_xl")
+    quant = simulate_machine_step(MACHINE, spec, CGXConfig.cgx_default())
+
+    hetero_config = CGXConfig.cgx_default()
+    hetero_config.per_layer["word_emb.weight"] = CompressionSpec(
+        "topk", density=0.01, error_feedback=True)
+    hetero = simulate_machine_step(MACHINE, spec, hetero_config)
+    speedup = quant.step_time / hetero.step_time
+
+    # data-path sanity: heterogeneous spec still trains the scaled model
+    recipe = get_recipe("transformer_xl")
+    config = CGXConfig.cgx_default(recipe.bucket_size)
+    config.per_layer["embed.weight"] = CompressionSpec(
+        "topk", density=0.05, error_feedback=True)
+    task = make_task("transformer_xl", batch_size=recipe.batch_size,
+                     **recipe.kwargs())
+    trainer = DataParallelTrainer(task, world_size=2, config=config,
+                                  recipe=recipe, seed=2)
+    result = trainer.train(steps=80, eval_every=80)
+    in_sync = trainer.in_sync()
+
+    rows = [
+        ["quantization only", f"{quant.step_time * 1000:.1f}",
+         f"{quant.wire_bytes / 1e6:.0f}", "-"],
+        ["topk embeddings + quant", f"{hetero.step_time * 1000:.1f}",
+         f"{hetero.wire_bytes / 1e6:.0f}", f"{(speedup - 1) * 100:.1f}%"],
+    ]
+    return rows, speedup, result.final_metric, in_sync
+
+
+def test_heterogeneous_compression(benchmark):
+    rows, speedup, perplexity, in_sync = run_once(benchmark, campaign)
+    table = format_table(
+        "Heterogeneous compression — TopK(1%)+EF embeddings, TXL, 8x3090",
+        ["configuration", "step (ms)", "wire MB", "extra speedup"],
+        rows,
+        note=f"Paper: ~3% extra speedup only (system already near the "
+             f"bandwidth ceiling).  Scaled-model training with the "
+             f"heterogeneous data path reached perplexity "
+             f"{perplexity:.1f} and stayed in sync: {in_sync}.",
+    )
+    emit("heterogeneous", table)
+
+    assert 1.0 <= speedup < 1.25   # a real but modest gain
+    assert in_sync
+    assert np.isfinite(perplexity) and perplexity < 64  # vocab size

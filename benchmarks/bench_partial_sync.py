@@ -1,0 +1,82 @@
+"""Extension: partial (quorum) collectives under stragglers.
+
+Implements the hybrid-synchronization direction the paper's conclusion
+points at (Li et al. partial collectives / elastic consistency): with
+one chronic 1.5x straggler, full synchronization drags every step to
+the straggler's pace, while a quorum-of-7 reduction lets the fast ranks
+proceed and ships the result to the laggard without waiting.  The
+skipped gradients ride carry buffers, so nothing is lost (verified in
+tests/test_partial.py); here we measure the step-time recovery.
+"""
+
+from common import emit, format_table, run_once
+
+from repro.cluster import get_machine
+from repro.collectives import time_allreduce, time_partial_allreduce
+from repro.compression import CompressionSpec
+from repro.models import build_spec
+
+MACHINE = get_machine("rtx3090-8x")
+STRAGGLER_DELAY = 0.5
+Q4 = CompressionSpec("qsgd", bits=4, bucket_size=128)
+
+
+def campaign():
+    spec = build_spec("vit")
+    numel = spec.num_parameters
+    gpu = MACHINE.gpu
+    compute = gpu.step_compute_time(spec, gpu.max_batch_per_gpu(spec))
+    ready = [compute] * 8
+    ready[5] = compute * (1 + STRAGGLER_DELAY)
+
+    rows = []
+    results = {}
+    # full synchronization: the collective waits for rank 5
+    net = MACHINE.network("shm")
+    full = time_allreduce(net, list(range(8)), numel, Q4, "sra",
+                          ready=ready, chunk_streams=4)
+    results["full-sync"] = max(full.end_times)
+    rows.append(["full sync (quorum 8)",
+                 f"{max(full.end_times) * 1000:.1f}",
+                 f"{max(full.end_times) * 1000:.1f}"])
+
+    # quorum of 7: fast ranks proceed, rank 5 catches up on its own
+    net = MACHINE.network("shm")
+    partial = time_partial_allreduce(net, list(range(8)), numel, Q4,
+                                     quorum=7, ready=ready,
+                                     chunk_streams=4)
+    fast = max(t for i, t in enumerate(partial.end_times) if i != 5)
+    results["partial"] = fast
+    results["partial-laggard"] = partial.end_times[5]
+    rows.append(["partial (quorum 7)", f"{fast * 1000:.1f}",
+                 f"{partial.end_times[5] * 1000:.1f}"])
+
+    # reference: no straggler at all
+    net = MACHINE.network("shm")
+    clean = time_allreduce(net, list(range(8)), numel, Q4, "sra",
+                           ready=compute, chunk_streams=4)
+    results["clean"] = max(clean.end_times)
+    rows.append(["no straggler (reference)",
+                 f"{max(clean.end_times) * 1000:.1f}",
+                 f"{max(clean.end_times) * 1000:.1f}"])
+    return rows, results
+
+
+def test_partial_sync_mitigates_stragglers(benchmark):
+    rows, results = run_once(benchmark, campaign)
+    table = format_table(
+        "Partial collectives — ViT step with one 1.5x straggler, 8x3090",
+        ["configuration", "fast-rank finish (ms)", "laggard finish (ms)"],
+        rows,
+        note="Quorum reduction returns the fast ranks to near the "
+             "clean (no-straggler) step time; the laggard is bounded by "
+             "its own compute rather than bounding everyone.",
+    )
+    emit("partial_sync", table)
+
+    # full sync inherits the straggler delay
+    assert results["full-sync"] > 1.3 * results["clean"]
+    # the quorum path recovers most of it for the fast ranks
+    assert results["partial"] < 1.12 * results["clean"]
+    # the laggard is bounded by its own compute, not by further waiting
+    assert results["partial-laggard"] < results["full-sync"] * 1.1

@@ -1,0 +1,59 @@
+"""Table 2: system characteristics of the evaluation machines.
+
+Besides the static inventory, this bench *measures* the two bandwidths
+the paper reports in Section 6.1: point-to-point GPU bandwidth (13-16
+GB/s on the 3090 box, 6-8 on the 2080 box, ~100 on DGX-1) and the
+all-reduce algorithmic bandwidth (~1 GB/s commodity vs tens of GB/s on
+NVLink) — the gap that motivates the whole system.
+"""
+
+from common import emit, format_table, run_once
+
+from repro.cluster import get_machine
+from repro.collectives import time_allreduce
+from repro.compression import CompressionSpec
+
+MACHINES = ["dgx1", "a6000-8x", "rtx3090-8x", "rtx2080-8x"]
+PROBE_BYTES = 256 * 1024 * 1024
+
+
+def measure():
+    rows = []
+    measured = {}
+    for name in MACHINES:
+        machine = get_machine(name)
+        # p2p column: pipelined DMA microbenchmark (Tartan-style), i.e.
+        # the bottleneck link bandwidth of the route
+        p2p = machine.topology().path_bandwidth(0, 1)
+        net = machine.network("nccl")
+        numel = PROBE_BYTES // 4
+        timing = time_allreduce(net, list(range(machine.n_gpus)), numel,
+                                CompressionSpec("none"), "ring")
+        allreduce_bw = PROBE_BYTES / timing.end
+        measured[name] = (p2p, allreduce_bw)
+        rows.append([
+            name, f"{machine.n_gpus}x{machine.gpu.name}",
+            "NVLink" if machine.interconnect == "nvlink" else "None (bus)",
+            f"{p2p / 1e9:.1f}", f"{allreduce_bw / 1e9:.2f}",
+        ])
+    return rows, measured
+
+
+def test_table2_machine_characteristics(benchmark):
+    rows, measured = run_once(benchmark, measure)
+    table = format_table(
+        "Table 2 — machines: measured p2p and all-reduce bandwidth (GB/s)",
+        ["system", "GPUs", "link", "p2p GB/s", "allreduce GB/s"],
+        rows,
+        note="Paper: 3090 box 13-16 GB/s p2p but ~1 GB/s allreduce; "
+             "2080 box 6-8 / ~1.5; DGX-1 up to 100 / up to 100.",
+    )
+    emit("table2_machines", table)
+
+    p2p_3090, ar_3090 = measured["rtx3090-8x"]
+    assert 10e9 < p2p_3090 < 20e9
+    assert 0.4e9 < ar_3090 < 2.5e9          # the commodity collapse
+    p2p_dgx, ar_dgx = measured["dgx1"]
+    assert p2p_dgx > 50e9 and ar_dgx > 20e9  # NVLink over-provisioning
+    p2p_2080, _ = measured["rtx2080-8x"]
+    assert p2p_2080 < p2p_3090

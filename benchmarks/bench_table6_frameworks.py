@@ -1,0 +1,76 @@
+"""Table 6 + Figure 7: CGX vs PowerSGD vs GRACE on the 8x RTX3090 box.
+
+Three compression systems on identical hardware:
+
+* CGX — per-layer 4-bit QSGD, SRA over SHM;
+* PowerSGD — rank 4 (CNNs) / rank 8 (Transformers), fp32 only, factors
+  allreduced densely (the PyTorch-native hook);
+* GRACE — QSGD through allgather with INT8 wire and no bucketing.
+
+Paper ordering: CGX > PowerSGD > baseline >> GRACE.
+"""
+
+from common import emit, format_table, run_once
+
+from repro.baselines import grace_config
+from repro.cluster import get_machine
+from repro.compression import CompressionSpec
+from repro.core import CGXConfig
+from repro.models import build_spec
+from repro.training import simulate_machine_step
+
+MODELS = {"resnet50": 4, "transformer_xl": 8, "bert": 8}  # powersgd rank
+PAPER = {  # items/s rows from Table 6
+    "resnet50": (1900, 2900, 2600, 1000),
+    "transformer_xl": (170_000, 260_000, 220_000, 30_000),
+    "bert": (17_500, 38_700, 38_300, 14_300),
+}
+MACHINE = get_machine("rtx3090-8x")
+
+
+def campaign():
+    rows = []
+    results = {}
+    for model, rank in MODELS.items():
+        spec = build_spec(model)
+        base = simulate_machine_step(MACHINE, spec,
+                                     CGXConfig.baseline_nccl(),
+                                     plan_mode="fused")
+        cgx = simulate_machine_step(MACHINE, spec, CGXConfig.cgx_default())
+        powersgd_config = CGXConfig(
+            backend="shm", scheme="sra",
+            compression=CompressionSpec("powersgd", rank=rank),
+        )
+        powersgd = simulate_machine_step(MACHINE, spec, powersgd_config)
+        grace = simulate_machine_step(MACHINE, spec, grace_config(),
+                                      plan_mode="fused")
+        results[model] = (base, cgx, powersgd, grace)
+        paper = PAPER[model]
+        rows.append([
+            model,
+            f"{base.throughput:.0f}", f"{cgx.throughput:.0f}",
+            f"{powersgd.throughput:.0f}", f"{grace.throughput:.0f}",
+            f"{paper[0]}/{paper[1]}/{paper[2]}/{paper[3]}",
+        ])
+    return rows, results
+
+
+def test_table6_framework_comparison(benchmark):
+    rows, results = run_once(benchmark, campaign)
+    table = format_table(
+        "Table 6 / Fig 7 — items/s on 8x RTX3090: baseline/CGX/PowerSGD/GRACE",
+        ["model", "baseline", "CGX", "PowerSGD", "GRACE",
+         "paper (base/CGX/PSGD/GRACE)"],
+        rows,
+        note="Orderings to match: CGX >= PowerSGD > baseline; "
+             "GRACE ~3x below CGX.",
+    )
+    emit("table6_frameworks", table)
+
+    for model, (base, cgx, powersgd, grace) in results.items():
+        assert cgx.throughput >= powersgd.throughput * 0.95, model
+        assert powersgd.throughput > base.throughput, model
+        assert cgx.throughput > 1.8 * grace.throughput, model
+    # on BERT (compute-bound, fp32) GRACE collapses to ~the baseline
+    base, _, _, grace = results["bert"]
+    assert grace.throughput < 1.15 * base.throughput

@@ -1,0 +1,64 @@
+"""Table 8 (Appendix E): the bandwidth-optimization ceiling.
+
+Removing the bandwidth term entirely (fake compression with an extreme
+ratio leaves only latencies, per-op overheads and scheduling gaps)
+bounds what any compression method can achieve: 88-95% of linear
+scaling, with Transformer-XL and BERT capped by their giant embeddings
+being emitted last in backward.
+"""
+
+from common import emit, format_table, run_once
+
+from repro.cluster import get_machine
+from repro.compression import CompressionSpec
+from repro.core import CGXConfig
+from repro.models import build_spec
+from repro.training import simulate_machine_step
+
+MODELS = ["resnet50", "vgg16", "transformer_xl", "bert", "vit"]
+PAPER_CEILING = {"resnet50": 92, "vgg16": 91, "transformer_xl": 95,
+                 "bert": 88, "vit": 95}
+MACHINE = get_machine("rtx3090-8x")
+
+
+def campaign():
+    rows = []
+    ceilings = {}
+    for model in MODELS:
+        spec = build_spec(model)
+        config = CGXConfig(
+            backend="shm", scheme="sra",
+            compression=CompressionSpec("fake", ratio=1e6),
+        )
+        ceiling = simulate_machine_step(MACHINE, spec, config)
+        cgx = simulate_machine_step(MACHINE, spec, CGXConfig.cgx_default())
+        ceilings[model] = (ceiling.scaling_efficiency,
+                           cgx.scaling_efficiency)
+        rows.append([model,
+                     f"{ceiling.scaling_efficiency * 100:.0f}%",
+                     f"{cgx.scaling_efficiency * 100:.0f}%",
+                     f"{PAPER_CEILING[model]}%"])
+    return rows, ceilings
+
+
+def test_table8_bandwidth_ceiling(benchmark):
+    rows, ceilings = run_once(benchmark, campaign)
+    table = format_table(
+        "Table 8 — max scaling with bandwidth removed vs CGX achieved",
+        ["model", "ceiling (sim)", "CGX 4-bit (sim)", "ceiling (paper)"],
+        rows,
+        note="Paper: CGX essentially reaches the ceiling for "
+             "ResNet50/VGG16/ViT and approaches it for TXL/BERT "
+             "(embedding layers are synchronized last).",
+    )
+    emit("table8_ceiling", table)
+
+    for model, (ceiling, cgx) in ceilings.items():
+        assert ceiling > 0.85, model
+        assert cgx <= ceiling + 1e-6, model
+    # CNNs/ViT close the gap; TXL retains a visible one (Appendix E)
+    for model in ["resnet50", "vit", "vgg16"]:
+        ceiling, cgx = ceilings[model]
+        assert cgx > 0.9 * ceiling, model
+    ceiling_txl, cgx_txl = ceilings["transformer_xl"]
+    assert cgx_txl < 0.92 * ceiling_txl

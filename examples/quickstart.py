@@ -1,0 +1,74 @@
+"""Quickstart: data-parallel training with CGX compression in 40 lines.
+
+Mirrors the paper's Listing 1 user journey: build a model, register its
+layout with a CGX session, exclude the sensitive small layers, pick a
+quantization level, and train data-parallel — then verify the replicas
+stayed in lock-step and accuracy matches an uncompressed run.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.compression import CompressionSpec
+from repro.core import CGXConfig, CGXDistributedDataParallel, CGXSession
+from repro.nn import SGD, build_model
+from repro.nn.data import SyntheticVectors
+from repro.nn.loss import softmax_cross_entropy
+
+WORLD_SIZE = 4
+STEPS = 80
+
+
+def train(config=None) -> float:
+    """Train WORLD_SIZE replicas; returns eval accuracy."""
+    replicas = [build_model("mlp", seed=42) for _ in range(WORLD_SIZE)]
+    ddp = CGXDistributedDataParallel(replicas, config)
+    optimizers = [SGD(r.parameters(), lr=0.1, momentum=0.9)
+                  for r in replicas]
+    data = SyntheticVectors(seed=0)
+    rng = np.random.default_rng(1)
+
+    for step in range(STEPS):
+        for replica in replicas:   # each worker: its own shard
+            replica.zero_grad()
+            inputs, labels = data.sample(32, rng)
+            _, grad = softmax_cross_entropy(replica(inputs), labels)
+            replica.backward(grad)
+        ddp.synchronize()           # compress + allreduce + average
+        for optimizer in optimizers:
+            optimizer.step()
+
+    assert ddp.check_in_sync(), "replicas diverged!"
+    eval_x, eval_y = data.eval_set(512)
+    report = ddp.last_report
+    print(f"  packages/step: {report.packages}, "
+          f"gradient compression: {report.compression_ratio:.1f}x")
+    return float((replicas[0](eval_x).argmax(-1) == eval_y).mean())
+
+
+def main():
+    # 1. configure CGX exactly as torch_cgx's Listing 1 does
+    model = build_model("mlp", seed=42)
+    session = CGXSession()
+    session.register_model(
+        [(name, p.numel) for name, p in model.named_parameters()]
+    )
+    session.exclude_layer("bias")         # reduced in full precision
+    session.set_quantization_bits(4, bucket_size=1024)
+
+    print("CGX 4-bit training:")
+    compressed_accuracy = train(session.config)
+    print(f"  accuracy: {compressed_accuracy:.3f}")
+
+    print("uncompressed baseline:")
+    baseline_accuracy = train(
+        CGXConfig(compression=CompressionSpec("none")))
+    print(f"  accuracy: {baseline_accuracy:.3f}")
+
+    gap = abs(baseline_accuracy - compressed_accuracy)
+    print(f"accuracy gap: {gap:.3f} (paper's bar: < 0.01 of the metric)")
+
+
+if __name__ == "__main__":
+    main()

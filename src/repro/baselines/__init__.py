@@ -1,0 +1,7 @@
+"""Comparison baselines: GRACE and the PowerSGD DDP hook."""
+
+from .grace import GRACE_NO_BUCKETING, grace_config, grace_spec
+from .powersgd_ddp import PowerSGDReducer
+
+__all__ = ["grace_config", "grace_spec", "GRACE_NO_BUCKETING",
+           "PowerSGDReducer"]

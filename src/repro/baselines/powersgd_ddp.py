@@ -1,0 +1,115 @@
+"""PowerSGD as a DDP communication hook (the PyTorch-native baseline).
+
+Unlike quantization, PowerSGD's factors are *associative*: the P and Q
+matrices of all workers can simply be averaged with dense allreduce,
+which is why it is the one compression method PyTorch ships natively
+(the paper's Section 1).  The reducer below follows the hook's
+structure: per-worker error feedback, warm-started Q, shared
+orthonormalization so every replica reconstructs identical gradients.
+
+Reproduced limitations the paper leans on:
+
+* 1-D tensors (biases, norms) are reduced densely;
+* fp16 gradients are rejected (``allow_fp16=False`` default) — the
+  power iteration diverges at half precision, which is why the paper
+  could only compare against PowerSGD in fp32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import zlib
+
+from repro.compression.powersgd import orthonormalize
+
+__all__ = ["PowerSGDReducer"]
+
+
+class PowerSGDReducer:
+    """Associative PowerSGD aggregation across in-process workers."""
+
+    def __init__(self, rank: int = 4, seed: int = 0,
+                 allow_fp16: bool = False):
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        self.rank = rank
+        self.seed = seed
+        self.allow_fp16 = allow_fp16
+        self._q: dict[str, np.ndarray] = {}
+        self._errors: dict[tuple[int, str], np.ndarray] = {}
+        self.wire_bytes_last = 0
+
+    def _q_for(self, name: str, cols: int, rank: int) -> np.ndarray:
+        q = self._q.get(name)
+        if q is None or q.shape != (cols, rank):
+            # stable per-name seed (hash() is salted per process)
+            digest = zlib.crc32(name.encode())
+            rng = np.random.default_rng(self.seed ^ digest)
+            q = orthonormalize(
+                rng.standard_normal((cols, rank)).astype(np.float32)
+            )
+            self._q[name] = q
+        return q
+
+    def reduce(self, per_worker_grads: list[dict[str, np.ndarray]],
+               average: bool = True) -> list[dict[str, np.ndarray]]:
+        """Aggregate gradients; returns per-worker reduced dicts."""
+        if not per_worker_grads:
+            raise ValueError("need at least one worker")
+        world = len(per_worker_grads)
+        names = list(per_worker_grads[0])
+        outputs: list[dict[str, np.ndarray]] = [dict() for _ in range(world)]
+        self.wire_bytes_last = 0
+
+        for name in names:
+            grads = [per_worker_grads[w][name] for w in range(world)]
+            if not self.allow_fp16 and any(g.dtype == np.float16 for g in grads):
+                raise TypeError(
+                    "PowerSGD is incompatible with fp16 gradients "
+                    "(power iteration diverges at half precision)"
+                )
+            shape = grads[0].shape
+            if len(shape) < 2:
+                dense = np.mean(grads, axis=0, dtype=np.float32)
+                total = dense if average else dense * world
+                for w in range(world):
+                    outputs[w][name] = total.copy()
+                self.wire_bytes_last += grads[0].size * 4
+                continue
+
+            rows = shape[0]
+            cols = grads[0].size // rows
+            rank = min(self.rank, rows, cols)
+            q = self._q_for(name, cols, rank)
+            corrected = []
+            for w in range(world):
+                m = grads[w].reshape(rows, cols).astype(np.float32)
+                error = self._errors.get((w, name))
+                if error is not None:
+                    m = m + error
+                corrected.append(m)
+
+            # allreduce-mean of P, shared orthonormalization, then Q.
+            p_mean = np.mean([m @ q for m in corrected], axis=0)
+            p = orthonormalize(p_mean)
+            q_new = np.mean([m.T @ p for m in corrected], axis=0)
+            self._q[name] = q_new
+            approx = (p @ q_new.T).astype(np.float32)
+            for w in range(world):
+                self._errors[(w, name)] = corrected[w] - approx
+            result = approx if average else approx * world
+            for w in range(world):
+                outputs[w][name] = result.reshape(shape).copy()
+            self.wire_bytes_last += (rows + cols) * rank * 4
+        return outputs
+
+    def error_norm(self, worker: int, name: str) -> float:
+        error = self._errors.get((worker, name))
+        if error is None:
+            return 0.0
+        return float(np.linalg.norm(error))
+
+    def reset(self) -> None:
+        self._q.clear()
+        self._errors.clear()

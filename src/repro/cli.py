@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows:
+
+* ``simulate`` — step-time/throughput of a model on a machine under a
+  method (the Figure 1/3 axes, one point at a time);
+* ``train`` — a real compressed data-parallel training run of a scaled
+  model family (the Table 3 axis);
+* ``topology`` — render a machine's interconnect (Figure 8);
+* ``experiment`` — regenerate one of the paper's tables/figures by
+  running its benchmark (``--list`` enumerates them).
+
+Examples::
+
+    python -m repro simulate --model transformer_xl --machine rtx3090-8x \\
+        --method cgx --gpus 8
+    python -m repro train --family mlp --world 4 --bits 4 --steps 80
+    python -m repro topology --machine rtx3090-8x
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster import MACHINES, get_machine
+from repro.compression import CompressionSpec
+from repro.core import CGXConfig
+from repro.core.qnccl import qnccl_config
+from repro.models import available_specs, build_spec
+
+__all__ = ["main", "build_parser"]
+
+METHODS = ("nccl", "qnccl", "cgx", "powersgd", "grace")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CGX reproduction: simulate, train, inspect.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate one training step")
+    sim.add_argument("--model", required=True, choices=available_specs())
+    sim.add_argument("--machine", required=True, choices=sorted(MACHINES))
+    sim.add_argument("--method", default="cgx", choices=METHODS)
+    sim.add_argument("--gpus", type=int, default=None)
+    sim.add_argument("--bits", type=int, default=4)
+    sim.add_argument("--bucket-size", type=int, default=128)
+    sim.add_argument("--scheme", default=None,
+                     help="override reduction scheme (sra/ring/tree/...)")
+    sim.add_argument("--config", default=None,
+                     help="JSON config file (overrides --method/--bits)")
+
+    train = sub.add_parser("train", help="run a scaled accuracy experiment")
+    train.add_argument("--family", required=True)
+    train.add_argument("--world", type=int, default=4)
+    train.add_argument("--bits", type=int, default=4)
+    train.add_argument("--bucket-size", type=int, default=None)
+    train.add_argument("--steps", type=int, default=None)
+    train.add_argument("--baseline", action="store_true",
+                       help="train uncompressed instead")
+    train.add_argument("--adaptive", default=None,
+                       choices=("kmeans", "bayes", "linear"))
+    train.add_argument("--seed", type=int, default=0)
+
+    topo = sub.add_parser("topology", help="describe a machine")
+    topo.add_argument("--machine", required=True, choices=sorted(MACHINES))
+    topo.add_argument("--gpus", type=int, default=None)
+
+    exp = sub.add_parser("experiment",
+                         help="regenerate a paper table/figure")
+    exp.add_argument("name", nargs="?", default=None,
+                     help="experiment id, e.g. fig3 or table7")
+    exp.add_argument("--list", action="store_true", dest="list_all",
+                     help="list available experiments")
+    return parser
+
+
+def _method_setup(args) -> tuple[CGXConfig, str]:
+    """(config, plan_mode) for a simulate method."""
+    if args.method == "nccl":
+        return CGXConfig.baseline_nccl(), "fused"
+    if args.method == "qnccl":
+        return qnccl_config(bits=args.bits,
+                            bucket_size=args.bucket_size), "fused"
+    if args.method == "grace":
+        from repro.baselines import grace_config
+
+        return grace_config(bits=args.bits), "fused"
+    if args.method == "powersgd":
+        return CGXConfig(backend="shm", scheme="sra",
+                         compression=CompressionSpec("powersgd", rank=4)), \
+            "cgx"
+    config = CGXConfig.cgx_default(args.bucket_size)
+    config.compression = CompressionSpec("qsgd", bits=args.bits,
+                                         bucket_size=args.bucket_size)
+    return config, "cgx"
+
+
+def _cmd_simulate(args, out) -> int:
+    from repro.training import simulate_machine_step
+
+    machine = get_machine(args.machine)
+    spec = build_spec(args.model)
+    if args.config:
+        from repro.core.serialization import load_config
+
+        config, mode = load_config(args.config), "cgx"
+    else:
+        config, mode = _method_setup(args)
+    if args.scheme:
+        config.scheme = args.scheme
+    timing = simulate_machine_step(machine, spec, config, n_gpus=args.gpus,
+                                   plan_mode=mode)
+    print(f"model      {spec.name} "
+          f"({spec.num_parameters / 1e6:.1f}M params)", file=out)
+    print(f"machine    {machine.name} x{timing.n_gpus} {machine.gpu.name}",
+          file=out)
+    method_label = args.config or args.method
+    print(f"method     {method_label} (scheme={config.scheme}, "
+          f"backend={config.backend})", file=out)
+    print(f"step time  {timing.step_time * 1000:.1f} ms "
+          f"(compute {timing.compute_time * 1000:.1f} ms, "
+          f"comm tail {timing.comm_tail * 1000:.1f} ms)", file=out)
+    print(f"throughput {timing.throughput:,.0f} {spec.item_unit}/s "
+          f"({timing.scaling_efficiency * 100:.0f}% of linear)", file=out)
+    print(f"wire       {timing.wire_bytes / 1e6:,.0f} MB/step", file=out)
+    return 0
+
+
+def _cmd_train(args, out) -> int:
+    from repro.training import RECIPES, train_family
+
+    if args.family not in RECIPES:
+        print(f"unknown family {args.family!r}; "
+              f"choose from {sorted(RECIPES)}", file=sys.stderr)
+        return 2
+    if args.baseline:
+        config = None
+    else:
+        bucket = args.bucket_size or RECIPES[args.family].bucket_size
+        config = CGXConfig.cgx_default(bucket)
+        config.compression = CompressionSpec("qsgd", bits=args.bits,
+                                             bucket_size=bucket)
+    result = train_family(args.family, world_size=args.world, config=config,
+                          steps=args.steps, adaptive_method=args.adaptive,
+                          seed=args.seed)
+    label = "baseline" if args.baseline else f"CGX {args.bits}-bit"
+    print(f"{args.family} x{args.world} workers ({label}, "
+          f"{result.steps} steps)", file=out)
+    for record in result.history:
+        print(f"  step {record['step']:5d}  loss {record['loss']:.4f}  "
+              f"{result.metric_name} {record['metric']:.4g}", file=out)
+    print(f"final {result.metric_name}: {result.final_metric:.4g}  "
+          f"compression: {result.compression_ratio:.1f}x", file=out)
+    return 0
+
+
+#: experiment id -> benchmark file (relative to the repository root)
+EXPERIMENTS = {
+    "fig1": "bench_fig1_compression_sweep.py",
+    "fig3": "bench_fig3_throughput.py",
+    "fig4": "bench_fig4_adaptive_training.py",
+    "fig6": "bench_fig6_overhead.py",
+    "fig8": "bench_fig8_topology.py",
+    "fig9": "bench_fig9_frameworks.py",
+    "fig10": "bench_fig10_reductions.py",
+    "fig11": "bench_fig11_backends.py",
+    "table1": "bench_table1_gpus.py",
+    "table2": "bench_table2_machines.py",
+    "table3": "bench_table3_accuracy.py",
+    "table4": "bench_table4_cloud.py",
+    "table5": "bench_table5_multinode.py",
+    "table6": "bench_table6_frameworks.py",
+    "table7": "bench_table7_adaptive.py",
+    "table8": "bench_table8_ceiling.py",
+    "heterogeneous": "bench_heterogeneous.py",
+    "ablation-quantizers": "bench_ablation_quantizers.py",
+    "ablation-buckets": "bench_ablation_bucket_size.py",
+    "ablation-filters": "bench_ablation_filters.py",
+    "ablation-scheduling": "bench_ablation_scheduling.py",
+    "stragglers": "bench_stragglers.py",
+    "pareto": "bench_pareto_compressors.py",
+    "partial-sync": "bench_partial_sync.py",
+    "model-sweep": "bench_model_size_sweep.py",
+}
+
+
+def _cmd_experiment(args, out) -> int:
+    import os
+
+    if args.list_all or args.name is None:
+        print("available experiments:", file=out)
+        for name, bench in sorted(EXPERIMENTS.items()):
+            print(f"  {name:22s} {bench}", file=out)
+        return 0
+    if args.name not in EXPERIMENTS:
+        print(f"unknown experiment {args.name!r}; run with --list",
+              file=sys.stderr)
+        return 2
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    bench = os.path.join(repo_root, "benchmarks", EXPERIMENTS[args.name])
+    if not os.path.exists(bench):
+        print(f"benchmark file not found: {bench}", file=sys.stderr)
+        return 2
+    import pytest
+
+    print(f"running {EXPERIMENTS[args.name]} "
+          f"(results land in benchmarks/results/)", file=out)
+    return pytest.main([bench, "--benchmark-only", "-q", "-s"])
+
+
+def _cmd_topology(args, out) -> int:
+    machine = get_machine(args.machine)
+    topo = machine.topology(args.gpus)
+    print(topo.describe(), file=out)
+    print(f"\nGPU: {machine.gpu.name} ({machine.gpu.memory_gb} GB, "
+          f"GPUDirect: {machine.gpu.gpu_direct})", file=out)
+    if machine.price_per_hour:
+        print(f"price: ${machine.price_per_hour}/hour", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    commands = {
+        "simulate": _cmd_simulate,
+        "train": _cmd_train,
+        "topology": _cmd_topology,
+        "experiment": _cmd_experiment,
+    }
+    return commands[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

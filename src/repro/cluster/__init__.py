@@ -1,0 +1,17 @@
+"""Multi-GPU cluster simulator: GPUs, topologies, backends, networks."""
+
+from .backends import BACKENDS, BackendModel, get_backend
+from .gpu import GPUS, GPUSpec, get_gpu
+from .machine import MACHINES, Machine, get_machine, make_cluster
+from .network import Network, TransferRecord, export_chrome_trace
+from .simclock import Resource, ResourcePool
+from .topology import Link, Topology, multinode, nvlink_mesh, pcie_dual_root
+
+__all__ = [
+    "BACKENDS", "BackendModel", "get_backend",
+    "GPUS", "GPUSpec", "get_gpu",
+    "MACHINES", "Machine", "get_machine", "make_cluster",
+    "Network", "TransferRecord", "export_chrome_trace",
+    "Resource", "ResourcePool",
+    "Link", "Topology", "multinode", "nvlink_mesh", "pcie_dual_root",
+]

@@ -1,0 +1,91 @@
+"""Resource timelines for the event-free makespan simulator.
+
+The performance model schedules work (transfers, compression kernels,
+collective steps) onto *resources* that can each do one thing at a time.
+A :class:`Resource` tracks its busy-until horizon; scheduling a task
+returns concrete start/end times.  This greedy list-scheduling approach
+is deterministic and sufficient for step-time makespans — a full
+discrete-event engine is not needed because each training step's task
+graph is known up front.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Resource", "ResourcePool"]
+
+
+class Resource:
+    """A serially-occupied resource (a link direction, a GPU engine...)."""
+
+    __slots__ = ("name", "busy_until", "busy_time")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.busy_until = 0.0
+        self.busy_time = 0.0  # total occupied seconds, for utilization stats
+
+    def schedule(self, ready: float, duration: float) -> tuple[float, float]:
+        """Occupy the resource for ``duration`` no earlier than ``ready``.
+
+        Returns ``(start, end)``.
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration {duration}")
+        start = max(ready, self.busy_until)
+        end = start + duration
+        self.busy_until = end
+        self.busy_time += duration
+        return start, end
+
+    def peek(self, ready: float) -> float:
+        """Earliest start time without committing."""
+        return max(ready, self.busy_until)
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.busy_time = 0.0
+
+
+class ResourcePool:
+    """Named collection of resources, created on first use."""
+
+    def __init__(self) -> None:
+        self._resources: dict[str, Resource] = {}
+
+    def get(self, name: str) -> Resource:
+        resource = self._resources.get(name)
+        if resource is None:
+            resource = Resource(name)
+            self._resources[name] = resource
+        return resource
+
+    def schedule_path(
+        self, names: list[str], ready: float, duration: float
+    ) -> tuple[float, float]:
+        """Occupy several resources simultaneously for one task.
+
+        All resources in ``names`` are held for the same interval; the
+        start time is the earliest instant at which every one is free.
+        """
+        resources = [self.get(n) for n in names]
+        start = ready
+        for resource in resources:
+            start = resource.peek(start)
+        end = start + duration
+        for resource in resources:
+            resource.busy_until = end
+            resource.busy_time += duration
+        return start, end
+
+    def reset(self) -> None:
+        for resource in self._resources.values():
+            resource.reset()
+
+    def utilization(self, horizon: float) -> dict[str, float]:
+        """Fraction of ``horizon`` each resource was busy."""
+        if horizon <= 0:
+            return {name: 0.0 for name in self._resources}
+        return {
+            name: min(1.0, res.busy_time / horizon)
+            for name, res in self._resources.items()
+        }

@@ -1,0 +1,46 @@
+"""Compression-aware collectives: data paths and timed schedules."""
+
+from .allgather import allgather_allreduce
+from .base import ReduceStats, chunk_bounds, check_buffers, split_chunks
+from .hierarchical import hierarchical_allreduce
+from .parameter_server import ps_allreduce
+from .partial import PartialAllreduce
+from .ring import ring_allreduce
+from .sra import sra_allreduce
+from .timing import (SCHEMES, CollectiveTiming, time_allreduce,
+                     time_partial_allreduce)
+from .tree import tree_allreduce
+
+#: scheme name -> data-path implementation
+ALGORITHMS = {
+    "sra": sra_allreduce,
+    "ring": ring_allreduce,
+    "tree": tree_allreduce,
+    "allgather": allgather_allreduce,
+    "ps": ps_allreduce,
+    "hier": hierarchical_allreduce,
+}
+
+
+def allreduce(scheme, buffers, compressor, rng, key="", node_of=None):
+    """Dispatch to a data-path collective by scheme name.
+
+    ``node_of`` (node index per rank) only applies to the hierarchical
+    scheme; other schemes ignore topology.
+    """
+    if scheme not in ALGORITHMS:
+        raise KeyError(f"unknown scheme {scheme!r}; choose from {sorted(ALGORITHMS)}")
+    if scheme == "hier":
+        return ALGORITHMS[scheme](buffers, compressor, rng, key=key,
+                                  node_of=node_of)
+    return ALGORITHMS[scheme](buffers, compressor, rng, key=key)
+
+
+__all__ = [
+    "ReduceStats", "chunk_bounds", "check_buffers", "split_chunks",
+    "sra_allreduce", "ring_allreduce", "tree_allreduce",
+    "allgather_allreduce", "ps_allreduce", "hierarchical_allreduce",
+    "ALGORITHMS", "allreduce",
+    "SCHEMES", "CollectiveTiming", "time_allreduce",
+    "time_partial_allreduce", "PartialAllreduce",
+]

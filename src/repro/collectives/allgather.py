@@ -1,0 +1,45 @@
+"""Allgather-based reduction: the GRACE-style scheme.
+
+Every rank broadcasts its *whole* compressed gradient to every other
+rank; each rank decompresses all N contributions and sums locally.
+Only **one** quantization round per value (lowest possible error), but
+the wire carries N compressed gradients instead of ~1, so bandwidth is
+a factor N worse than SRA/Ring — the paper's explanation for GRACE
+being >3x slower than CGX despite using the same QSGD operator
+(Table 6 discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import Compressor
+
+from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
+
+__all__ = ["allgather_allreduce"]
+
+
+def allgather_allreduce(
+    buffers: list[np.ndarray],
+    compressor: Compressor,
+    rng: np.random.Generator,
+    key: str = "",
+) -> tuple[list[np.ndarray], ReduceStats]:
+    """Sum ``buffers`` by all-gathering compressed gradients."""
+    numel = check_buffers(buffers)
+    world = len(buffers)
+    stats = ReduceStats("allgather", world, numel)
+
+    decoded = []
+    for rank in range(world):
+        wire = compress_chunk(compressor, buffers[rank].ravel(), rng,
+                              key=f"{key}/{rank}", stats=stats)
+        # one encode, broadcast to world-1 peers
+        stats.wire_bytes += wire.nbytes * max(0, world - 2)
+        decoded.append(decompress_chunk(compressor, wire, stats))
+
+    total = np.sum(decoded, axis=0, dtype=np.float32)
+    stats.max_recompressions = 1
+    shaped = total.reshape(buffers[0].shape)
+    return [shaped.copy() for _ in range(world)], stats

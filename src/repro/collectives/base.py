@@ -1,0 +1,87 @@
+"""Shared machinery for compression-aware collective operations.
+
+The paper's central systems observation (Section 3) is that lossy
+compression operators are *non-associative*, so the reduction scheme and
+the compression operator must be chosen together: each scheme implies a
+different number of compress->decompress round-trips per value, hence a
+different accumulated error.  The collectives in this package therefore
+execute the *real* data path on numpy buffers — errors are measured,
+never modeled.
+
+All collectives return the **sum** of the inputs; callers average by
+dividing afterwards (in full precision, which adds no error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression import Compressor
+
+__all__ = ["ReduceStats", "chunk_bounds", "split_chunks", "check_buffers"]
+
+
+@dataclass
+class ReduceStats:
+    """Accounting of one collective call."""
+
+    scheme: str
+    world_size: int
+    numel: int
+    wire_bytes: int = 0          # total payload bytes moved between ranks
+    compress_calls: int = 0      # compression kernel invocations
+    decompress_calls: int = 0
+    max_recompressions: int = 0  # worst-case quantize rounds any value saw
+
+    def record_send(self, nbytes: int) -> None:
+        self.wire_bytes += nbytes
+
+
+def chunk_bounds(numel: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Contiguous, nearly equal chunk boundaries covering [0, numel)."""
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    base, extra = divmod(numel, n_chunks)
+    bounds = []
+    start = 0
+    for chunk in range(n_chunks):
+        size = base + (1 if chunk < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def split_chunks(buffer: np.ndarray, n_chunks: int) -> list[np.ndarray]:
+    """Views of ``buffer`` split into ``n_chunks`` contiguous chunks."""
+    flat = buffer.ravel()
+    return [flat[a:b] for a, b in chunk_bounds(flat.size, n_chunks)]
+
+
+def check_buffers(buffers: list[np.ndarray]) -> int:
+    """Validate a per-rank buffer list; returns the common element count."""
+    if not buffers:
+        raise ValueError("need at least one rank buffer")
+    numel = buffers[0].size
+    for i, buf in enumerate(buffers):
+        if buf.size != numel:
+            raise ValueError(
+                f"rank {i} buffer has {buf.size} elements, expected {numel}"
+            )
+    return numel
+
+
+def compress_chunk(compressor: Compressor, chunk: np.ndarray,
+                   rng: np.random.Generator, key, stats: ReduceStats):
+    """Compress one chunk, updating stats; returns the wire object."""
+    compressed = compressor.compress(chunk, rng, key=key)
+    stats.compress_calls += 1
+    stats.record_send(compressed.nbytes)
+    return compressed
+
+
+def decompress_chunk(compressor: Compressor, compressed,
+                     stats: ReduceStats) -> np.ndarray:
+    stats.decompress_calls += 1
+    return compressor.decompress(compressed)

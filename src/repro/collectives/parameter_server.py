@@ -1,0 +1,44 @@
+"""Parameter-server reduction: all workers push to rank 0.
+
+The degenerate 1-level tree: every worker sends its compressed gradient
+to a single aggregator, which decompresses, sums, re-compresses and
+broadcasts.  Two quantization rounds like SRA, but rank 0's links carry
+all N-1 flows, so it does not scale — included as the baseline that
+motivates chunk-parallel schemes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import Compressor
+
+from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
+
+__all__ = ["ps_allreduce"]
+
+
+def ps_allreduce(
+    buffers: list[np.ndarray],
+    compressor: Compressor,
+    rng: np.random.Generator,
+    key: str = "",
+) -> tuple[list[np.ndarray], ReduceStats]:
+    """Sum ``buffers`` through a single aggregator at rank 0."""
+    numel = check_buffers(buffers)
+    world = len(buffers)
+    stats = ReduceStats("ps", world, numel)
+
+    total = buffers[0].astype(np.float32).ravel().copy()
+    for rank in range(1, world):
+        wire = compress_chunk(compressor, buffers[rank].ravel(), rng,
+                              key=f"{key}/push/{rank}", stats=stats)
+        total += decompress_chunk(compressor, wire, stats)
+
+    wire = compress_chunk(compressor, total, rng, key=f"{key}/bcast",
+                          stats=stats)
+    stats.wire_bytes += wire.nbytes * max(0, world - 2)
+    result = decompress_chunk(compressor, wire, stats)
+    stats.max_recompressions = 2
+    shaped = result.reshape(buffers[0].shape)
+    return [shaped.copy() for _ in range(world)], stats

@@ -1,0 +1,106 @@
+"""Partial (quorum) allreduce — the hybrid-synchronization extension.
+
+The paper's conclusion lists "hybrid synchronization setups, e.g. Zhou
+et al.; Li et al." as future work; the mechanism underneath those
+systems is the *partial collective* (Li et al., PPoPP 2020): a step's
+reduction proceeds once a quorum of workers has contributed, and
+late workers receive the result without having been waited for.  Their
+skipped contribution is not lost — each worker folds its unsent gradient
+into its next contribution via a local carry buffer, so the estimator
+stays unbiased over time (elastic consistency).
+
+Data path here; the timed schedule lives in
+:func:`repro.collectives.timing.time_partial_allreduce`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import Compressor
+
+from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
+from .sra import sra_allreduce
+
+__all__ = ["PartialAllreduce"]
+
+
+class PartialAllreduce:
+    """Stateful quorum reduction with carry buffers for skipped ranks.
+
+    Each call reduces over ``participants`` only; non-participants'
+    gradients accumulate in per-rank carry buffers and are added to
+    their next participating contribution, so every gradient is
+    delivered exactly once (possibly a few steps late).  The long-run
+    sum therefore matches full synchronization exactly — the elastic-
+    consistency property — while individual steps see a smaller
+    effective batch.
+    """
+
+    def __init__(self, world: int):
+        if world < 1:
+            raise ValueError("world must be >= 1")
+        self.world = world
+        self._carry: dict[tuple, np.ndarray] = {}
+
+    def reduce(
+        self,
+        buffers: list[np.ndarray],
+        participants: list[int],
+        compressor: Compressor,
+        rng: np.random.Generator,
+        key: str = "",
+    ) -> tuple[list[np.ndarray], ReduceStats]:
+        """Quorum-sum ``buffers``; every rank receives the result."""
+        numel = check_buffers(buffers)
+        if len(buffers) != self.world:
+            raise ValueError(
+                f"expected {self.world} buffers, got {len(buffers)}"
+            )
+        participants = sorted(set(participants))
+        if not participants:
+            raise ValueError("need at least one participant")
+        if any(not 0 <= p < self.world for p in participants):
+            raise ValueError("participant out of range")
+
+        # fold carries into participating gradients; bank the others
+        contributions = []
+        for rank in participants:
+            value = buffers[rank].astype(np.float32).copy()
+            carry = self._carry.pop((key, rank), None)
+            if carry is not None:
+                value += carry.reshape(value.shape)
+            contributions.append(value)
+        for rank in range(self.world):
+            if rank in participants:
+                continue
+            carry = self._carry.get((key, rank))
+            grad = buffers[rank].astype(np.float32)
+            self._carry[(key, rank)] = grad.copy() if carry is None \
+                else carry + grad
+
+        # reduce among the quorum, then one broadcast payload for everyone
+        reduced, stats = sra_allreduce(contributions, compressor, rng,
+                                       key=f"{key}/quorum")
+        total = reduced[0]
+
+        wire = compress_chunk(compressor, total.ravel(), rng,
+                              key=f"{key}/late", stats=stats)
+        laggards = self.world - len(participants)
+        stats.wire_bytes += wire.nbytes * max(0, laggards - 1)
+        decoded = decompress_chunk(compressor, wire, stats).reshape(
+            buffers[0].shape
+        )
+        # every rank adopts the identical decoded payload
+        outputs = [decoded.copy() for _ in range(self.world)]
+        stats.scheme = "partial"
+        return outputs, stats
+
+    def carry_norm(self, key: str, rank: int) -> float:
+        carry = self._carry.get((key, rank))
+        if carry is None:
+            return 0.0
+        return float(np.linalg.norm(carry))
+
+    def reset(self) -> None:
+        self._carry.clear()

@@ -1,0 +1,360 @@
+"""Timed collective schedules over the simulated network.
+
+The data-path modules in this package measure *what* a scheme computes;
+this module measures *when*.  Each ``time_*`` function replays the exact
+transfer/kernel pattern of its scheme onto a
+:class:`~repro.cluster.network.Network`, occupying links and per-GPU
+compression engines, and returns per-rank completion times.  The
+performance model (``repro.training.perf``) composes these per fusion
+buffer to obtain end-to-end step times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.network import Network
+from repro.compression import CompressionSpec
+from repro.compression.metrics import kernel_seconds
+
+__all__ = ["CollectiveTiming", "time_allreduce",
+           "time_partial_allreduce", "SCHEMES"]
+
+SCHEMES = ("sra", "ring", "tree", "allgather", "ps", "hier")
+
+
+@dataclass
+class CollectiveTiming:
+    """Result of scheduling one collective."""
+
+    end_times: list[float]   # completion per participating rank
+    wire_bytes: int          # payload bytes put on links
+    kernel_calls: int        # compression-engine invocations
+
+    @property
+    def end(self) -> float:
+        return max(self.end_times)
+
+
+def _chunk_sizes(numel: int, n_chunks: int) -> list[int]:
+    base, extra = divmod(numel, n_chunks)
+    return [base + (1 if i < extra else 0) for i in range(n_chunks)]
+
+
+class _Scheduler:
+    """Shared helpers binding a network, a spec and kernel accounting."""
+
+    def __init__(self, network: Network, spec: CompressionSpec,
+                 extra_flops_per_elem: float = 0.0, streams: int = 1,
+                 kernel_factor: float = 1.0):
+        self.net = network
+        self.spec = spec
+        # "fake" compression only truncates the send; it runs no kernel
+        self.compressing = spec.method not in ("none", "fake")
+        self.extra_flops_per_elem = extra_flops_per_elem
+        self.streams = max(1, streams)
+        self.kernel_factor = kernel_factor
+        self.wire_bytes = 0
+        self.kernel_calls = 0
+        self._stream_rr: dict[int, int] = {}
+
+    def kernel(self, gpu: int, numel: int, ready: float) -> float:
+        """Charge one compress/decompress kernel; returns end time."""
+        if not self.compressing:
+            return ready
+        duration = self.kernel_factor * kernel_seconds(
+            numel * 4, extra_flops=self.extra_flops_per_elem * numel
+        )
+        stream = self._stream_rr.get(gpu, 0)
+        self._stream_rr[gpu] = (stream + 1) % self.streams
+        self.kernel_calls += 1
+        return self.net.run_kernel(gpu, f"compress{stream}", duration, ready)
+
+    def send(self, src: int, dst: int, numel: int, ready: float) -> float:
+        nbytes = self.spec.wire_bytes(numel)
+        self.wire_bytes += nbytes
+        return self.net.transfer(src, dst, nbytes, ready)
+
+    def op_start(self, ready: float) -> float:
+        backend = self.net.backend
+        return ready + backend.per_op_overhead + backend.sync_per_op
+
+
+def time_allreduce(
+    network: Network,
+    ranks: list[int],
+    dense_numel: int,
+    spec: CompressionSpec,
+    scheme: str = "sra",
+    ready: list[float] | float = 0.0,
+    chunk_streams: int = 1,
+    extra_flops_per_elem: float = 0.0,
+    kernel_factor: float = 1.0,
+) -> CollectiveTiming:
+    """Schedule one allreduce of ``dense_numel`` elements over ``ranks``.
+
+    Args:
+        network: simulated network (links + per-GPU engines are shared
+            state across calls, giving inter-collective contention).
+        ranks: participating GPU ids.
+        dense_numel: uncompressed element count of the buffer.
+        spec: compression applied to transmitted chunks.
+        scheme: one of :data:`SCHEMES`.
+        ready: per-rank gradient-ready times (scalar = same for all).
+        chunk_streams: parallel compression streams per GPU (the SRA
+            chunk-parallel optimization worth ~5% in the paper).
+        extra_flops_per_elem: additional per-element compression compute
+            (PowerSGD's matmuls).
+        kernel_factor: multiplier on kernel durations (QNCCL's constrained
+            in-library kernels pay ~2x).
+    """
+    world = len(ranks)
+    if world < 1:
+        raise ValueError("need at least one rank")
+    if isinstance(ready, (int, float)):
+        ready = [float(ready)] * world
+    if len(ready) != world:
+        raise ValueError("ready times must match rank count")
+    if world == 1:
+        return CollectiveTiming([ready[0]], 0, 0)
+
+    sched = _Scheduler(network, spec, extra_flops_per_elem, chunk_streams,
+                       kernel_factor)
+    start = [sched.op_start(t) for t in ready]
+
+    dispatch = {
+        "sra": _time_sra,
+        "ring": _time_ring,
+        "tree": _time_tree,
+        "allgather": _time_allgather,
+        "ps": _time_ps,
+        "hier": _time_hier,
+    }
+    if scheme not in dispatch:
+        raise KeyError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+    end_times = dispatch[scheme](sched, ranks, dense_numel, start)
+    return CollectiveTiming(end_times, sched.wire_bytes, sched.kernel_calls)
+
+
+def _time_sra(sched: _Scheduler, ranks: list[int], numel: int,
+              start: list[float]) -> list[float]:
+    world = len(ranks)
+    chunks = _chunk_sizes(numel, world)
+
+    # Phase 1: each rank compresses and sends every foreign chunk.
+    arrivals: dict[int, list[float]] = {o: [] for o in range(world)}
+    for sender in range(world):
+        t = start[sender]
+        for owner in range(world):
+            if owner == sender:
+                continue
+            t = sched.kernel(ranks[sender], chunks[owner], t)
+            arrive = sched.send(ranks[sender], ranks[owner], chunks[owner], t)
+            arrivals[owner].append(arrive)
+
+    # Owners decompress+accumulate each arrival, then compress the
+    # aggregate and broadcast it.
+    final_arrival = [start[r] for r in range(world)]
+    for owner in range(world):
+        t = start[owner]
+        for arrive in sorted(arrivals[owner]):
+            t = sched.kernel(ranks[owner], chunks[owner], max(t, arrive))
+        t = sched.kernel(ranks[owner], chunks[owner], t)  # encode aggregate
+        for receiver in range(world):
+            if receiver == owner:
+                continue
+            arrive = sched.send(ranks[owner], ranks[receiver], chunks[owner], t)
+            done = sched.kernel(ranks[receiver], chunks[owner], arrive)
+            final_arrival[receiver] = max(final_arrival[receiver], done)
+        final_arrival[owner] = max(final_arrival[owner], t)
+    return final_arrival
+
+
+def _time_ring(sched: _Scheduler, ranks: list[int], numel: int,
+               start: list[float]) -> list[float]:
+    world = len(ranks)
+    chunks = _chunk_sizes(numel, world)
+    t = list(start)
+
+    # Reduce-scatter: N-1 rounds of neighbor sends with re-compression.
+    for step in range(world - 1):
+        arrivals = [0.0] * world
+        for rank in range(world):
+            chunk_id = (rank - step) % world
+            ready = sched.kernel(ranks[rank], chunks[chunk_id], t[rank])
+            arrivals[(rank + 1) % world] = sched.send(
+                ranks[rank], ranks[(rank + 1) % world], chunks[chunk_id], ready
+            )
+        for rank in range(world):
+            chunk_id = (rank - 1 - step) % world
+            t[rank] = sched.kernel(ranks[rank], chunks[chunk_id],
+                                   max(t[rank], arrivals[rank]))
+
+    # Allgather: N-1 rounds forwarding final payloads (no re-encode after
+    # the first hop; decompress once on arrival of each chunk).
+    for rank in range(world):
+        t[rank] = sched.kernel(ranks[rank], chunks[(rank + 1) % world], t[rank])
+    for step in range(world - 1):
+        arrivals = [0.0] * world
+        for rank in range(world):
+            chunk_id = (rank + 1 - step) % world
+            arrivals[(rank + 1) % world] = sched.send(
+                ranks[rank], ranks[(rank + 1) % world], chunks[chunk_id], t[rank]
+            )
+        for rank in range(world):
+            chunk_id = (rank - step) % world
+            t[rank] = sched.kernel(ranks[rank], chunks[chunk_id],
+                                   max(t[rank], arrivals[rank]))
+    return t
+
+
+def _time_tree(sched: _Scheduler, ranks: list[int], numel: int,
+               start: list[float]) -> list[float]:
+    world = len(ranks)
+    t = list(start)
+    stride = 1
+    while stride < world:
+        for receiver in range(0, world - stride, 2 * stride):
+            sender = receiver + stride
+            ready = sched.kernel(ranks[sender], numel, t[sender])
+            arrive = sched.send(ranks[sender], ranks[receiver], numel, ready)
+            t[receiver] = sched.kernel(ranks[receiver], numel,
+                                       max(t[receiver], arrive))
+        stride *= 2
+    # Broadcast down the same tree.
+    t[0] = sched.kernel(ranks[0], numel, t[0])
+    stride //= 2
+    while stride >= 1:
+        for sender in range(0, world - stride, 2 * stride):
+            receiver = sender + stride
+            arrive = sched.send(ranks[sender], ranks[receiver], numel, t[sender])
+            t[receiver] = sched.kernel(ranks[receiver], numel, arrive)
+        stride //= 2
+    return t
+
+
+def _time_allgather(sched: _Scheduler, ranks: list[int], numel: int,
+                    start: list[float]) -> list[float]:
+    world = len(ranks)
+    encoded = [sched.kernel(ranks[r], numel, start[r]) for r in range(world)]
+    done = list(encoded)
+    for sender in range(world):
+        for receiver in range(world):
+            if receiver == sender:
+                continue
+            arrive = sched.send(ranks[sender], ranks[receiver], numel,
+                                encoded[sender])
+            decoded = sched.kernel(ranks[receiver], numel, arrive)
+            done[receiver] = max(done[receiver], decoded)
+    return done
+
+
+def _time_ps(sched: _Scheduler, ranks: list[int], numel: int,
+             start: list[float]) -> list[float]:
+    world = len(ranks)
+    t_root = start[0]
+    for sender in range(1, world):
+        ready = sched.kernel(ranks[sender], numel, start[sender])
+        arrive = sched.send(ranks[sender], ranks[0], numel, ready)
+        t_root = sched.kernel(ranks[0], numel, max(t_root, arrive))
+    t_root = sched.kernel(ranks[0], numel, t_root)
+    done = [t_root] * world
+    for receiver in range(1, world):
+        arrive = sched.send(ranks[0], ranks[receiver], numel, t_root)
+        done[receiver] = sched.kernel(ranks[receiver], numel, arrive)
+    return done
+
+
+def _time_hier(sched: _Scheduler, ranks: list[int], numel: int,
+               start: list[float]) -> list[float]:
+    """Hierarchical: intra-node SRA, inter-node SRA of leaders, broadcast.
+
+    Falls back to flat SRA when all ranks share a node.  Inter-node
+    traffic is one compressed gradient per node instead of one per GPU,
+    which is what keeps gigabit inter-node links usable (Table 5).
+    """
+    node_of = sched.net.topology.node_of
+    by_node: dict[int, list[int]] = {}
+    for idx, rank in enumerate(ranks):
+        by_node.setdefault(node_of[rank], []).append(idx)
+    if len(by_node) == 1:
+        return _time_sra(sched, ranks, numel, start)
+
+    # Stage 1: intra-node allreduce (SRA inside each node).
+    t = list(start)
+    leaders: list[int] = []
+    for node in sorted(by_node):
+        local = by_node[node]
+        leaders.append(local[0])
+        if len(local) == 1:
+            continue
+        local_ranks = [ranks[i] for i in local]
+        local_start = [t[i] for i in local]
+        local_end = _time_sra(sched, local_ranks, numel, local_start)
+        for i, end in zip(local, local_end):
+            t[i] = end
+
+    # Stage 2: inter-node allreduce among leaders.
+    leader_ranks = [ranks[i] for i in leaders]
+    leader_start = [t[i] for i in leaders]
+    leader_end = _time_sra(sched, leader_ranks, numel, leader_start)
+    for i, end in zip(leaders, leader_end):
+        t[i] = end
+
+    # Stage 3: leaders broadcast the final payload to local peers.
+    for node, leader in zip(sorted(by_node), leaders):
+        ready = sched.kernel(ranks[leader], numel, t[leader])
+        t[leader] = ready
+        for i in by_node[node]:
+            if i == leader:
+                continue
+            arrive = sched.send(ranks[leader], ranks[i], numel, ready)
+            t[i] = sched.kernel(ranks[i], numel, arrive)
+    return t
+
+
+def time_partial_allreduce(
+    network: Network,
+    ranks: list[int],
+    dense_numel: int,
+    spec: CompressionSpec,
+    quorum: int,
+    ready: list[float],
+    chunk_streams: int = 1,
+) -> CollectiveTiming:
+    """Timed quorum reduction: reduce over the first ``quorum`` ready
+    ranks, then ship the result to the laggards.
+
+    Fast ranks finish at the quorum-SRA end; laggards finish at
+    ``max(own readiness, broadcast arrival)`` — they are never waited
+    for, which is the whole point (straggler mitigation).
+    """
+    world = len(ranks)
+    if not 1 <= quorum <= world:
+        raise ValueError(f"quorum must be in [1, {world}], got {quorum}")
+    if len(ready) != world:
+        raise ValueError("ready times must match rank count")
+    if world == 1:
+        return CollectiveTiming([ready[0]], 0, 0)
+
+    order = sorted(range(world), key=lambda i: ready[i])
+    members = order[:quorum]
+    laggards = order[quorum:]
+
+    sched = _Scheduler(network, spec, streams=chunk_streams)
+    member_ranks = [ranks[i] for i in members]
+    member_start = [sched.op_start(ready[i]) for i in members]
+    member_end = _time_sra(sched, member_ranks, dense_numel, member_start)
+
+    end_times = [0.0] * world
+    for idx, end in zip(members, member_end):
+        end_times[idx] = end
+    source = members[0]
+    encode_done = sched.kernel(ranks[source], dense_numel,
+                               end_times[source])
+    for idx in laggards:
+        arrive = sched.send(ranks[source], ranks[idx], dense_numel,
+                            encode_done)
+        done = sched.kernel(ranks[idx], dense_numel, arrive)
+        end_times[idx] = max(ready[idx], done)
+    return CollectiveTiming(end_times, sched.wire_bytes, sched.kernel_calls)

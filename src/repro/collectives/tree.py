@@ -1,0 +1,56 @@
+"""Tree-Allreduce: hierarchical reduce + broadcast with compression.
+
+A binary reduction tree (Section 3: "a hierarchical parameter server"):
+values travel up the tree, re-quantized at every internal node
+(log2 N re-compressions), then the root's final payload is broadcast
+down unchanged.  Latency is O(log N) rounds but each value crosses the
+wire 2 log N times, and the repeated re-compression inflates error —
+both reasons the paper rejects it in favor of SRA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import Compressor
+
+from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
+
+__all__ = ["tree_allreduce"]
+
+
+def tree_allreduce(
+    buffers: list[np.ndarray],
+    compressor: Compressor,
+    rng: np.random.Generator,
+    key: str = "",
+) -> tuple[list[np.ndarray], ReduceStats]:
+    """Sum ``buffers`` across ranks via a binary reduction tree."""
+    numel = check_buffers(buffers)
+    world = len(buffers)
+    stats = ReduceStats("tree", world, numel)
+    partial = [buf.astype(np.float32).ravel().copy() for buf in buffers]
+
+    # Reduce phase: at stride s, rank r (multiple of 2s) absorbs rank r+s.
+    stride = 1
+    depth = 0
+    while stride < world:
+        for receiver in range(0, world - stride, 2 * stride):
+            sender = receiver + stride
+            wire = compress_chunk(compressor, partial[sender], rng,
+                                  key=f"{key}/up/{stride}/{sender}", stats=stats)
+            partial[receiver] = partial[receiver] + decompress_chunk(
+                compressor, wire, stats
+            )
+        stride *= 2
+        depth += 1
+
+    # Broadcast phase: the root compresses once; the payload is forwarded
+    # down the tree verbatim so every rank decodes the same values.
+    wire = compress_chunk(compressor, partial[0], rng, key=f"{key}/down",
+                          stats=stats)
+    stats.wire_bytes += wire.nbytes * max(0, world - 2)
+    result = decompress_chunk(compressor, wire, stats)
+    stats.max_recompressions = depth + 1
+    shaped = result.reshape(buffers[0].shape)
+    return [shaped.copy() for _ in range(world)], stats

@@ -1,0 +1,196 @@
+"""Compression operator API.
+
+A :class:`CompressionSpec` is a declarative description (method + its
+parameters) that both the data path (actual compress/decompress of numpy
+gradients) and the performance model (wire-size and kernel-cost
+accounting) consume.  :func:`make_compressor` instantiates the matching
+operator.
+
+Wire-size accounting is exact: e.g. 4-bit QSGD with bucket size 128
+costs ``numel * 4 bits`` of payload plus one fp32 scale per bucket,
+which is the 4-bit + metadata layout CGX transmits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from typing import Any
+
+__all__ = ["CompressionSpec", "Compressed", "Compressor", "make_compressor"]
+
+FP32_BYTES = 4
+
+
+@dataclass(frozen=True)
+class CompressionSpec:
+    """Declarative compression configuration for one tensor (or globally).
+
+    Attributes:
+        method: ``none | fp16 | qsgd | nuq | topk | powersgd | fake |
+            onebit | dgc`` (``nuq`` = NUQSGD exponential levels;
+            ``onebit`` = Seide et al. 1-bit SGD; ``dgc`` = Deep Gradient
+            Compression with momentum correction).
+        bits: quantization bit-width (qsgd/nuq), including the sign bit.
+        bucket_size: elements per quantization bucket (qsgd/nuq).
+        density: fraction of elements kept (topk).
+        rank: decomposition rank (powersgd).
+        ratio: transmitted fraction is ``1/ratio`` (fake).
+        error_feedback: maintain a residual and fold it into the next
+            step (topk and powersgd require this to converge).
+        wire_dtype_bits: if nonzero, each quantized code travels in a
+            fixed-width integer of this many bits instead of being
+            bit-packed — the GRACE INT8 wire format (its 4-bit setting
+            still sends one byte per value).
+    """
+
+    method: str = "none"
+    bits: int = 4
+    bucket_size: int = 128
+    #: bucket scale: "max" (CGX kernels: max-magnitude) or "l2" (the
+    #: original QSGD/NUQSGD papers: bucket L2 norm)
+    scaling: str = "max"
+    density: float = 0.01
+    rank: int = 4
+    ratio: float = 1.0
+    error_feedback: bool = False
+    wire_dtype_bits: int = 0
+
+    def __post_init__(self):
+        if self.method not in ("none", "fp16", "qsgd", "nuq", "topk",
+                               "powersgd", "fake", "onebit", "dgc"):
+            raise ValueError(f"unknown compression method {self.method!r}")
+        if self.method in ("qsgd", "nuq"):
+            if not 2 <= self.bits <= 8:
+                raise ValueError(f"qsgd bits must be in [2, 8], got {self.bits}")
+            if self.bucket_size < 1:
+                raise ValueError("bucket_size must be >= 1")
+            if self.scaling not in ("max", "l2"):
+                raise ValueError(f"unknown scaling {self.scaling!r}")
+        if self.method in ("topk", "dgc") and not 0 < self.density <= 1:
+            raise ValueError(f"density must be in (0, 1], got {self.density}")
+        if self.method == "powersgd" and self.rank < 1:
+            raise ValueError("rank must be >= 1")
+        if self.method == "fake" and self.ratio < 1:
+            raise ValueError("fake ratio must be >= 1")
+
+    def wire_bytes(self, numel: int, shape: tuple[int, ...] | None = None) -> int:
+        """Exact transmitted bytes for a tensor of ``numel`` elements."""
+        if numel == 0:
+            return 0
+        if self.method == "none":
+            return numel * FP32_BYTES
+        if self.method == "fp16":
+            return numel * 2
+        if self.method in ("qsgd", "nuq"):
+            buckets = -(-numel // self.bucket_size)
+            code_bits = self.wire_dtype_bits or self.bits
+            payload_bits = numel * code_bits
+            return -(-payload_bits // 8) + buckets * FP32_BYTES
+        if self.method in ("topk", "dgc"):
+            k = max(1, int(numel * self.density))
+            return k * (4 + FP32_BYTES)  # int32 index + fp32 value
+        if self.method == "onebit":
+            buckets = -(-numel // self.bucket_size)
+            return -(-numel // 8) + buckets * 2 * FP32_BYTES
+        if self.method == "powersgd":
+            rows, cols = _matrix_shape(numel, shape)
+            if rows == 1 or cols == 1:
+                return numel * FP32_BYTES  # 1-D tensors stay uncompressed
+            return (rows + cols) * self.rank * FP32_BYTES
+        if self.method == "fake":
+            return max(1, int(numel / self.ratio)) * FP32_BYTES
+        raise AssertionError(f"unreachable method {self.method}")
+
+    def compression_ratio(self, numel: int,
+                          shape: tuple[int, ...] | None = None) -> float:
+        """Dense fp32 bytes divided by wire bytes."""
+        return numel * FP32_BYTES / self.wire_bytes(numel, shape)
+
+    def with_bits(self, bits: int, bucket_size: int | None = None
+                  ) -> "CompressionSpec":
+        """Copy of this spec with a different bit-width (adaptive path)."""
+        return replace(self, bits=bits,
+                       bucket_size=bucket_size or self.bucket_size)
+
+
+def _matrix_shape(numel: int, shape: tuple[int, ...] | None) -> tuple[int, int]:
+    """The (rows, cols) view PowerSGD uses for a tensor."""
+    if shape is None or len(shape) < 2:
+        return 1, numel
+    rows = shape[0]
+    cols = numel // rows
+    return rows, cols
+
+
+@dataclass
+class Compressed:
+    """Result of compressing one tensor: wire payload plus metadata."""
+
+    spec: CompressionSpec
+    numel: int
+    shape: tuple[int, ...]
+    payload: "dict[str, np.ndarray]"
+    nbytes: int
+
+    def copy(self) -> "Compressed":
+        return Compressed(self.spec, self.numel, self.shape,
+                          {k: v.copy() for k, v in self.payload.items()},
+                          self.nbytes)
+
+
+class Compressor:
+    """Base compressor: compress/decompress numpy arrays.
+
+    Stateless by default; stateful methods (error feedback, PowerSGD
+    warm start) key their state on a caller-provided ``key`` argument
+    (typically ``(worker, layer_name)``).
+    """
+
+    def __init__(self, spec: CompressionSpec):
+        self.spec = spec
+
+    def compress(self, array: np.ndarray, rng: np.random.Generator,
+                 key: "Any" = None) -> Compressed:
+        raise NotImplementedError
+
+    def decompress(self, compressed: Compressed) -> np.ndarray:
+        raise NotImplementedError
+
+    def roundtrip(self, array: np.ndarray, rng: np.random.Generator,
+                  key: "Any" = None) -> np.ndarray:
+        return self.decompress(self.compress(array, rng, key=key))
+
+    def error_norm(self, array: np.ndarray, rng: np.random.Generator) -> float:
+        """L2 norm of the compression error on ``array``."""
+        restored = self.roundtrip(array, rng)
+        return float(np.linalg.norm(array.ravel() - restored.ravel()))
+
+
+def make_compressor(spec: CompressionSpec) -> Compressor:
+    """Instantiate the operator implementing ``spec``."""
+    from .dgc import DGCCompressor
+    from .fake import FakeCompressor
+    from .none import FP16Compressor, IdentityCompressor
+    from .nuq import NUQSGDCompressor
+    from .onebit import OneBitCompressor
+    from .powersgd import PowerSGDCompressor
+    from .qsgd import QSGDCompressor
+    from .topk import TopKCompressor
+
+    table = {
+        "none": IdentityCompressor,
+        "fp16": FP16Compressor,
+        "qsgd": QSGDCompressor,
+        "nuq": NUQSGDCompressor,
+        "topk": TopKCompressor,
+        "powersgd": PowerSGDCompressor,
+        "fake": FakeCompressor,
+        "onebit": OneBitCompressor,
+        "dgc": DGCCompressor,
+    }
+    return table[spec.method](spec)

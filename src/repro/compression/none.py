@@ -1,0 +1,38 @@
+"""Identity and FP16 "compressors" — the uncompressed baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Compressed, Compressor
+
+__all__ = ["IdentityCompressor", "FP16Compressor"]
+
+
+class IdentityCompressor(Compressor):
+    """Transmits full-precision fp32 values unchanged."""
+
+    def compress(self, array: np.ndarray, rng: np.random.Generator,
+                 key=None) -> Compressed:
+        flat = np.asarray(array, dtype=np.float32).ravel().copy()
+        return Compressed(self.spec, flat.size, tuple(np.shape(array)),
+                          {"values": flat}, self.spec.wire_bytes(flat.size))
+
+    def decompress(self, compressed: Compressed) -> np.ndarray:
+        return compressed.payload["values"].reshape(compressed.shape).copy()
+
+
+class FP16Compressor(Compressor):
+    """Half-precision cast: 2x size reduction, deterministic rounding."""
+
+    def compress(self, array: np.ndarray, rng: np.random.Generator,
+                 key=None) -> Compressed:
+        flat = np.asarray(array, dtype=np.float32).ravel()
+        return Compressed(self.spec, flat.size, tuple(np.shape(array)),
+                          {"values": flat.astype(np.float16)},
+                          self.spec.wire_bytes(flat.size))
+
+    def decompress(self, compressed: Compressed) -> np.ndarray:
+        return compressed.payload["values"].astype(np.float32).reshape(
+            compressed.shape
+        )

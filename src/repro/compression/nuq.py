@@ -1,0 +1,105 @@
+"""NUQSGD: non-uniform (exponential-level) stochastic quantization.
+
+Ramezani-Kebrya et al. (JMLR 2021) — cited by the paper as the line of
+work that "reduces the variance of the compression by proposing improved
+quantizers".  Instead of QSGD's uniform grid, levels are placed
+geometrically (1, 1/2, 1/4, ... of the bucket scale), matching the
+heavy-tailed distribution of normalized gradient values: most
+coordinates are small relative to the bucket max, and exponential
+spacing gives them finer resolution where the mass is.
+
+Included as the paper's "extension to other compression methods"
+direction; the ablation bench ``bench_ablation_quantizers.py`` measures
+the variance advantage at equal bit-width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Compressed, CompressionSpec, Compressor
+from .qsgd import pack_codes, unpack_codes
+
+__all__ = ["NUQSGDCompressor", "exponential_levels"]
+
+
+def exponential_levels(bits: int) -> np.ndarray:
+    """Quantization levels in [0, 1]: 0 plus a geometric ladder.
+
+    ``bits``-wide codes reserve one sign bit; the remaining
+    ``2^(bits-1) - 1`` nonzero levels are ``2^-(k)`` for
+    ``k = levels-1 .. 0`` — i.e. the top level is 1.0 (the bucket max)
+    and each level below halves.
+    """
+    count = 2 ** (bits - 1) - 1
+    if count < 1:
+        raise ValueError(f"bits={bits} leaves no quantization levels")
+    ladder = 2.0 ** -np.arange(count - 1, -1, -1, dtype=np.float64)
+    return np.concatenate([[0.0], ladder])
+
+
+class NUQSGDCompressor(Compressor):
+    """Bucketed stochastic quantizer over exponential levels.
+
+    Uses the same wire format as QSGD (packed codes + one fp32 scale per
+    bucket), so :meth:`CompressionSpec.wire_bytes` accounting carries
+    over unchanged; only the level placement differs.
+    """
+
+    def __init__(self, spec: CompressionSpec):
+        super().__init__(spec)
+        self.levels = exponential_levels(spec.bits)
+
+    def _bucketize(self, flat: np.ndarray) -> np.ndarray:
+        size = min(self.spec.bucket_size, max(1, flat.size))
+        n_buckets = -(-flat.size // size)
+        padded = np.zeros(n_buckets * size, dtype=np.float32)
+        padded[: flat.size] = flat
+        return padded.reshape(n_buckets, size)
+
+    def compress(self, array: np.ndarray, rng: np.random.Generator,
+                 key=None) -> Compressed:
+        flat = np.asarray(array, dtype=np.float32).ravel()
+        buckets = self._bucketize(flat)
+        if self.spec.scaling == "l2":
+            scales = np.linalg.norm(buckets, axis=1)
+        else:
+            scales = np.max(np.abs(buckets), axis=1)
+        safe = np.where(scales > 0, scales, 1.0)
+        normalized = np.abs(buckets) / safe[:, None]   # in [0, 1]
+
+        # stochastic rounding between the surrounding exponential levels
+        idx_hi = np.searchsorted(self.levels, normalized, side="left")
+        idx_hi = np.clip(idx_hi, 1, len(self.levels) - 1)
+        lo = self.levels[idx_hi - 1]
+        hi = self.levels[idx_hi]
+        span = np.maximum(hi - lo, 1e-12)
+        prob_up = np.clip((normalized - lo) / span, 0.0, 1.0)
+        go_up = rng.random(size=normalized.shape) < prob_up
+        level_idx = (idx_hi - 1 + go_up).astype(np.uint8)
+
+        sign_bit = (buckets < 0).astype(np.uint8)
+        codes = (level_idx | (sign_bit << (self.spec.bits - 1))).ravel()
+        codes = codes[: flat.size]
+        payload = {
+            "codes": pack_codes(codes, self.spec.bits),
+            "norms": scales.astype(np.float32),
+        }
+        return Compressed(self.spec, flat.size, tuple(np.shape(array)),
+                          payload, self.spec.wire_bytes(flat.size))
+
+    def decompress(self, compressed: Compressed) -> np.ndarray:
+        spec = compressed.spec
+        codes = unpack_codes(compressed.payload["codes"], spec.bits,
+                             compressed.numel)
+        sign_mask = np.uint8(1 << (spec.bits - 1))
+        signs = np.where(codes & sign_mask, -1.0, 1.0).astype(np.float32)
+        level_idx = (codes & (sign_mask - np.uint8(1))).astype(np.int64)
+        values = signs * self.levels[level_idx].astype(np.float32)
+        size = min(spec.bucket_size, max(1, compressed.numel))
+        n_buckets = -(-compressed.numel // size)
+        padded = np.zeros(n_buckets * size, dtype=np.float32)
+        padded[: compressed.numel] = values
+        padded = padded.reshape(n_buckets, size)
+        padded *= compressed.payload["norms"][:, None]
+        return padded.ravel()[: compressed.numel].reshape(compressed.shape)

@@ -1,0 +1,105 @@
+"""Bucketed QSGD: stochastic uniform quantization with bit packing.
+
+Implements the quantizer of Alistarh et al. (2017) as CGX deploys it
+(Section 4): the gradient is split into fixed-size *buckets*, each
+bucket is scaled by its own max-magnitude (the scaling the CGX kernels
+use — plain L2 scaling wastes most of the code range at small bucket
+sizes), and every value is stochastically rounded to one of
+``s = 2^(bits-1) - 1`` levels plus a sign bit.  The wire format is the
+packed codes plus one fp32 scale per bucket, so the exact transmitted
+size matches :meth:`CompressionSpec.wire_bytes`.
+
+Bucketing trades metadata overhead for accuracy: larger buckets
+compress harder but have higher per-element error — the trade-off the
+paper resolves at 4 bits / bucket 128 as its default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Compressed, CompressionSpec, Compressor
+
+__all__ = ["QSGDCompressor", "pack_codes", "unpack_codes"]
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack small unsigned integers (< 2^bits) into a uint8 byte stream."""
+    if codes.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    if not 1 <= bits <= 8:
+        raise ValueError(f"bits must be in [1, 8], got {bits}")
+    codes = codes.astype(np.uint8, copy=False)
+    bit_matrix = np.unpackbits(codes[:, None], axis=1)[:, 8 - bits:]
+    return np.packbits(bit_matrix.ravel())
+
+
+def unpack_codes(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_codes`; returns ``count`` codes."""
+    if count == 0:
+        return np.empty(0, dtype=np.uint8)
+    bit_stream = np.unpackbits(packed)[: count * bits]
+    bit_matrix = bit_stream.reshape(count, bits)
+    padded = np.zeros((count, 8), dtype=np.uint8)
+    padded[:, 8 - bits:] = bit_matrix
+    return np.packbits(padded, axis=1).ravel()
+
+
+class QSGDCompressor(Compressor):
+    """Stochastic uniform quantizer over fixed-size buckets."""
+
+    def __init__(self, spec: CompressionSpec):
+        super().__init__(spec)
+        self.levels = 2 ** (spec.bits - 1) - 1  # quantization levels per sign
+        if self.levels < 1:
+            raise ValueError(f"bits={spec.bits} leaves no quantization levels")
+
+    def _bucketize(self, flat: np.ndarray) -> np.ndarray:
+        """View as (n_buckets, bucket_size), zero-padding the tail."""
+        size = min(self.spec.bucket_size, max(1, flat.size))
+        n_buckets = -(-flat.size // size)
+        padded = np.zeros(n_buckets * size, dtype=np.float32)
+        padded[: flat.size] = flat
+        return padded.reshape(n_buckets, size)
+
+    def compress(self, array: np.ndarray, rng: np.random.Generator,
+                 key=None) -> Compressed:
+        flat = np.asarray(array, dtype=np.float32).ravel()
+        buckets = self._bucketize(flat)
+        if self.spec.scaling == "l2":
+            norms = np.linalg.norm(buckets, axis=1)
+        else:
+            norms = np.max(np.abs(buckets), axis=1)
+        safe_norms = np.where(norms > 0, norms, 1.0)
+        normalized = np.abs(buckets) / safe_norms[:, None]  # in [0, 1]
+        scaled = normalized * self.levels
+        lower = np.floor(scaled)
+        prob = scaled - lower
+        lower += rng.random(size=lower.shape) < prob
+        level = np.minimum(lower, self.levels).astype(np.uint8)
+        sign_bit = (buckets < 0).astype(np.uint8)
+        codes = (level | (sign_bit << (self.spec.bits - 1))).ravel()
+        codes = codes[: flat.size]  # drop tail padding codes
+        packed = pack_codes(codes, self.spec.bits)
+        payload = {
+            "codes": packed,
+            "norms": norms.astype(np.float32),
+        }
+        return Compressed(self.spec, flat.size, tuple(np.shape(array)), payload,
+                          self.spec.wire_bytes(flat.size))
+
+    def decompress(self, compressed: Compressed) -> np.ndarray:
+        spec = compressed.spec
+        codes = unpack_codes(compressed.payload["codes"], spec.bits,
+                             compressed.numel)
+        sign_mask = np.uint8(1 << (spec.bits - 1))
+        signs = np.where(codes & sign_mask, -1.0, 1.0).astype(np.float32)
+        levels = (codes & (sign_mask - np.uint8(1))).astype(np.float32)
+        values = signs * levels / self.levels
+        size = min(spec.bucket_size, max(1, compressed.numel))
+        n_buckets = -(-compressed.numel // size)
+        padded = np.zeros(n_buckets * size, dtype=np.float32)
+        padded[: compressed.numel] = values
+        padded = padded.reshape(n_buckets, size)
+        padded *= compressed.payload["norms"][:, None]
+        return padded.ravel()[: compressed.numel].reshape(compressed.shape)

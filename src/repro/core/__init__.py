@@ -1,0 +1,47 @@
+"""CGX core: configuration, engine, DDP wrapper, adaptive compression."""
+
+from .adaptive import (
+    ASSIGNERS,
+    AdaptiveController,
+    LayerStat,
+    assignment_error,
+    assignment_wire_fraction,
+    bayes_assign,
+    estimate_relative_error,
+    kmeans_assign,
+    linear_assign,
+    synthetic_stats_for_spec,
+    uniform_error,
+)
+from .api import CGXSession
+from .config import CGXConfig, DEFAULT_FILTERED_KEYWORDS
+from .ddp import CGXDistributedDataParallel
+from .engine import CommunicationEngine, Package, ReductionReport
+from .filters import LayerFilter, LayerInfo
+from .frontends import EagerFrontend, GraphFrontend
+from .qnccl import QNCCL_KERNEL_OVERHEAD_FACTOR, QNCCL_PLAN_MODE, qnccl_config
+from .serialization import (
+    config_from_dict,
+    config_to_dict,
+    dump_config,
+    load_config,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "CGXConfig", "DEFAULT_FILTERED_KEYWORDS",
+    "CGXSession",
+    "CGXDistributedDataParallel",
+    "CommunicationEngine", "Package", "ReductionReport",
+    "LayerFilter", "LayerInfo",
+    "EagerFrontend", "GraphFrontend",
+    "qnccl_config", "QNCCL_KERNEL_OVERHEAD_FACTOR", "QNCCL_PLAN_MODE",
+    "AdaptiveController", "LayerStat", "ASSIGNERS",
+    "kmeans_assign", "linear_assign", "bayes_assign",
+    "assignment_error", "assignment_wire_fraction",
+    "estimate_relative_error", "uniform_error",
+    "synthetic_stats_for_spec",
+    "config_to_dict", "config_from_dict", "dump_config", "load_config",
+    "spec_to_dict", "spec_from_dict",
+]

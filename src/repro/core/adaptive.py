@@ -1,0 +1,406 @@
+"""Adaptive layer-wise compression (paper Section 5, Algorithm 1).
+
+The *adaptive compression problem*: choose per-layer bit-widths
+``b_1..b_L`` minimizing the bandwidth objective ``sum_l b_l * size(L_l)``
+subject to the total compression error not exceeding ``alpha * E4``,
+where ``E4`` is the error of uniform 4-bit compression (known to recover
+accuracy) and ``alpha`` is typically between 1.5 and 3.
+
+Three solvers, as evaluated in Table 7:
+
+* :func:`kmeans_assign` — Algorithm 1: cluster layers by
+  ``(size, top-gradient norm)``, sort centroids by ``norm - size``, map
+  bit-widths to clusters.  Best compression and speedup in the paper.
+* :func:`bayes_assign` — surrogate-based optimization over a threshold
+  family (stands in for the paper's Bayesian-optimization attempt,
+  which they also found needed instance tuning).
+* :func:`linear_assign` — sort by ``norm/size`` and interpolate
+  bit-widths linearly.  Simplest, smallest gains.
+
+The error model is calibrated to the QSGD operator in this repository:
+max-scaled bucketed stochastic quantization at ``b`` bits has relative
+error ``~ 1.12 / (2^(b-1) - 1)`` on dense gradients (measured; see
+tests/test_adaptive.py which re-validates the constant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LayerStat",
+    "estimate_relative_error",
+    "assignment_error",
+    "uniform_error",
+    "assignment_wire_fraction",
+    "kmeans_assign",
+    "linear_assign",
+    "bayes_assign",
+    "AdaptiveController",
+    "ASSIGNERS",
+    "synthetic_stats_for_spec",
+]
+
+#: calibrated QSGD error constant: rel_err(bits) = _QSGD_C / (2^(bits-1) - 1)
+_QSGD_C = 1.12
+DEFAULT_BITWIDTHS = (2, 3, 4, 8)
+#: bucket size paired with each bit-width when re-assigning
+BUCKET_FOR_BITS = {2: 64, 3: 128, 4: 128, 5: 256, 6: 256, 8: 512}
+
+
+@dataclass(frozen=True)
+class LayerStat:
+    """Per-layer statistics feeding the adaptive solvers.
+
+    ``grad_norm`` is the L2 norm of the top-magnitude values of the
+    accumulated gradient (Algorithm 1 input).
+    """
+
+    name: str
+    numel: int
+    grad_norm: float
+
+
+def estimate_relative_error(bits: int) -> float:
+    """Expected relative QSGD error at a bit-width."""
+    levels = 2 ** (bits - 1) - 1
+    if levels < 1:
+        raise ValueError(f"bits={bits} has no quantization levels")
+    return _QSGD_C / levels
+
+
+def assignment_error(stats: list[LayerStat], bits: dict[str, int]) -> float:
+    """Model-wide L2 compression error under a bit assignment."""
+    total_sq = 0.0
+    for stat in stats:
+        err = stat.grad_norm * estimate_relative_error(bits[stat.name])
+        total_sq += err * err
+    return float(np.sqrt(total_sq))
+
+
+def uniform_error(stats: list[LayerStat], bits: int = 4) -> float:
+    """E_b: error when every layer is compressed to ``bits`` bits."""
+    return assignment_error(stats, {s.name: bits for s in stats})
+
+
+def assignment_wire_fraction(stats: list[LayerStat],
+                             bits: dict[str, int],
+                             reference_bits: int = 4) -> float:
+    """Compressed size relative to the uniform static assignment."""
+    assigned = sum(bits[s.name] * s.numel for s in stats)
+    reference = sum(reference_bits * s.numel for s in stats)
+    return assigned / reference
+
+
+def _enforce_constraint(stats: list[LayerStat], bits: dict[str, int],
+                        budget: float,
+                        bitwidths: tuple[int, ...]) -> dict[str, int]:
+    """Raise bit-widths until the error budget is met, cheapest first.
+
+    Each candidate bump is scored by squared-error reduction per added
+    wire bit, so small noisy layers are promoted before paying the huge
+    bandwidth cost of promoting an embedding.
+    """
+    ladder = sorted(set(bitwidths))
+    bits = dict(bits)
+    for _ in range(len(stats) * len(ladder)):
+        if assignment_error(stats, bits) <= budget:
+            break
+        best, best_gain = None, 0.0
+        for stat in stats:
+            idx = ladder.index(bits[stat.name])
+            if idx == len(ladder) - 1:
+                continue
+            err_now = stat.grad_norm * estimate_relative_error(ladder[idx])
+            err_next = stat.grad_norm * estimate_relative_error(ladder[idx + 1])
+            cost = (ladder[idx + 1] - ladder[idx]) * stat.numel
+            gain = (err_now**2 - err_next**2) / max(1, cost)
+            if gain > best_gain:
+                best, best_gain = stat, gain
+        if best is None:
+            break
+        bits[best.name] = ladder[ladder.index(bits[best.name]) + 1]
+    return bits
+
+
+def _finalize(stats: list[LayerStat], bits: dict[str, int], budget: float,
+              bitwidths: tuple[int, ...],
+              reference_bits: int = 4) -> dict[str, int]:
+    """Enforce the error budget; never return worse-than-static size."""
+    bits = _enforce_constraint(stats, bits, budget, bitwidths)
+    if assignment_wire_fraction(stats, bits, reference_bits) > 1.0:
+        return {s.name: reference_bits for s in stats}
+    return bits
+
+
+def _features(stats: list[LayerStat]) -> np.ndarray:
+    """2-D representation of each layer: (log10 size, log10 top-grad norm).
+
+    Log scale keeps the features comparable across the 5 orders of
+    magnitude separating embeddings from projection matrices; the raw
+    (unstandardized) scale is deliberate — layer *size* is the dominant
+    structural signal and standardizing would let the dense blob of
+    near-identical transformer matrices dictate the geometry.
+    """
+    size = np.log10([max(1, s.numel) for s in stats])
+    norm = np.log10([max(1e-12, s.grad_norm) for s in stats])
+    return np.column_stack([size, norm])
+
+
+def _kmeans(points: np.ndarray, k: int, iterations: int = 60) -> np.ndarray:
+    """Deterministic Lloyd's k-means; returns a label per point.
+
+    Initialized on quantiles of the (norm - size) score so repeated runs
+    agree; empty clusters re-seed on the farthest point.
+    """
+    n = len(points)
+    k = min(k, n)
+    score = points[:, 1] - points[:, 0]
+    order = np.argsort(score)
+    seeds = [order[int(round(q * (n - 1)))] for q in np.linspace(0, 1, k)]
+    centroids = points[seeds].astype(np.float64).copy()
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(iterations):
+        distances = np.linalg.norm(points[:, None, :] - centroids[None], axis=2)
+        new_labels = distances.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+            else:
+                farthest = distances.min(axis=1).argmax()
+                centroids[cluster] = points[farthest]
+    return labels
+
+
+def kmeans_assign(
+    stats: list[LayerStat],
+    bitwidths: tuple[int, ...] = DEFAULT_BITWIDTHS,
+    alpha: float = 2.0,
+) -> dict[str, int]:
+    """Algorithm 1: k-means clustering of (size, norm) -> bit-widths.
+
+    Clusters are sorted by ``norm(C) - size(C)``; the lowest-scoring
+    cluster (large layers with small gradients — embeddings, giant FC
+    layers) gets the lowest bit-width.  The ``alpha * E4`` constraint is
+    enforced afterwards by raising bit-widths greedily.
+    """
+    if not stats:
+        return {}
+    ladder = sorted(set(bitwidths))
+    points = _features(stats)
+    labels = _kmeans(points, k=len(ladder))
+    used = sorted(set(labels.tolist()))
+    centroids = {c: points[labels == c].mean(axis=0) for c in used}
+    # sort clusters: score = norm - size, ascending -> lowest bits first
+    ranked = sorted(used, key=lambda c: centroids[c][1] - centroids[c][0])
+    ladder_for_cluster = {}
+    for i, cluster in enumerate(ranked):
+        if len(ranked) == 1:
+            ladder_for_cluster[cluster] = ladder[-1]
+        else:
+            idx = round(i * (len(ladder) - 1) / (len(ranked) - 1))
+            ladder_for_cluster[cluster] = ladder[idx]
+    bits = {stat.name: ladder_for_cluster[label]
+            for stat, label in zip(stats, labels)}
+    budget = alpha * uniform_error(stats, 4)
+    return _finalize(stats, bits, budget, bitwidths)
+
+
+def linear_assign(
+    stats: list[LayerStat],
+    bitwidths: tuple[int, ...] = DEFAULT_BITWIDTHS,
+    alpha: float = 2.0,
+) -> dict[str, int]:
+    """Sort by gradient-magnitude/size ratio; interpolate bit-widths."""
+    if not stats:
+        return {}
+    ladder = sorted(set(bitwidths))
+    ratio = sorted(stats, key=lambda s: s.grad_norm / max(1, s.numel))
+    bits = {}
+    for rank, stat in enumerate(ratio):
+        position = rank / max(1, len(ratio) - 1)
+        bits[stat.name] = ladder[
+            min(int(position * len(ladder)), len(ladder) - 1)
+        ]
+    budget = alpha * uniform_error(stats, 4)
+    return _finalize(stats, bits, budget, bitwidths)
+
+
+def bayes_assign(
+    stats: list[LayerStat],
+    bitwidths: tuple[int, ...] = DEFAULT_BITWIDTHS,
+    alpha: float = 2.0,
+    samples: int = 80,
+    seed: int = 0,
+) -> dict[str, int]:
+    """Surrogate-based optimization over a two-threshold family.
+
+    Candidate assignments map each layer's standardized score
+    ``norm - size`` through two learned thresholds onto the bit ladder;
+    the objective is transmitted bits with a hard error budget.  A
+    random-search phase is followed by local refinement around the
+    incumbent (the acquisition loop of a simplified Bayesian optimizer).
+    """
+    if not stats:
+        return {}
+    ladder = sorted(set(bitwidths))
+    points = _features(stats)
+    score = points[:, 1] - points[:, 0]
+    rng = np.random.default_rng(seed)
+    budget = alpha * uniform_error(stats, 4)
+
+    def realize(t_low: float, t_high: float) -> dict[str, int]:
+        lo, hi = min(t_low, t_high), max(t_low, t_high)
+        bits = {}
+        for stat, s in zip(stats, score):
+            if s <= lo:
+                level = 0
+            elif s >= hi:
+                level = len(ladder) - 1
+            else:
+                frac = (s - lo) / max(1e-12, hi - lo)
+                level = min(int(frac * len(ladder)), len(ladder) - 1)
+            bits[stat.name] = ladder[level]
+        return bits
+
+    def objective(bits: dict[str, int]) -> float:
+        cost = sum(bits[s.name] * s.numel for s in stats)
+        err = assignment_error(stats, bits)
+        if err > budget:
+            cost += 1e18 * (err / budget)
+        return cost
+
+    lo0, hi0 = float(score.min()), float(score.max())
+    best_params = (lo0, hi0)
+    best_bits = realize(*best_params)
+    best_cost = objective(best_bits)
+    for trial in range(samples):
+        if trial < samples // 2:
+            candidate = tuple(rng.uniform(lo0 - 0.5, hi0 + 0.5, size=2))
+        else:  # refine around incumbent
+            candidate = tuple(np.asarray(best_params)
+                              + rng.normal(scale=0.25, size=2))
+        bits = realize(*candidate)
+        cost = objective(bits)
+        if cost < best_cost:
+            best_params, best_bits, best_cost = candidate, bits, cost
+    # the uniform static assignment is always feasible; never do worse
+    uniform = {s.name: 4 for s in stats}
+    if objective(uniform) < best_cost:
+        best_bits = uniform
+    return _finalize(stats, best_bits, budget, bitwidths)
+
+
+ASSIGNERS = {
+    "kmeans": kmeans_assign,
+    "linear": linear_assign,
+    "bayes": bayes_assign,
+}
+
+
+class AdaptiveController:
+    """Collects gradient statistics during training and retunes bit-widths.
+
+    Attach to a training loop: call :meth:`observe` after every
+    synchronized step with the averaged gradients; every ``period``
+    steps the controller recomputes the assignment and writes per-layer
+    specs into the session/config.
+    """
+
+    def __init__(self, config, method: str = "kmeans",
+                 bitwidths: tuple[int, ...] = DEFAULT_BITWIDTHS,
+                 alpha: float = 2.0, period: int = 20,
+                 top_fraction: float = 0.01):
+        if method not in ASSIGNERS:
+            raise KeyError(f"unknown adaptive method {method!r}; "
+                           f"choose from {sorted(ASSIGNERS)}")
+        from .filters import LayerFilter, LayerInfo
+        self._filter = LayerFilter(config.filtered_keywords,
+                                   config.min_compress_numel)
+        self._layer_info = LayerInfo
+        self.config = config
+        self.method = method
+        self.bitwidths = bitwidths
+        self.alpha = alpha
+        self.period = period
+        self.top_fraction = top_fraction
+        self._accumulated: dict[str, np.ndarray] = {}
+        self._steps = 0
+        self.assignments: dict[str, int] = {}
+        self.reassign_count = 0
+
+    def observe(self, grads: dict[str, np.ndarray]) -> bool:
+        """Feed one step's gradients; returns True if bits were retuned.
+
+        Filtered layers (bias/norm, tiny tensors) are skipped — they are
+        reduced in fp32 regardless, so they take no part in the
+        assignment problem.
+        """
+        for name, grad in grads.items():
+            if self._filter.excluded(self._layer_info(name, int(grad.size))):
+                continue
+            acc = self._accumulated.get(name)
+            if acc is None:
+                self._accumulated[name] = np.abs(grad).ravel().astype(np.float64)
+            else:
+                acc += np.abs(grad).ravel()
+        self._steps += 1
+        if self._steps % self.period:
+            return False
+        self.reassign()
+        return True
+
+    def _stats(self) -> list[LayerStat]:
+        stats = []
+        for name, acc in self._accumulated.items():
+            k = max(1, int(acc.size * self.top_fraction))
+            top = np.partition(acc, acc.size - k)[-k:]
+            stats.append(LayerStat(name, acc.size, float(np.linalg.norm(top))))
+        return stats
+
+    def reassign(self) -> dict[str, int]:
+        """Recompute the assignment from accumulated statistics."""
+        stats = self._stats()
+        if not stats:
+            return {}
+        self.assignments = ASSIGNERS[self.method](
+            stats, bitwidths=self.bitwidths, alpha=self.alpha
+        )
+        base = self.config.compression
+        for name, bits in self.assignments.items():
+            bucket = BUCKET_FOR_BITS.get(bits, base.bucket_size)
+            self.config.per_layer[name] = base.with_bits(bits, bucket)
+        self._accumulated.clear()
+        self.reassign_count += 1
+        return dict(self.assignments)
+
+
+def synthetic_stats_for_spec(spec, exclude_kinds=("norm", "bias"),
+                             top_fraction: float = 0.01) -> list[LayerStat]:
+    """Layer statistics for a full-size ModelSpec, for perf experiments.
+
+    Accuracy experiments collect real accumulated-gradient statistics;
+    the performance benches need statistics for the *full-size* models,
+    whose gradients we never materialize.  The generator reproduces the
+    structure observed in our scaled training runs: the top-values norm
+    grows with sqrt(top_fraction * numel), scaled by a per-kind
+    sensitivity factor (embeddings' gradients are sparse and small per
+    element; norm/bias layers are the most sensitive but are filtered
+    out of the assignment problem anyway).
+    """
+    factors = {"embedding": 0.25, "linear": 1.0, "conv": 1.2,
+               "norm": 2.0, "bias": 2.0}
+    stats = []
+    for tensor in spec.tensors:
+        if tensor.kind in exclude_kinds:
+            continue
+        base = float(np.sqrt(max(1.0, top_fraction * tensor.numel)))
+        stats.append(LayerStat(tensor.name, tensor.numel,
+                               base * factors.get(tensor.kind, 1.0)))
+    return stats

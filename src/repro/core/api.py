@@ -1,0 +1,98 @@
+"""Public CGX API, mirroring the paper's Listing 1 (torch_cgx).
+
+The paper's Torch extension exposes ``register_model``,
+``exclude_layer`` and per-layer compression control on top of the
+communication engine; :class:`CGXSession` reproduces that surface:
+
+    session = CGXSession()
+    session.register_model([(name, p.numel) for name, p in model.named_parameters()])
+    session.exclude_layer("bn")
+    session.exclude_layer("bias")
+    session.set_quantization_bits(4)
+    session.set_layer_compression("embed.weight", CompressionSpec("qsgd", bits=2))
+
+A session owns a :class:`~repro.core.config.CGXConfig` and hands a ready
+:class:`~repro.core.engine.CommunicationEngine` to whichever frontend
+(DDP wrapper, Horovod-style trainer, graph frontend) drives training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.compression import CompressionSpec
+
+from .config import CGXConfig
+from .engine import CommunicationEngine
+from .filters import LayerInfo
+
+__all__ = ["CGXSession"]
+
+
+class CGXSession:
+    """User-facing handle configuring CGX for one model."""
+
+    def __init__(self, config: CGXConfig | None = None):
+        self.config = config or CGXConfig.cgx_default()
+        self._layers: list[LayerInfo] = []
+        self._registered = False
+
+    # -- Listing 1 surface --------------------------------------------------
+    def register_model(self, layers: list[tuple[str, int]]) -> None:
+        """Declare the model layout: ``[(tensor_name, numel), ...]``.
+
+        Mirrors ``torch_qmpi.register_model``; the engine needs the
+        layout because at the DDP level buffers arrive as anonymous
+        blobs and layer offsets must be recovered from this table.
+        """
+        if not layers:
+            raise ValueError("register_model needs a non-empty layer list")
+        self._layers = [LayerInfo(name, int(numel)) for name, numel in layers]
+        self._registered = True
+
+    def exclude_layer(self, pattern: str) -> None:
+        """Reduce every tensor whose name contains ``pattern`` in fp32."""
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        keywords = tuple(self.config.filtered_keywords) + (pattern,)
+        self.config = replace(self.config, filtered_keywords=keywords)
+
+    def set_quantization_bits(self, bits: int,
+                              bucket_size: int | None = None) -> None:
+        """Set the default quantization bit-width (and bucket size)."""
+        spec = self.config.compression
+        if spec.method != "qsgd":
+            spec = CompressionSpec("qsgd", bits=bits,
+                                   bucket_size=bucket_size or 128)
+        else:
+            spec = spec.with_bits(bits, bucket_size)
+        self.config = self.config.with_compression(spec)
+
+    def set_layer_compression(self, layer_name: str,
+                              spec: CompressionSpec) -> None:
+        """Override compression for one tensor (heterogeneous mode)."""
+        self.config.per_layer[layer_name] = spec
+
+    def set_layer_bits(self, layer_name: str, bits: int,
+                       bucket_size: int | None = None) -> None:
+        """Adaptive-path helper: per-layer quantization bit-width."""
+        base = self.config.compression
+        if base.method != "qsgd":
+            base = CompressionSpec("qsgd", bits=bits,
+                                   bucket_size=bucket_size or 128)
+        self.set_layer_compression(layer_name, base.with_bits(bits, bucket_size))
+
+    # -- engine handoff -------------------------------------------------------
+    @property
+    def layers(self) -> list[LayerInfo]:
+        if not self._registered:
+            raise RuntimeError("call register_model() before using the session")
+        return list(self._layers)
+
+    def engine(self) -> CommunicationEngine:
+        """Engine configured with the session's current settings."""
+        return CommunicationEngine(self.config)
+
+    def plan(self, mode: str = "cgx"):
+        """Package plan over the registered layout."""
+        return self.engine().plan(self.layers, mode=mode)

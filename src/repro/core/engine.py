@@ -1,0 +1,204 @@
+"""The CGX communication engine: package planning and data-path reduction.
+
+The engine turns a model's gradient tensors into *packages* (the unit of
+one collective call) according to the configuration:
+
+* **CGX mode** — one package per compressed layer (compression is
+  per-layer, never across concatenated tensors with different
+  distributions), plus one fused fp32 package for all filtered tensors.
+* **Fused (blob) mode** — the NCCL-baseline / QNCCL behaviour: tensors
+  are concatenated into fusion buffers of ~25 MB regardless of layer
+  boundaries, and whatever compression applies is uniform over the blob.
+
+The same plan drives both the real data path (:meth:`reduce`) used in
+accuracy experiments and the timed path in :mod:`repro.training.perf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.collectives import allreduce
+from repro.compression import CompressionSpec, make_compressor
+from repro.compression.topk import ErrorFeedback
+
+from .config import CGXConfig
+from .filters import LayerFilter, LayerInfo
+
+__all__ = ["Package", "CommunicationEngine", "ReductionReport"]
+
+
+@dataclass(frozen=True)
+class Package:
+    """A group of tensors reduced in one collective call."""
+
+    name: str
+    layers: tuple[LayerInfo, ...]
+    spec: CompressionSpec
+
+    @property
+    def numel(self) -> int:
+        return sum(layer.numel for layer in self.layers)
+
+    def wire_bytes(self) -> int:
+        return self.spec.wire_bytes(self.numel)
+
+
+@dataclass
+class ReductionReport:
+    """Aggregate statistics of one synchronization step."""
+
+    packages: int = 0
+    wire_bytes: int = 0      # actual bytes moved by the collectives
+    payload_bytes: int = 0   # one-copy compressed size of the model gradient
+    dense_bytes: int = 0     # one-copy fp32 size of the model gradient
+    compress_calls: int = 0
+    per_package: list = field(default_factory=list)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense gradient bytes over compressed payload bytes (>= 1)."""
+        if self.payload_bytes == 0:
+            return 1.0
+        return self.dense_bytes / self.payload_bytes
+
+
+class CommunicationEngine:
+    """Plans packages and executes real-data reductions."""
+
+    def __init__(self, config: CGXConfig | None = None,
+                 node_of: list[int] | None = None):
+        self.config = config or CGXConfig()
+        self.filter = LayerFilter(self.config.filtered_keywords,
+                                  self.config.min_compress_numel)
+        self.node_of = node_of  # rank -> node, for the hierarchical scheme
+        self._compressors: dict[str, object] = {}
+
+    # -- planning ----------------------------------------------------------
+    def plan(self, layers: list[LayerInfo], mode: str = "cgx") -> list[Package]:
+        """Build the package list for ``layers`` (in emission order)."""
+        if mode == "cgx":
+            return self._plan_cgx(layers)
+        if mode == "fused":
+            return self._plan_fused(layers)
+        raise ValueError(f"unknown plan mode {mode!r}")
+
+    def _plan_cgx(self, layers: list[LayerInfo]) -> list[Package]:
+        compressed, filtered = self.filter.partition(layers)
+        packages = [
+            Package(layer.name, (layer,), self.config.spec_for(layer.name))
+            for layer in compressed
+        ]
+        if filtered:
+            fp32 = CompressionSpec("none")
+            if self.config.fuse_filtered:
+                packages.append(Package("filtered", tuple(filtered), fp32))
+            else:
+                packages.extend(
+                    Package(layer.name, (layer,), fp32) for layer in filtered
+                )
+        return packages
+
+    def _plan_fused(self, layers: list[LayerInfo]) -> list[Package]:
+        packages: list[Package] = []
+        bucket: list[LayerInfo] = []
+        bucket_bytes = 0
+        for layer in layers:
+            bucket.append(layer)
+            bucket_bytes += layer.numel * 4
+            if bucket_bytes >= self.config.fusion_bytes:
+                packages.append(
+                    Package(f"fused{len(packages)}", tuple(bucket),
+                            self.config.compression)
+                )
+                bucket, bucket_bytes = [], 0
+        if bucket:
+            packages.append(
+                Package(f"fused{len(packages)}", tuple(bucket),
+                        self.config.compression)
+            )
+        return packages
+
+    # -- data path -----------------------------------------------------------
+    def _compressor_for(self, package: Package):
+        """Per-package compressor, cached so stateful methods keep state."""
+        comp = self._compressors.get(package.name)
+        if comp is None or comp.spec != package.spec:
+            comp = make_compressor(package.spec)
+            if package.spec.error_feedback:
+                comp = ErrorFeedback(comp)
+            self._compressors[package.name] = comp
+        return comp
+
+    def reduce(
+        self,
+        per_worker_grads: list[dict[str, np.ndarray]],
+        rng: np.random.Generator,
+        mode: str = "cgx",
+        average: bool = True,
+    ) -> tuple[list[dict[str, np.ndarray]], ReductionReport]:
+        """Reduce named gradients across workers through the plan.
+
+        Args:
+            per_worker_grads: one {tensor name: gradient} dict per worker;
+                all workers must hold the same names and shapes.
+            rng: shared randomness (quantization decisions are made once
+                on the wire, identically for every receiving worker).
+            mode: ``cgx`` or ``fused`` planning.
+            average: divide by world size after summation.
+
+        Returns:
+            (per-worker reduced gradients, aggregate report).
+        """
+        if not per_worker_grads:
+            raise ValueError("need at least one worker")
+        names = list(per_worker_grads[0])
+        for i, grads in enumerate(per_worker_grads):
+            if list(grads) != names:
+                raise ValueError(f"worker {i} gradient names differ")
+        world = len(per_worker_grads)
+        layers = [
+            LayerInfo(name, per_worker_grads[0][name].size,
+                      tuple(per_worker_grads[0][name].shape))
+            for name in names
+        ]
+        report = ReductionReport()
+        outputs: list[dict[str, np.ndarray]] = [dict() for _ in range(world)]
+
+        for package in self.plan(layers, mode=mode):
+            buffers = [
+                _gather_package(per_worker_grads[w], package) for w in range(world)
+            ]
+            compressor = self._compressor_for(package)
+            reduced, stats = allreduce(self.config.scheme, buffers, compressor,
+                                       rng, key=package.name,
+                                       node_of=self.node_of)
+            scale = 1.0 / world if average else 1.0
+            for w in range(world):
+                _scatter_package(outputs[w], reduced[w] * scale, package)
+            report.packages += 1
+            report.wire_bytes += stats.wire_bytes
+            report.payload_bytes += package.wire_bytes()
+            report.compress_calls += stats.compress_calls
+            report.per_package.append((package.name, stats))
+        report.dense_bytes = sum(layer.numel * 4 for layer in layers)
+        return outputs, report
+
+
+def _gather_package(grads: dict[str, np.ndarray], package: Package) -> np.ndarray:
+    """Concatenate a worker's gradients for one package into a flat buffer."""
+    if len(package.layers) == 1:
+        return grads[package.layers[0].name].ravel()
+    return np.concatenate([grads[l.name].ravel() for l in package.layers])
+
+
+def _scatter_package(out: dict[str, np.ndarray], flat: np.ndarray,
+                     package: Package) -> None:
+    """Split a reduced flat buffer back into named, shaped gradients."""
+    offset = 0
+    for layer in package.layers:
+        chunk = flat[offset:offset + layer.numel]
+        out[layer.name] = chunk.reshape(layer.shape or (layer.numel,))
+        offset += layer.numel

@@ -1,0 +1,50 @@
+"""Layer filters: which tensors bypass compression.
+
+CGX splits model gradients into "logical subsets ... handled
+differently: some accuracy-critical subsets are communicated in full
+precision, while other subsets are compressed" (Section 3).  The filter
+works on tensor *names* (substring match, as in the paper's
+``exclude_layer("bn")`` API) plus a minimum-size rule, since compressing
+tiny tensors costs a kernel launch without saving meaningful bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LayerInfo", "LayerFilter"]
+
+
+@dataclass(frozen=True)
+class LayerInfo:
+    """What the engine knows about one gradient tensor."""
+
+    name: str
+    numel: int
+    shape: tuple[int, ...] = ()
+    kind: str = ""
+
+
+class LayerFilter:
+    """Decides, per tensor name, whether compression applies."""
+
+    def __init__(self, keywords: tuple[str, ...] = (),
+                 min_compress_numel: int = 0):
+        self.keywords = tuple(k.lower() for k in keywords)
+        self.min_compress_numel = min_compress_numel
+
+    def excluded(self, layer: LayerInfo) -> bool:
+        """True if the tensor must be reduced in full precision."""
+        lowered = layer.name.lower()
+        if any(keyword in lowered for keyword in self.keywords):
+            return True
+        return layer.numel < self.min_compress_numel
+
+    def partition(
+        self, layers: list[LayerInfo]
+    ) -> tuple[list[LayerInfo], list[LayerInfo]]:
+        """Split into (compressed, full-precision) preserving order."""
+        compressed, filtered = [], []
+        for layer in layers:
+            (filtered if self.excluded(layer) else compressed).append(layer)
+        return compressed, filtered

@@ -1,0 +1,89 @@
+"""JSON (de)serialization for configurations.
+
+Lets experiment configurations live in version-controlled files and be
+passed to the CLI (``--config``), and lets benchmark results record the
+exact configuration that produced them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.compression import CompressionSpec
+
+from .config import CGXConfig
+
+__all__ = ["spec_to_dict", "spec_from_dict", "config_to_dict",
+           "config_from_dict", "dump_config", "load_config"]
+
+
+def spec_to_dict(spec: CompressionSpec) -> dict:
+    """CompressionSpec -> plain dict (only non-default fields)."""
+    defaults = CompressionSpec()
+    out = {}
+    for field in dataclasses.fields(spec):
+        value = getattr(spec, field.name)
+        if value != getattr(defaults, field.name):
+            out[field.name] = value
+    out.setdefault("method", spec.method)
+    return out
+
+
+def spec_from_dict(data: dict) -> CompressionSpec:
+    """Plain dict -> CompressionSpec, rejecting unknown keys."""
+    known = {f.name for f in dataclasses.fields(CompressionSpec)}
+    unknown = set(data) - known
+    if unknown:
+        raise KeyError(f"unknown CompressionSpec fields: {sorted(unknown)}")
+    return CompressionSpec(**data)
+
+
+def config_to_dict(config: CGXConfig) -> dict:
+    """CGXConfig -> JSON-safe dict."""
+    return {
+        "backend": config.backend,
+        "scheme": config.scheme,
+        "compression": spec_to_dict(config.compression),
+        "filtered_keywords": list(config.filtered_keywords),
+        "min_compress_numel": config.min_compress_numel,
+        "per_layer": {name: spec_to_dict(spec)
+                      for name, spec in config.per_layer.items()},
+        "fuse_filtered": config.fuse_filtered,
+        "fusion_bytes": config.fusion_bytes,
+        "chunk_streams": config.chunk_streams,
+        "cross_barrier": config.cross_barrier,
+        "overlap": config.overlap,
+    }
+
+
+def config_from_dict(data: dict) -> CGXConfig:
+    """JSON-safe dict -> CGXConfig, rejecting unknown keys."""
+    known = {f.name for f in dataclasses.fields(CGXConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise KeyError(f"unknown CGXConfig fields: {sorted(unknown)}")
+    payload = dict(data)
+    if "compression" in payload:
+        payload["compression"] = spec_from_dict(payload["compression"])
+    if "per_layer" in payload:
+        payload["per_layer"] = {
+            name: spec_from_dict(spec)
+            for name, spec in payload["per_layer"].items()
+        }
+    if "filtered_keywords" in payload:
+        payload["filtered_keywords"] = tuple(payload["filtered_keywords"])
+    return CGXConfig(**payload)
+
+
+def dump_config(config: CGXConfig, path: str) -> None:
+    """Write a config as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(config_to_dict(config), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_config(path: str) -> CGXConfig:
+    """Read a config written by :func:`dump_config`."""
+    with open(path) as handle:
+        return config_from_dict(json.load(handle))

@@ -1,0 +1,5 @@
+"""Full-size model inventories used by the performance simulator."""
+
+from .specs import ModelSpec, SPEC_BUILDERS, TensorSpec, available_specs, build_spec
+
+__all__ = ["ModelSpec", "TensorSpec", "build_spec", "available_specs", "SPEC_BUILDERS"]

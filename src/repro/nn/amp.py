@@ -1,0 +1,36 @@
+"""Mixed-precision emulation.
+
+The paper trains several models with AMP "level 1" (activations fp16) or
+"level 2" (model + activations + gradients fp16), and notes that PowerSGD
+is incompatible with fp16 gradients.  We emulate the numerically relevant
+part — the precision loss — by round-tripping arrays through float16 at
+the same boundaries.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["AmpLevel", "fp16_roundtrip", "apply_grad_precision"]
+
+
+class AmpLevel(Enum):
+    """Mixed-precision levels as named in the paper's Appendix C."""
+
+    O0 = "fp32"          # everything full precision
+    O1 = "amp_act"       # activations fp16; weights and gradients fp32
+    O2 = "amp_full"      # weights, activations and gradients fp16
+
+
+def fp16_roundtrip(x: np.ndarray) -> np.ndarray:
+    """Quantize ``x`` to float16 precision, returned as float32."""
+    return x.astype(np.float16).astype(np.float32)
+
+
+def apply_grad_precision(grad: np.ndarray, level: AmpLevel) -> np.ndarray:
+    """Apply the gradient-precision effect of an AMP level."""
+    if level is AmpLevel.O2:
+        return fp16_roundtrip(grad)
+    return grad

@@ -1,0 +1,70 @@
+"""Loss functions returning ``(loss_value, grad_wrt_logits)``.
+
+Losses are plain functions rather than modules: the trainer calls the
+model's ``forward`` to get logits, computes the loss gradient here, and
+feeds it back through ``model.backward``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+
+__all__ = [
+    "softmax_cross_entropy",
+    "sequence_cross_entropy",
+    "span_extraction_loss",
+    "mse_loss",
+    "perplexity",
+]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over (N, C) logits with integer targets (N,)."""
+    n = logits.shape[0]
+    log_probs = F.log_softmax(logits, axis=-1)
+    loss = -log_probs[np.arange(n), targets].mean()
+    grad = F.softmax(logits, axis=-1)
+    grad[np.arange(n), targets] -= 1.0
+    return float(loss), grad / n
+
+
+def sequence_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Token-averaged cross-entropy over (B, T, V) logits, targets (B, T)."""
+    batch, seq, vocab = logits.shape
+    loss, grad = softmax_cross_entropy(
+        logits.reshape(batch * seq, vocab), targets.reshape(-1)
+    )
+    return loss, grad.reshape(batch, seq, vocab)
+
+
+def span_extraction_loss(
+    logits: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """SQuAD-style span loss over (B, T, 2) start/end logits.
+
+    Mirrors BERT-QA training: independent cross-entropy over the start
+    position and the end position, averaged.
+    """
+    start_loss, start_grad = softmax_cross_entropy(logits[:, :, 0], starts)
+    end_loss, end_grad = softmax_cross_entropy(logits[:, :, 1], ends)
+    grad = np.zeros_like(logits)
+    grad[:, :, 0] = start_grad * 0.5
+    grad[:, :, 1] = end_grad * 0.5
+    return 0.5 * (start_loss + end_loss), grad
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error."""
+    diff = pred - target
+    return float(np.mean(diff**2)), 2.0 * diff / diff.size
+
+
+def perplexity(mean_cross_entropy: float) -> float:
+    """Perplexity from a mean token cross-entropy (natural log)."""
+    return float(np.exp(min(mean_cross_entropy, 50.0)))

@@ -1,0 +1,369 @@
+"""Scaled-down, architecturally faithful versions of the paper's models.
+
+The paper trains ResNet50, VGG16, ViT-Base, Transformer-XL, GPT-2 and
+BERT.  Here each family is reproduced at a size trainable in seconds on
+CPU while keeping the layer *types* (conv+BN residual blocks, plain conv
+stacks, patch embeddings, token embeddings, attention, LayerNorm, biases)
+whose differing compression sensitivity drives CGX's design (layer
+filters, per-layer bit-widths).
+
+Use :func:`build_model` with a model family name and an integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import TransformerBlock
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from .module import Module, Parameter, Sequential
+
+__all__ = [
+    "MLPClassifier",
+    "TinyVGG",
+    "TinyResNet",
+    "ViTClassifier",
+    "TransformerLM",
+    "BertQA",
+    "build_model",
+    "MODEL_FAMILIES",
+]
+
+
+class MLPClassifier(Sequential):
+    """Simple MLP baseline used in unit tests and the quickstart example."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        depth: int = 2,
+        *,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        layers: list[Module] = [Linear(in_features, hidden, rng=rng), ReLU()]
+        for _ in range(depth - 1):
+            layers += [Linear(hidden, hidden, rng=rng), ReLU()]
+        layers.append(Linear(hidden, num_classes, rng=rng))
+        super().__init__(*layers)
+
+
+class _BasicBlock(Module):
+    """ResNet basic block: conv-BN-ReLU-conv-BN with identity shortcut."""
+
+    def __init__(self, channels: int, *, rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = Conv2d(channels, channels, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(channels, channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(channels)
+        self.relu2 = ReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu2(out + x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.relu2.backward(grad)
+        branch = self.bn2.backward(grad)
+        branch = self.conv2.backward(branch)
+        branch = self.relu1.backward(branch)
+        branch = self.bn1.backward(branch)
+        branch = self.conv1.backward(branch)
+        return grad + branch
+
+
+class TinyResNet(Module):
+    """ResNet50-style classifier: conv stem, BN residual blocks, GAP head."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        channels: int = 16,
+        num_blocks: int = 2,
+        num_classes: int = 10,
+        image_size: int = 16,
+        *,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        del image_size  # accepted for recipe symmetry; GAP head is size-free
+        self.stem = Conv2d(in_channels, channels, 3, padding=1, bias=False, rng=rng)
+        self.stem_bn = BatchNorm2d(channels)
+        self.stem_relu = ReLU()
+        self.blocks = Sequential(
+            *[_BasicBlock(channels, rng=rng) for _ in range(num_blocks)]
+        )
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem_relu(self.stem_bn(self.stem(x)))
+        x = self.blocks(x)
+        return self.fc(self.pool(x))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.pool.backward(self.fc.backward(grad))
+        grad = self.blocks.backward(grad)
+        grad = self.stem.backward(self.stem_bn.backward(self.stem_relu.backward(grad)))
+        return grad
+
+
+class TinyVGG(Sequential):
+    """VGG16-style plain conv stack with max pooling and an FC head."""
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        channels: tuple[int, ...] = (8, 16),
+        num_classes: int = 10,
+        image_size: int = 16,
+        *,
+        rng: np.random.Generator | None = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        layers: list[Module] = []
+        current = in_channels
+        size = image_size
+        for width in channels:
+            layers += [
+                Conv2d(current, width, 3, padding=1, rng=rng),
+                ReLU(),
+                Conv2d(width, width, 3, padding=1, rng=rng),
+                ReLU(),
+                MaxPool2d(2),
+            ]
+            current = width
+            size //= 2
+        layers += [
+            Flatten(),
+            Linear(current * size * size, 4 * num_classes, rng=rng),
+            ReLU(),
+            Linear(4 * num_classes, num_classes, rng=rng),
+        ]
+        super().__init__(*layers)
+
+
+class _PatchEmbed(Module):
+    """Image-to-sequence patch embedding: (B,C,H,W) -> (B, T, D)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        dim: int,
+        patch_size: int,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.proj = Conv2d(
+            in_channels, dim, patch_size, stride=patch_size, bias=True, rng=rng
+        )
+        self.dim = dim
+        self._grid: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.proj(x)
+        batch, dim, grid_h, grid_w = out.shape
+        self._grid = (grid_h, grid_w)
+        return out.reshape(batch, dim, grid_h * grid_w).transpose(0, 2, 1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grid_h, grid_w = self._grid
+        grad = grad.transpose(0, 2, 1).reshape(
+            grad.shape[0], self.dim, grid_h, grid_w
+        )
+        return self.proj.backward(grad)
+
+
+class _PositionalEmbedding(Module):
+    """Learned additive positional embedding over (B, T, D)."""
+
+    def __init__(self, max_len: int, dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        self.weight = self.register_parameter(
+            "weight",
+            Parameter(rng.normal(0.0, 0.02, size=(max_len, dim)).astype(np.float32)),
+        )
+        self._seq: int | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._seq = x.shape[1]
+        if self._seq > self.weight.data.shape[0]:
+            raise ValueError(
+                f"sequence length {self._seq} exceeds "
+                f"max_len {self.weight.data.shape[0]}"
+            )
+        return x + self.weight.data[: self._seq]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        dense = np.zeros_like(self.weight.data)
+        dense[: self._seq] = grad.sum(axis=0)
+        self.weight.accumulate_grad(dense)
+        return grad
+
+
+class ViTClassifier(Module):
+    """ViT-style classifier: patch embed, transformer encoder, mean pool."""
+
+    def __init__(
+        self,
+        image_size: int = 16,
+        patch_size: int = 4,
+        in_channels: int = 3,
+        dim: int = 32,
+        depth: int = 2,
+        num_heads: int = 4,
+        num_classes: int = 10,
+        *,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        num_patches = (image_size // patch_size) ** 2
+        self.patch = _PatchEmbed(in_channels, dim, patch_size, rng=rng)
+        self.pos = _PositionalEmbedding(num_patches, dim, rng=rng)
+        self.blocks = Sequential(
+            *[TransformerBlock(dim, num_heads, rng=rng) for _ in range(depth)]
+        )
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, num_classes, rng=rng)
+        self._seq: int | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.pos(self.patch(x))
+        x = self.norm(self.blocks(x))
+        self._seq = x.shape[1]
+        return self.head(x.mean(axis=1))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.head.backward(grad)
+        grad = np.repeat(grad[:, None, :], self._seq, axis=1) / self._seq
+        grad = self.blocks.backward(self.norm.backward(grad))
+        return self.patch.backward(self.pos.backward(grad))
+
+
+class TransformerLM(Module):
+    """Causal transformer language model (Transformer-XL / GPT-2 style).
+
+    Input: integer tokens (B, T).  Output: next-token logits (B, T, V).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 64,
+        max_len: int = 32,
+        dim: int = 32,
+        depth: int = 2,
+        num_heads: int = 4,
+        dropout: float = 0.0,
+        *,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embed = Embedding(vocab_size, dim, rng=rng)
+        self.pos = _PositionalEmbedding(max_len, dim, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+        self.blocks = Sequential(
+            *[
+                TransformerBlock(dim, num_heads, causal=True, dropout=dropout, rng=rng)
+                for _ in range(depth)
+            ]
+        )
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, vocab_size, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        x = self.drop(self.pos(self.embed(tokens)))
+        x = self.norm(self.blocks(x))
+        return self.head(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.head.backward(grad)
+        grad = self.blocks.backward(self.norm.backward(grad))
+        return self.embed.backward(self.pos.backward(self.drop.backward(grad)))
+
+
+class BertQA(Module):
+    """BERT-style span-extraction model: tokens (B, T) -> logits (B, T, 2)."""
+
+    def __init__(
+        self,
+        vocab_size: int = 64,
+        max_len: int = 32,
+        dim: int = 32,
+        depth: int = 2,
+        num_heads: int = 4,
+        *,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embed = Embedding(vocab_size, dim, rng=rng)
+        self.pos = _PositionalEmbedding(max_len, dim, rng=rng)
+        self.blocks = Sequential(
+            *[TransformerBlock(dim, num_heads, rng=rng) for _ in range(depth)]
+        )
+        self.norm = LayerNorm(dim)
+        self.qa_head = Linear(dim, 2, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        x = self.pos(self.embed(tokens))
+        x = self.norm(self.blocks(x))
+        return self.qa_head(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.qa_head.backward(grad)
+        grad = self.blocks.backward(self.norm.backward(grad))
+        return self.embed.backward(self.pos.backward(grad))
+
+
+#: Family name -> (constructor, GELU-free CNN flag).  Matches paper Table 3.
+MODEL_FAMILIES = {
+    "resnet50": TinyResNet,
+    "vgg16": TinyVGG,
+    "vit": ViTClassifier,
+    "transformer_xl": TransformerLM,
+    "gpt2": TransformerLM,
+    "bert": BertQA,
+    "mlp": MLPClassifier,
+}
+
+
+def build_model(family: str, seed: int = 0, **overrides) -> Module:
+    """Build a scaled-down model of ``family`` with deterministic init.
+
+    Args:
+        family: one of :data:`MODEL_FAMILIES`.
+        seed: RNG seed for weight initialization; replicas built with the
+            same seed have identical parameters (a DDP prerequisite).
+        overrides: constructor keyword overrides (e.g. ``dim=64``).
+    """
+    if family not in MODEL_FAMILIES:
+        raise KeyError(f"unknown model family {family!r}; "
+                       f"choose from {sorted(MODEL_FAMILIES)}")
+    rng = np.random.default_rng(seed)
+    if family == "mlp":
+        defaults = {"in_features": 32, "hidden": 64, "num_classes": 10}
+        defaults.update(overrides)
+        return MLPClassifier(rng=rng, **defaults)
+    constructor = MODEL_FAMILIES[family]
+    return constructor(rng=rng, **overrides)

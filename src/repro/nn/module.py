@@ -1,0 +1,173 @@
+"""Module and parameter abstractions for the mini deep-learning framework.
+
+The framework is deliberately small but structurally faithful to the DDP
+training stacks the paper integrates with: modules own named parameters,
+gradients accumulate into ``Parameter.grad`` during an explicit backward
+pass, and the full model exposes ``named_parameters()`` in *backward
+order* metadata so a communication engine can reason about per-layer
+gradients exactly the way CGX does.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Attributes:
+        data: parameter values (float32 or float16 ndarray).
+        grad: accumulated gradient of the current step, or ``None``.
+    """
+
+    __slots__ = ("data", "grad")
+
+    def __init__(self, data: np.ndarray):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def numel(self) -> int:
+        return int(self.data.size)
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the stored gradient, allocating on first use."""
+        if self.grad is None:
+            self.grad = grad.astype(np.float32, copy=True)
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(shape={self.data.shape})"
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses register parameters via :meth:`register_parameter` and
+    child modules by plain attribute assignment.  ``forward`` must cache
+    whatever ``backward`` needs on ``self``; each data-parallel worker
+    owns an independent replica, so instance-level caches are safe.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # -- registration ----------------------------------------------------
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        self._parameters[name] = param
+        return param
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Module):
+            if "_modules" not in self.__dict__:
+                raise RuntimeError("call Module.__init__() before assigning children")
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal --------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, Parameter)`` pairs in registration order."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        return sum(p.numel for p in self.parameters())
+
+    # -- state ------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{param.data.shape} vs {state[name].shape}"
+                )
+            param.data = state[name].astype(np.float32, copy=True)
+
+    # -- compute ----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            self._modules[str(i)] = layer
+
+    def append(self, layer: Module) -> None:
+        self._modules[str(len(self.layers))] = layer
+        self.layers.append(layer)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]

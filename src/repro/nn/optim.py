@@ -1,0 +1,141 @@
+"""Optimizers and gradient utilities.
+
+The paper's key constraint (Goal 2, "hyperparameter freedom") is that
+compressed training must work under the *uncompressed* recipes, so the
+optimizers here match the standard PyTorch semantics the recipes assume:
+SGD with Nesterov/heavy-ball momentum and weight decay, Adam with bias
+correction, and global-norm gradient clipping (the Technical Issue 3
+interaction the paper discusses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["SGD", "Adam", "clip_grad_norm", "global_grad_norm"]
+
+
+class Optimizer:
+    """Base optimizer over a flat list of parameters."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(params, lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                vel = self._velocity.get(i)
+                if vel is None:
+                    vel = np.zeros_like(param.data)
+                vel *= self.momentum
+                vel += grad
+                self._velocity[i] = vel
+                grad = grad + self.momentum * vel if self.nesterov else vel
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._step_count
+        bias2 = 1.0 - beta2**self._step_count
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.get(i)
+            if m is None:
+                m = np.zeros_like(param.data)
+                self._m[i] = m
+                self._v[i] = np.zeros_like(param.data)
+            v = self._v[i]
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def global_grad_norm(params: list[Parameter]) -> float:
+    """L2 norm of all gradients concatenated."""
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float(np.sum(param.grad.astype(np.float64) ** 2))
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so the global norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.  As the paper notes (Technical Issue 3),
+    clipping needs the *synchronized* gradient norm, so DDP wrappers must
+    call this only after reduction completes.
+    """
+    norm = global_grad_norm(params)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for param in params:
+            if param.grad is not None:
+                param.grad *= scale
+    return norm

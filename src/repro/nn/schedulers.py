@@ -1,0 +1,81 @@
+"""Learning-rate schedules used by the training recipes.
+
+The paper trains under unmodified standard recipes (Goal 2); standard
+recipes include warmup and decay schedules, so the trainer supports the
+two that cover its model families: cosine decay with linear warmup
+(ViT/BERT-style) and step decay (classic CNN recipes).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "CosineWarmup", "StepDecay", "ConstantLR"]
+
+
+class LRScheduler:
+    """Base: owns an optimizer and rewrites its ``lr`` every step."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.step_count = 0
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step; returns the learning rate now in effect."""
+        self.step_count += 1
+        lr = self.lr_at(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRScheduler):
+    """No schedule; keeps the base learning rate."""
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class CosineWarmup(LRScheduler):
+    """Linear warmup to ``base_lr`` then cosine decay to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 warmup_steps: int = 0, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        if warmup_steps >= total_steps:
+            raise ValueError("warmup must be shorter than the schedule")
+        self.total_steps = total_steps
+        self.warmup_steps = warmup_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        progress = (step - self.warmup_steps) / \
+            max(1, self.total_steps - self.warmup_steps)
+        progress = min(1.0, progress)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class StepDecay(LRScheduler):
+    """Multiply the learning rate by ``gamma`` at each milestone."""
+
+    def __init__(self, optimizer: Optimizer, milestones: list[int],
+                 gamma: float = 0.1):
+        super().__init__(optimizer)
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        passed = sum(1 for m in self.milestones if step >= m)
+        return self.base_lr * self.gamma**passed

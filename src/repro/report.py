@@ -1,0 +1,94 @@
+"""ASCII chart rendering for figure reproductions.
+
+The benchmark harness regenerates the paper's *figures* as data series;
+this module renders them as terminal line charts so the shape (the
+saturation curve of Figure 1, the convergence curves of Figure 4) is
+visible directly in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 68,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as a character grid with a legend.
+
+    Args:
+        series: name -> [(x, y), ...]; each series gets its own marker.
+        log_x / log_y: logarithmic axes (values must be positive).
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("ascii_chart needs at least one non-empty series")
+
+    def tx(value: float) -> float:
+        if log_x:
+            if value <= 0:
+                raise ValueError("log_x requires positive x values")
+            return math.log10(value)
+        return value
+
+    def ty(value: float) -> float:
+        if log_y:
+            if value <= 0:
+                raise ValueError("log_y requires positive y values")
+            return math.log10(value)
+        return value
+
+    points = [(tx(x), ty(y)) for pts in series.values() for x, y in pts]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            col = int(round((tx(x) - x_min) / x_span * (width - 1)))
+            row = int(round((ty(y) - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    def fmt(value: float, logged: bool) -> str:
+        actual = 10**value if logged else value
+        if abs(actual) >= 1000:
+            return f"{actual:,.0f}"
+        return f"{actual:.3g}"
+
+    lines = []
+    top_label = fmt(y_max, log_y)
+    bottom_label = fmt(y_min, log_y)
+    pad = max(len(top_label), len(bottom_label))
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = top_label.rjust(pad)
+        elif row_idx == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * pad + " +" + "-" * width
+    lines.append(axis)
+    lines.append(" " * pad + f"  {fmt(x_min, log_x)}"
+                 + f"{fmt(x_max, log_x)}".rjust(width - len(fmt(x_min, log_x))))
+    lines.append(f"{y_label} vs {x_label}"
+                 + ("  [log x]" if log_x else "")
+                 + ("  [log y]" if log_y else ""))
+    legend = "  ".join(f"{_MARKERS[i % len(_MARKERS)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(legend)
+    return "\n".join(lines)

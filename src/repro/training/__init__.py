@@ -1,0 +1,21 @@
+"""Training: real data-parallel loops and the step-time performance model."""
+
+from .metrics import lm_perplexity, span_f1, top1_accuracy
+from .perf import (
+    StepTiming,
+    simulate_machine_step,
+    simulate_step,
+    single_gpu_step_time,
+)
+from .recipes import RECIPES, Recipe, get_recipe
+from .tasks import TASK_FAMILIES, Task, make_task
+from .trainer import DataParallelTrainer, TrainResult, train_family
+
+__all__ = [
+    "StepTiming", "simulate_step", "simulate_machine_step",
+    "single_gpu_step_time",
+    "Recipe", "RECIPES", "get_recipe",
+    "Task", "make_task", "TASK_FAMILIES",
+    "DataParallelTrainer", "TrainResult", "train_family",
+    "top1_accuracy", "lm_perplexity", "span_f1",
+]

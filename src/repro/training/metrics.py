@@ -1,0 +1,58 @@
+"""Evaluation metrics matching the paper's Table 3 columns.
+
+Top-1 accuracy (ResNet50/VGG/ViT), perplexity (Transformer-XL/GPT-2)
+and span F1 (BERT on SQuAD).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.loss import sequence_cross_entropy
+from repro.nn.module import Module
+
+__all__ = ["top1_accuracy", "lm_perplexity", "span_f1"]
+
+
+def top1_accuracy(model: Module, inputs: np.ndarray,
+                  labels: np.ndarray) -> float:
+    """Fraction of samples whose argmax logit matches the label."""
+    model.eval()
+    predictions = model(inputs).argmax(axis=-1)
+    model.train()
+    return float((predictions == labels).mean())
+
+
+def lm_perplexity(model: Module, tokens: np.ndarray,
+                  targets: np.ndarray) -> float:
+    """exp(mean token cross-entropy) on held-out sequences."""
+    model.eval()
+    logits = model(tokens)
+    model.train()
+    loss, _ = sequence_cross_entropy(logits, targets)
+    return float(np.exp(min(loss, 50.0)))
+
+
+def span_f1(model: Module, tokens: np.ndarray, starts: np.ndarray,
+            ends: np.ndarray) -> float:
+    """SQuAD-style token-overlap F1 between predicted and gold spans."""
+    model.eval()
+    logits = model(tokens)
+    model.train()
+    pred_starts = logits[:, :, 0].argmax(axis=1)
+    pred_ends = logits[:, :, 1].argmax(axis=1)
+    scores = []
+    for ps, pe, gs, ge in zip(pred_starts, pred_ends, starts, ends):
+        if pe < ps:
+            scores.append(0.0)
+            continue
+        pred = set(range(int(ps), int(pe) + 1))
+        gold = set(range(int(gs), int(ge) + 1))
+        overlap = len(pred & gold)
+        if overlap == 0:
+            scores.append(0.0)
+            continue
+        precision = overlap / len(pred)
+        recall = overlap / len(gold)
+        scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores))

@@ -1,0 +1,330 @@
+"""End-to-end step-time model: compute/communication overlap makespan.
+
+For one data-parallel training step the model:
+
+1. computes each GPU's forward+backward time from the calibrated GPU
+   envelope (Table 1 anchors);
+2. lays the backward pass on a timeline — each tensor's gradient becomes
+   available after the backward work of all layers *above* it, which is
+   why input embeddings are "synchronized last" (Appendix E);
+3. plans communication packages through the CGX engine (per-layer for
+   CGX, fused blobs for the NCCL baseline and QNCCL);
+4. schedules every package's collective on the simulated network as soon
+   as its gradients are ready, overlapping with the remaining backward
+   compute; links and compression engines are shared resources, so
+   contention between packages emerges naturally;
+5. the step ends at max(backward end, last package end) plus the
+   optimizer update (which needs the full synchronized gradient —
+   gradient clipping forces this barrier, Technical Issue 3).
+
+Throughput and scaling efficiency follow directly.  All of Figures 1,
+3, 6, 9, 10, 11 and Tables 4-8 are projections of this function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster import Machine, Network, Topology, get_backend
+from repro.cluster.gpu import GPUSpec
+from repro.collectives import time_allreduce
+from repro.compression import CompressionSpec
+from repro.compression.metrics import kernel_seconds
+from repro.core import CGXConfig, CommunicationEngine, LayerInfo
+from repro.core.qnccl import QNCCL_KERNEL_OVERHEAD_FACTOR
+from repro.models import ModelSpec
+
+__all__ = ["StepTiming", "simulate_step", "simulate_machine_step",
+           "single_gpu_step_time", "OPTIMIZER_BYTES_PER_PARAM"]
+
+#: bytes touched per parameter by the optimizer update (read grad, read
+#: and write momentum + weights)
+OPTIMIZER_BYTES_PER_PARAM = 16
+#: effective HBM bandwidth for the optimizer kernel (bytes/s)
+OPTIMIZER_MEM_BANDWIDTH = 800e9
+#: forward share of one fwd+bwd unit (backward ~ 2x forward)
+FORWARD_FRACTION = 1.0 / 3.0
+
+
+@dataclass
+class StepTiming:
+    """Step-time breakdown for one simulated configuration."""
+
+    n_gpus: int
+    batch_per_gpu: int
+    compute_time: float       # per-GPU forward+backward seconds
+    step_time: float          # full step makespan
+    comm_tail: float          # communication beyond the backward pass
+    wire_bytes: int           # total payload bytes on the wire
+    kernel_calls: int
+    items_per_step: int       # global items (imgs or tokens) per step
+    ideal_step_time: float    # single-GPU step time (linear-scaling basis)
+
+    @property
+    def throughput(self) -> float:
+        """Global items/second."""
+        return self.items_per_step / self.step_time
+
+    @property
+    def ideal_throughput(self) -> float:
+        return self.items_per_step / self.ideal_step_time
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Fraction of ideal linear scaling achieved."""
+        return self.ideal_step_time / self.step_time
+
+
+def single_gpu_step_time(spec: ModelSpec, gpu: GPUSpec,
+                         batch_per_gpu: int) -> float:
+    """Compute + optimizer time of one step on one GPU (no comm)."""
+    compute = gpu.step_compute_time(spec, batch_per_gpu)
+    return compute + _optimizer_time(spec)
+
+
+def _optimizer_time(spec: ModelSpec) -> float:
+    return spec.num_parameters * OPTIMIZER_BYTES_PER_PARAM / \
+        OPTIMIZER_MEM_BANDWIDTH
+
+
+def _gradient_ready_times(spec: ModelSpec, compute_time: float
+                          ) -> dict[str, float]:
+    """When each tensor's gradient is emitted during the backward pass.
+
+    Backward runs output-to-input; a tensor's gradient is ready once the
+    cumulative backward work of all later-positioned modules plus its
+    own is done.  Work is distributed proportionally to per-module
+    forward FLOPs (backward of a module costs ~2x its forward).
+    """
+    forward_end = compute_time * FORWARD_FRACTION
+    backward_span = compute_time - forward_end
+    tensors = spec.backward_order()
+    total_flops = sum(max(t.flops, 1.0) for t in tensors)
+    ready: dict[str, float] = {}
+    elapsed = 0.0
+    for tensor in tensors:
+        elapsed += max(tensor.flops, 1.0) / total_flops * backward_span
+        ready[tensor.name] = forward_end + elapsed
+    return ready
+
+
+def simulate_step(
+    spec: ModelSpec,
+    gpu: GPUSpec,
+    topology: Topology,
+    config: CGXConfig,
+    plan_mode: str = "cgx",
+    batch_per_gpu: int | None = None,
+    ranks: list[int] | None = None,
+    kernel_factor: float = 1.0,
+    network: Network | None = None,
+    compute_jitter: list[float] | None = None,
+) -> StepTiming:
+    """Simulate one training step of ``spec`` on a topology of GPUs.
+
+    Args:
+        spec: full-size model inventory.
+        gpu: compute envelope of every worker.
+        topology: interconnect (single machine or multi-node cluster).
+        config: CGX engine configuration (scheme, backend, compression,
+            filters, per-layer overrides).
+        plan_mode: ``cgx`` (per-layer packages) or ``fused`` (blob mode).
+        batch_per_gpu: local batch; defaults to the recipe batch scaled
+            by GPU memory.
+        ranks: participating GPUs (default: all in the topology).
+        kernel_factor: compression-kernel slowdown (QNCCL uses
+            :data:`~repro.core.qnccl.QNCCL_KERNEL_OVERHEAD_FACTOR`).
+        network: reuse an existing network (tests); default builds one
+            from ``config.backend``.
+        compute_jitter: per-rank compute-time multipliers (e.g.
+            ``[0, 0, 0.5, 0]`` makes rank 2 a 1.5x straggler).  In a
+            synchronous data-parallel step every collective waits for
+            the slowest contributor — the cost that motivates the hybrid
+            synchronization schemes the paper lists as future work.
+    """
+    ranks = ranks if ranks is not None else list(range(topology.n_gpus))
+    n_gpus = len(ranks)
+    if batch_per_gpu is None:
+        batch_per_gpu = gpu.max_batch_per_gpu(spec)
+    compute_time = gpu.step_compute_time(spec, batch_per_gpu)
+    if config.compression.method == "powersgd":
+        # PowerSGD forces fp32 training (incompatible with fp16 gradients),
+        # forfeiting the AMP speedup the recipe otherwise uses.
+        compute_time *= spec.fp32_compute_factor
+    items = n_gpus * batch_per_gpu * spec.items_per_sample
+    ideal = single_gpu_step_time(spec, gpu, batch_per_gpu)
+
+    if n_gpus == 1:
+        return StepTiming(1, batch_per_gpu, compute_time, ideal, 0.0, 0, 0,
+                          items, ideal)
+
+    net = network or Network(topology, get_backend(config.backend))
+    engine = CommunicationEngine(config)
+    layers = [
+        LayerInfo(t.name, t.numel, t.shape, t.kind)
+        for t in spec.backward_order()
+    ]
+    packages = engine.plan(layers, mode=plan_mode)
+    if plan_mode == "cgx":
+        packages = _group_for_transmission(packages, config.fusion_bytes)
+    if compute_jitter is None:
+        compute_jitter = [0.0] * n_gpus
+    if len(compute_jitter) != n_gpus:
+        raise ValueError("compute_jitter must give one factor per rank")
+    rank_scale = [1.0 + j for j in compute_jitter]
+    ready = _gradient_ready_times(spec, compute_time)
+    slowest_compute = compute_time * max(rank_scale)
+
+    # Per-rank emission times (stragglers emit later); without overlap
+    # (GRACE) every package waits for the whole backward pass.
+    def package_ready(package) -> list[float]:
+        if not config.overlap:
+            base = compute_time
+        else:
+            base = max(ready[layer.name] for layer in package.layers)
+        return [base * scale for scale in rank_scale]
+
+    last_end = 0.0
+    wire_total = 0
+    kernel_total = 0
+    for package in sorted(packages, key=lambda p: max(package_ready(p))):
+        pkg_spec = package.spec
+        pkg_ready = package_ready(package)
+        if pkg_spec.method == "powersgd":
+            end, wire, kernels = _schedule_powersgd(
+                net, ranks, package, max(pkg_ready), config
+            )
+        else:
+            timing = time_allreduce(
+                net, ranks, package.numel, pkg_spec,
+                scheme=config.scheme, ready=pkg_ready,
+                chunk_streams=config.chunk_streams,
+                kernel_factor=kernel_factor,
+            )
+            end, wire, kernels = timing.end, timing.wire_bytes, \
+                timing.kernel_calls
+        last_end = max(last_end, end)
+        wire_total += wire
+        kernel_total += kernels
+
+    compute_time = slowest_compute  # the step waits for the straggler
+    optimizer = _optimizer_time(spec)
+    if config.cross_barrier:
+        # Cross-barrier scheduling (BytePS-style): the communication tail
+        # of step k may hide under step k+1's forward pass, so the
+        # steady-state step time is the max of the two pipelines.  Note
+        # the paper's Technical Issue 3: gradient clipping needs the full
+        # synchronized gradient before the update, which is why the
+        # Transformer recipes cannot use this mode.
+        step_time = max(compute_time + optimizer, last_end)
+    else:
+        step_time = max(compute_time, last_end) + optimizer
+    comm_tail = max(0.0, last_end - compute_time)
+    return StepTiming(n_gpus, batch_per_gpu, compute_time, step_time,
+                      comm_tail, wire_total, kernel_total, items, ideal)
+
+
+def _group_for_transmission(packages, fusion_bytes: int):
+    """Fuse consecutive same-spec compressed packages into one collective.
+
+    CGX compresses *per layer* (each layer keeps its own buckets and
+    spec) but groups the transmissions of consecutive small layers so a
+    many-layer CNN does not pay one collective's latency per 100 KB
+    tensor (Section 4, "Improved Scheduling": filtering and grouping
+    remove extra kernel calls "without notable increase of communication
+    costs").  Packages above the fusion threshold travel alone.
+    """
+    from repro.core.engine import Package
+
+    grouped: list = []
+    pending: list = []
+    pending_bytes = 0
+
+    def flush():
+        nonlocal pending, pending_bytes
+        if not pending:
+            return
+        if len(pending) == 1:
+            grouped.append(pending[0])
+        else:
+            layers = tuple(l for pkg in pending for l in pkg.layers)
+            grouped.append(
+                Package(f"group[{pending[0].name}..{pending[-1].name}]",
+                        layers, pending[0].spec)
+            )
+        pending, pending_bytes = [], 0
+
+    for package in packages:
+        dense = package.numel * 4
+        if (pending and (package.spec != pending[0].spec
+                         or pending_bytes + dense > fusion_bytes)):
+            flush()
+        # PowerSGD factors are per-matrix; those packages never group
+        if dense > fusion_bytes or package.spec.method == "powersgd":
+            flush()
+            grouped.append(package)
+            continue
+        pending.append(package)
+        pending_bytes += dense
+    flush()
+    return grouped
+
+
+def _schedule_powersgd(net: Network, ranks: list[int], package,
+                       pkg_ready: float, config: CGXConfig
+                       ) -> tuple[float, int, int]:
+    """PowerSGD path: power-iteration kernels + dense allreduce of P, Q.
+
+    The factors are associative, so they ride a *dense* collective; the
+    cost lives in the per-step matmuls (Technical Issue 1) and in the
+    rank-r factor sizes.
+    """
+    layer = package.layers[0]
+    rows = layer.shape[0] if len(layer.shape) >= 2 else 1
+    cols = layer.numel // rows if rows > 1 else layer.numel
+    if rows == 1 or cols == 1:
+        timing = time_allreduce(net, ranks, layer.numel,
+                                CompressionSpec("none"),
+                                scheme=config.scheme, ready=pkg_ready)
+        return timing.end, timing.wire_bytes, timing.kernel_calls
+    rank_r = min(package.spec.rank, rows, cols)
+    # two *dependent* collectives per matrix: allreduce P, orthonormalize,
+    # compute Q = M^T P, allreduce Q (the PyTorch hook structure).
+    mq_flops = 2.0 * rows * cols * rank_r
+    kernel_p = kernel_seconds(layer.numel * 4, extra_flops=mq_flops)
+    starts = [net.run_kernel(g, "compress0", kernel_p, pkg_ready)
+              for g in ranks]
+    p_timing = time_allreduce(net, ranks, rows * rank_r,
+                              CompressionSpec("none"),
+                              scheme=config.scheme, ready=starts)
+    ortho_flops = 2.0 * rows * rank_r * rank_r + 2.0 * rows * cols * rank_r
+    kernel_q = kernel_seconds(layer.numel * 4, extra_flops=ortho_flops)
+    mid = [net.run_kernel(g, "compress0", kernel_q, t)
+           for g, t in zip(ranks, p_timing.end_times)]
+    q_timing = time_allreduce(net, ranks, cols * rank_r,
+                              CompressionSpec("none"),
+                              scheme=config.scheme, ready=mid)
+    wire = p_timing.wire_bytes + q_timing.wire_bytes
+    kernels = p_timing.kernel_calls + q_timing.kernel_calls + 2 * len(ranks)
+    return q_timing.end, wire, kernels
+
+
+def simulate_machine_step(
+    machine: Machine,
+    spec: ModelSpec,
+    config: CGXConfig,
+    n_gpus: int | None = None,
+    plan_mode: str = "cgx",
+    batch_per_gpu: int | None = None,
+    kernel_factor: float | None = None,
+) -> StepTiming:
+    """Convenience wrapper: simulate a step on a catalog machine."""
+    n = n_gpus or machine.n_gpus
+    topology = machine.topology(n)
+    if kernel_factor is None:
+        kernel_factor = (QNCCL_KERNEL_OVERHEAD_FACTOR
+                         if plan_mode == "fused"
+                         and config.compression.method != "none" else 1.0)
+    return simulate_step(spec, machine.gpu, topology, config,
+                         plan_mode=plan_mode, batch_per_gpu=batch_per_gpu,
+                         kernel_factor=kernel_factor)

@@ -1,0 +1,81 @@
+"""Training recipes: the paper's hyperparameters, scaled down.
+
+The paper's central "hyperparameter freedom" claim (Goal 2) is that CGX
+recovers accuracy under the *standard uncompressed* recipes.  Our
+reproduction therefore defines one recipe per family — optimizer, LR,
+clipping, per-worker batch, CGX bucket size (1024 for CNNs, 128 for
+Transformers, per Section 6.1), step budget — and every Table 3 run,
+baseline and compressed, uses the same recipe verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Recipe", "RECIPES", "get_recipe"]
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """Hyperparameters for one accuracy experiment."""
+
+    family: str
+    optimizer: str = "sgd"          # sgd | adam
+    lr: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    grad_clip: float = 0.0          # 0 = no clipping
+    batch_size: int = 32            # per-worker batch
+    steps: int = 150
+    bucket_size: int = 128          # CGX quantization bucket
+    model_kwargs: tuple = ()        # scaled-down model size overrides
+
+    def kwargs(self) -> dict:
+        return dict(self.model_kwargs)
+
+
+RECIPES: dict[str, Recipe] = {
+    "mlp": Recipe("mlp", lr=0.1, batch_size=32, steps=120,
+                  bucket_size=1024),
+    "resnet50": Recipe(
+        "resnet50", lr=0.05, weight_decay=1e-4, batch_size=32, steps=150,
+        bucket_size=1024,
+        model_kwargs=(("channels", 16), ("num_blocks", 2),
+                      ("num_classes", 10), ("image_size", 16)),
+    ),
+    "vgg16": Recipe(
+        "vgg16", lr=0.02, batch_size=32, steps=150, bucket_size=1024,
+        model_kwargs=(("channels", (8, 16)), ("num_classes", 10),
+                      ("image_size", 16)),
+    ),
+    "vit": Recipe(
+        "vit", optimizer="adam", lr=1e-3, batch_size=32, steps=200,
+        bucket_size=128,
+        model_kwargs=(("image_size", 16), ("patch_size", 4), ("dim", 32),
+                      ("depth", 2), ("num_heads", 4), ("num_classes", 10)),
+    ),
+    "transformer_xl": Recipe(
+        "transformer_xl", optimizer="adam", lr=2e-3, grad_clip=1.0,
+        batch_size=32, steps=250, bucket_size=128,
+        model_kwargs=(("vocab_size", 64), ("max_len", 32), ("dim", 32),
+                      ("depth", 2), ("num_heads", 4)),
+    ),
+    "gpt2": Recipe(
+        "gpt2", optimizer="adam", lr=2e-3, grad_clip=1.0,
+        batch_size=24, steps=250, bucket_size=128,
+        model_kwargs=(("vocab_size", 64), ("max_len", 32), ("dim", 32),
+                      ("depth", 2), ("num_heads", 4)),
+    ),
+    "bert": Recipe(
+        "bert", optimizer="adam", lr=1e-3, batch_size=16, steps=250,
+        bucket_size=128,
+        model_kwargs=(("vocab_size", 64), ("max_len", 32), ("dim", 32),
+                      ("depth", 2), ("num_heads", 4)),
+    ),
+}
+
+
+def get_recipe(family: str) -> Recipe:
+    if family not in RECIPES:
+        raise KeyError(f"no recipe for {family!r}; choose from {sorted(RECIPES)}")
+    return RECIPES[family]

@@ -1,0 +1,190 @@
+"""Tests for adaptive layer-wise compression (Algorithm 1 and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionSpec, make_compressor
+from repro.core import (
+    ASSIGNERS,
+    AdaptiveController,
+    CGXConfig,
+    LayerStat,
+    assignment_error,
+    assignment_wire_fraction,
+    bayes_assign,
+    estimate_relative_error,
+    kmeans_assign,
+    linear_assign,
+    uniform_error,
+)
+
+
+def txl_like_stats():
+    """Layer statistics shaped like Transformer-XL: one huge insensitive
+    embedding, a blob of medium matrices, a few small sensitive layers."""
+    rng = np.random.default_rng(0)
+    stats = [LayerStat("embed", 137_000_000,
+                       0.25 * float(np.sqrt(0.01 * 137e6)))]
+    for i in range(32):
+        n = 786_432
+        stats.append(LayerStat(f"mat{i}", n, float(np.sqrt(0.01 * n))
+                               * (1.0 + 0.05 * rng.random())))
+    for i in range(8):
+        stats.append(LayerStat(f"small{i}", 2048,
+                               2.0 * float(np.sqrt(0.01 * 2048))))
+    return stats
+
+
+# -- error model ------------------------------------------------------------------
+
+def test_error_model_constant_matches_measured_qsgd():
+    """The analytic rel_err(b) = C/(2^(b-1)-1) must track the actual
+    operator within ~15% — the adaptive solvers rely on it."""
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=65_536).astype(np.float32)
+    for bits in [3, 4, 6, 8]:
+        comp = make_compressor(
+            CompressionSpec("qsgd", bits=bits, bucket_size=128))
+        restored = comp.roundtrip(x, np.random.default_rng(0))
+        measured = float(np.linalg.norm(x - restored) / np.linalg.norm(x))
+        predicted = estimate_relative_error(bits)
+        assert measured == pytest.approx(predicted, rel=0.15), bits
+
+
+def test_estimate_relative_error_monotone():
+    errs = [estimate_relative_error(b) for b in range(2, 9)]
+    assert errs == sorted(errs, reverse=True)
+    with pytest.raises(ValueError):
+        estimate_relative_error(1)
+
+
+def test_uniform_error_definition():
+    stats = txl_like_stats()
+    bits = {s.name: 4 for s in stats}
+    assert uniform_error(stats, 4) == pytest.approx(
+        assignment_error(stats, bits))
+
+
+# -- assignment algorithms -----------------------------------------------------------
+
+@pytest.mark.parametrize("assigner", list(ASSIGNERS.values()),
+                         ids=list(ASSIGNERS))
+def test_assignments_respect_error_budget(assigner):
+    stats = txl_like_stats()
+    for alpha in [1.5, 2.0, 3.0]:
+        bits = assigner(stats, alpha=alpha)
+        assert set(bits) == {s.name for s in stats}
+        assert assignment_error(stats, bits) <= alpha * uniform_error(stats, 4) \
+            * (1 + 1e-9)
+
+
+@pytest.mark.parametrize("assigner", list(ASSIGNERS.values()),
+                         ids=list(ASSIGNERS))
+def test_assignments_never_worse_than_static(assigner):
+    stats = txl_like_stats()
+    bits = assigner(stats, alpha=2.0)
+    assert assignment_wire_fraction(stats, bits) <= 1.0 + 1e-9
+
+
+def test_kmeans_compresses_the_embedding_hardest():
+    """Algorithm 1's headline behaviour: large low-sensitivity layers
+    (embeddings) get the lowest bit-widths."""
+    stats = txl_like_stats()
+    bits = kmeans_assign(stats, alpha=3.0)
+    assert bits["embed"] <= min(bits[f"mat{i}"] for i in range(32))
+    assert bits["embed"] <= 3
+
+
+def test_kmeans_saves_bandwidth():
+    stats = txl_like_stats()
+    frac = assignment_wire_fraction(stats, kmeans_assign(stats, alpha=3.0))
+    assert frac < 0.8  # paper Table 7: 0.68 for TXL
+
+
+def test_kmeans_beats_linear_on_compression():
+    """Table 7 ordering: kmeans >= bayes > linear in achieved savings."""
+    stats = txl_like_stats()
+    k = assignment_wire_fraction(stats, kmeans_assign(stats, alpha=2.5))
+    l = assignment_wire_fraction(stats, linear_assign(stats, alpha=2.5))
+    assert k <= l + 1e-9
+
+
+def test_bayes_deterministic_given_seed():
+    stats = txl_like_stats()
+    a = bayes_assign(stats, alpha=2.0, seed=3)
+    b = bayes_assign(stats, alpha=2.0, seed=3)
+    assert a == b
+
+
+def test_empty_stats():
+    for assigner in ASSIGNERS.values():
+        assert assigner([], alpha=2.0) == {}
+
+
+def test_assignments_use_allowed_bitwidths_only():
+    stats = txl_like_stats()
+    ladder = (3, 5, 8)
+    for assigner in ASSIGNERS.values():
+        bits = assigner(stats, bitwidths=ladder, alpha=2.0)
+        assert set(bits.values()) <= set(ladder)
+
+
+def test_small_sensitive_layers_get_high_bits_under_kmeans():
+    stats = txl_like_stats()
+    bits = kmeans_assign(stats, alpha=3.0)
+    small_bits = [bits[f"small{i}"] for i in range(8)]
+    assert min(small_bits) >= bits["embed"]
+
+
+# -- controller -----------------------------------------------------------------
+
+def fake_grads(rng):
+    return {
+        "embed.weight": rng.normal(scale=0.01,
+                                   size=(2000, 16)).astype(np.float32),
+        "fc.weight": rng.normal(size=(64, 64)).astype(np.float32),
+        "fc.bias": rng.normal(size=64).astype(np.float32),
+    }
+
+
+def test_controller_reassigns_on_period():
+    config = CGXConfig.cgx_default()
+    controller = AdaptiveController(config, method="kmeans", period=3)
+    rng = np.random.default_rng(0)
+    assert not controller.observe(fake_grads(rng))
+    assert not controller.observe(fake_grads(rng))
+    assert controller.observe(fake_grads(rng))  # period hit
+    assert controller.reassign_count == 1
+    assert "embed.weight" in config.per_layer
+    spec = config.per_layer["embed.weight"]
+    assert spec.method == "qsgd"
+
+
+def test_controller_skips_filtered_layers():
+    config = CGXConfig.cgx_default()
+    controller = AdaptiveController(config, period=1)
+    rng = np.random.default_rng(1)
+    controller.observe(fake_grads(rng))
+    assert "fc.bias" not in controller.assignments
+    assert "fc.bias" not in config.per_layer
+
+
+def test_controller_clears_accumulators_after_reassign():
+    config = CGXConfig.cgx_default()
+    controller = AdaptiveController(config, period=1)
+    controller.observe(fake_grads(np.random.default_rng(2)))
+    assert not controller._accumulated
+
+
+def test_controller_unknown_method():
+    with pytest.raises(KeyError):
+        AdaptiveController(CGXConfig.cgx_default(), method="simulated-annealing")
+
+
+def test_controller_bucket_sizes_follow_bits():
+    config = CGXConfig.cgx_default()
+    controller = AdaptiveController(config, period=1, method="kmeans")
+    controller.observe(fake_grads(np.random.default_rng(3)))
+    for name, bits in controller.assignments.items():
+        spec = config.per_layer[name]
+        assert spec.bits == bits

@@ -1,0 +1,35 @@
+"""Tests for mixed-precision emulation."""
+
+import numpy as np
+
+from repro.nn.amp import AmpLevel, apply_grad_precision, fp16_roundtrip
+
+
+def test_fp16_roundtrip_loses_precision():
+    x = np.array([1.0 + 1e-6], dtype=np.float32)
+    out = fp16_roundtrip(x)
+    assert out.dtype == np.float32
+    assert out[0] != x[0]
+    assert abs(out[0] - x[0]) < 1e-3
+
+
+def test_fp16_roundtrip_preserves_representable():
+    x = np.array([0.5, 1.0, 2.0, -4.0], dtype=np.float32)
+    np.testing.assert_array_equal(fp16_roundtrip(x), x)
+
+
+def test_fp16_overflow_to_inf():
+    x = np.array([1e6], dtype=np.float32)  # above fp16 max (~65504)
+    assert np.isinf(fp16_roundtrip(x)[0])
+
+
+def test_grad_precision_levels():
+    rng = np.random.default_rng(0)
+    grad = rng.normal(size=100).astype(np.float32) * (1 + 1e-6)
+    np.testing.assert_array_equal(
+        apply_grad_precision(grad, AmpLevel.O0), grad)
+    np.testing.assert_array_equal(
+        apply_grad_precision(grad, AmpLevel.O1), grad)
+    o2 = apply_grad_precision(grad, AmpLevel.O2)
+    assert not np.array_equal(o2, grad)
+    np.testing.assert_allclose(o2, grad, rtol=1e-3)

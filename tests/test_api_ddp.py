@@ -1,0 +1,164 @@
+"""Tests for the public CGX session API and the DDP wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionSpec
+from repro.core import CGXConfig, CGXDistributedDataParallel, CGXSession
+from repro.nn import SGD, build_model
+from repro.nn.data import SyntheticVectors
+from repro.nn.loss import softmax_cross_entropy
+
+
+# -- session API (Listing 1) -----------------------------------------------------
+
+def model_layout():
+    model = build_model("vit", seed=0)
+    return [(name, p.numel) for name, p in model.named_parameters()]
+
+
+def test_listing1_flow():
+    session = CGXSession()
+    session.register_model(model_layout())
+    session.exclude_layer("ln")
+    session.exclude_layer("bias")
+    session.set_quantization_bits(4, bucket_size=128)
+    plan = session.plan()
+    assert any(p.name == "filtered" for p in plan)
+    compressed = [p for p in plan if p.spec.method == "qsgd"]
+    assert compressed and all(p.spec.bits == 4 for p in compressed)
+
+
+def test_register_model_required():
+    session = CGXSession()
+    with pytest.raises(RuntimeError):
+        session.plan()
+
+
+def test_register_model_rejects_empty():
+    with pytest.raises(ValueError):
+        CGXSession().register_model([])
+
+
+def test_exclude_layer_appends_keyword():
+    session = CGXSession()
+    before = len(session.config.filtered_keywords)
+    session.exclude_layer("embed")
+    assert len(session.config.filtered_keywords) == before + 1
+    with pytest.raises(ValueError):
+        session.exclude_layer("")
+
+
+def test_set_layer_compression_override():
+    session = CGXSession()
+    session.register_model(model_layout())
+    session.set_layer_compression(
+        "blocks.0.attn.qkv.weight", CompressionSpec("topk", density=0.01))
+    plan = session.plan()
+    pkg = next(p for p in plan if p.name == "blocks.0.attn.qkv.weight")
+    assert pkg.spec.method == "topk"
+
+
+def test_set_layer_bits():
+    session = CGXSession()
+    session.register_model(model_layout())
+    session.set_layer_bits("head.weight", 2, bucket_size=64)
+    spec = session.config.per_layer["head.weight"]
+    assert spec.bits == 2 and spec.bucket_size == 64
+
+
+def test_set_quantization_bits_from_non_qsgd_config():
+    session = CGXSession(CGXConfig(compression=CompressionSpec("none")))
+    session.set_quantization_bits(8)
+    assert session.config.compression.method == "qsgd"
+    assert session.config.compression.bits == 8
+
+
+# -- DDP wrapper ---------------------------------------------------------------
+
+def make_ddp(world=4, config=None, seed=5):
+    replicas = [build_model("mlp", seed=seed) for _ in range(world)]
+    return replicas, CGXDistributedDataParallel(
+        replicas, config or CGXConfig.cgx_default(), seed=seed)
+
+
+def run_steps(replicas, ddp, steps=10, lr=0.05):
+    data = SyntheticVectors(seed=0)
+    opts = [SGD(r.parameters(), lr=lr, momentum=0.9) for r in replicas]
+    rng = np.random.default_rng(1)
+    for _ in range(steps):
+        for r in replicas:
+            r.zero_grad()
+            x, y = data.sample(16, rng)
+            _, grad = softmax_cross_entropy(r(x), y)
+            r.backward(grad)
+        ddp.synchronize()
+        for o in opts:
+            o.step()
+
+
+@pytest.mark.parametrize("scheme", ["sra", "ring", "tree", "allgather"])
+def test_replicas_stay_bit_identical(scheme):
+    config = CGXConfig.cgx_default()
+    config.scheme = scheme
+    replicas, ddp = make_ddp(config=config)
+    run_steps(replicas, ddp, steps=5)
+    assert ddp.check_in_sync()
+
+
+def test_replicas_stay_identical_with_topk_error_feedback():
+    config = CGXConfig.cgx_default()
+    config.compression = CompressionSpec("topk", density=0.1,
+                                         error_feedback=True)
+    replicas, ddp = make_ddp(config=config)
+    run_steps(replicas, ddp, steps=5)
+    assert ddp.check_in_sync()
+
+
+def test_missing_gradients_treated_as_zero():
+    replicas, ddp = make_ddp(world=2)
+    # only worker 0 runs backward; worker 1 contributes zeros
+    data = SyntheticVectors(seed=0)
+    x, y = data.sample(8, np.random.default_rng(0))
+    replicas[0].zero_grad()
+    _, grad = softmax_cross_entropy(replicas[0](x), y)
+    replicas[0].backward(grad)
+    replicas[1].zero_grad()
+    ddp.synchronize()
+    g0 = dict(replicas[0].named_parameters())["0.weight"].grad
+    g1 = dict(replicas[1].named_parameters())["0.weight"].grad
+    np.testing.assert_array_equal(g0, g1)
+    assert np.any(g0 != 0)
+
+
+def test_mismatched_replicas_rejected():
+    a = build_model("mlp", seed=0)
+    b = build_model("vit", seed=0)
+    with pytest.raises(ValueError):
+        CGXDistributedDataParallel([a, b])
+
+
+def test_empty_replica_list_rejected():
+    with pytest.raises(ValueError):
+        CGXDistributedDataParallel([])
+
+
+def test_synchronize_reports_stats():
+    replicas, ddp = make_ddp()
+    data = SyntheticVectors(seed=0)
+    for r in replicas:
+        r.zero_grad()
+        x, y = data.sample(8, np.random.default_rng(0))
+        _, grad = softmax_cross_entropy(r(x), y)
+        r.backward(grad)
+    report = ddp.synchronize()
+    assert report.packages > 0
+    assert report.wire_bytes > 0
+    assert ddp.last_report is report
+
+
+def test_check_in_sync_detects_divergence():
+    replicas, ddp = make_ddp(world=2)
+    assert ddp.check_in_sync()
+    dict(replicas[1].named_parameters())["0.weight"].data += 1.0
+    assert not ddp.check_in_sync()

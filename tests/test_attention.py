@@ -1,0 +1,112 @@
+"""Tests for multi-head self-attention and transformer blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MultiHeadSelfAttention, TransformerBlock
+
+
+def test_attention_output_shape():
+    attn = MultiHeadSelfAttention(16, 4, rng=np.random.default_rng(0))
+    x = np.random.default_rng(1).normal(size=(2, 5, 16)).astype(np.float32)
+    assert attn(x).shape == (2, 5, 16)
+
+
+def test_attention_rejects_bad_head_count():
+    with pytest.raises(ValueError):
+        MultiHeadSelfAttention(10, 3)
+
+
+def test_causal_mask_blocks_future_tokens():
+    """With a causal mask, output at position t must not depend on t+1..T."""
+    rng = np.random.default_rng(2)
+    attn = MultiHeadSelfAttention(8, 2, causal=True, rng=rng)
+    x = rng.normal(size=(1, 6, 8)).astype(np.float32)
+    base = attn(x).copy()
+    perturbed = x.copy()
+    perturbed[0, 5] += 10.0  # change the last token only
+    out = attn(perturbed)
+    np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-5)
+    assert not np.allclose(out[0, 5], base[0, 5], atol=1e-3)
+
+
+def test_non_causal_attention_sees_everything():
+    rng = np.random.default_rng(3)
+    attn = MultiHeadSelfAttention(8, 2, causal=False, rng=rng)
+    x = rng.normal(size=(1, 4, 8)).astype(np.float32)
+    base = attn(x).copy()
+    perturbed = x.copy()
+    perturbed[0, 3] += 10.0
+    out = attn(perturbed)
+    assert not np.allclose(out[0, 0], base[0, 0], atol=1e-4)
+
+
+def _numeric_param_grad(module, param_name, idx, x, upstream, eps=1e-3):
+    param = dict(module.named_parameters())[param_name]
+    orig = param.data[idx]
+    param.data[idx] = orig + eps
+    hi = float(np.sum(module(x) * upstream))
+    param.data[idx] = orig - eps
+    lo = float(np.sum(module(x) * upstream))
+    param.data[idx] = orig
+    return (hi - lo) / (2 * eps)
+
+
+@pytest.mark.parametrize("param_name,idx", [
+    ("qkv.weight", (3, 2)),
+    ("qkv.bias", (10,)),
+    ("proj.weight", (1, 1)),
+])
+def test_attention_parameter_gradients(param_name, idx):
+    rng = np.random.default_rng(4)
+    attn = MultiHeadSelfAttention(8, 2, rng=rng)
+    x = rng.normal(size=(2, 4, 8)).astype(np.float32)
+    upstream = rng.normal(size=(2, 4, 8)).astype(np.float32)
+    attn.zero_grad()
+    attn(x)
+    attn.backward(upstream)
+    analytic = dict(attn.named_parameters())[param_name].grad[idx]
+    numeric = _numeric_param_grad(attn, param_name, idx, x, upstream)
+    assert analytic == pytest.approx(numeric, rel=5e-2, abs=1e-3)
+
+
+def test_attention_input_gradient():
+    rng = np.random.default_rng(5)
+    attn = MultiHeadSelfAttention(8, 2, causal=True, rng=rng)
+    x = rng.normal(size=(1, 3, 8)).astype(np.float32)
+    upstream = rng.normal(size=(1, 3, 8)).astype(np.float32)
+    attn(x)
+    grad = attn.backward(upstream)
+    eps = 1e-3
+    for idx in [(0, 0, 0), (0, 1, 4), (0, 2, 7)]:
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = float(np.sum(attn(x) * upstream))
+        x[idx] = orig - eps
+        lo = float(np.sum(attn(x) * upstream))
+        x[idx] = orig
+        numeric = (hi - lo) / (2 * eps)
+        assert grad[idx] == pytest.approx(numeric, rel=5e-2, abs=2e-3)
+
+
+def test_transformer_block_gradients():
+    rng = np.random.default_rng(6)
+    block = TransformerBlock(8, 2, rng=rng)
+    x = rng.normal(size=(2, 3, 8)).astype(np.float32)
+    upstream = rng.normal(size=(2, 3, 8)).astype(np.float32)
+    block.zero_grad()
+    block(x)
+    block.backward(upstream)
+    for param_name, idx in [("fc1.weight", (5, 3)), ("ln1.weight", (2,)),
+                            ("attn.qkv.weight", (0, 0))]:
+        analytic = dict(block.named_parameters())[param_name].grad[idx]
+        numeric = _numeric_param_grad(block, param_name, idx, x, upstream)
+        assert analytic == pytest.approx(numeric, rel=5e-2, abs=1e-3)
+
+
+def test_transformer_block_parameter_names_match_filters():
+    """Norm and bias tensors must be discoverable by CGX's name filters."""
+    block = TransformerBlock(8, 2, rng=np.random.default_rng(7))
+    names = [n for n, _ in block.named_parameters()]
+    assert any("ln1" in n for n in names)
+    assert any(n.endswith(".bias") for n in names)

@@ -1,0 +1,127 @@
+"""Tests for the GRACE and PowerSGD-DDP baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GRACE_NO_BUCKETING, PowerSGDReducer, grace_config
+from repro.compression import CompressionSpec, make_compressor
+
+
+# -- GRACE -------------------------------------------------------------------
+
+def test_grace_config_characteristics():
+    config = grace_config()
+    assert config.scheme == "allgather"
+    assert config.compression.bucket_size == GRACE_NO_BUCKETING
+    assert config.compression.wire_dtype_bits == 8
+    assert config.filtered_keywords == ()
+
+
+def test_grace_wire_is_int8_even_at_4_bits():
+    spec = grace_config(bits=4).compression
+    cgx = CompressionSpec("qsgd", bits=4, bucket_size=128)
+    n = 1 << 20
+    assert spec.wire_bytes(n) > 1.8 * cgx.wire_bytes(n)
+
+
+def test_grace_unbucketed_error_worse_than_cgx():
+    """No bucketing = one scale for the whole tensor = higher error,
+    especially on heavy-tailed gradients."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_t(df=3, size=65_536).astype(np.float32)  # heavy tails
+    grace = make_compressor(grace_config(bits=4).compression)
+    cgx = make_compressor(CompressionSpec("qsgd", bits=4, bucket_size=128))
+    err_grace = np.linalg.norm(grace.roundtrip(x, np.random.default_rng(1)) - x)
+    err_cgx = np.linalg.norm(cgx.roundtrip(x, np.random.default_rng(1)) - x)
+    assert err_grace > 1.5 * err_cgx
+
+
+# -- PowerSGD reducer -------------------------------------------------------------
+
+def worker_grads(world=4, seed=0):
+    out = []
+    for w in range(world):
+        rng = np.random.default_rng(seed + w)
+        out.append({
+            "fc.weight": rng.normal(size=(32, 16)).astype(np.float32),
+            "fc.bias": rng.normal(size=32).astype(np.float32),
+        })
+    return out
+
+
+def test_powersgd_outputs_identical_across_workers():
+    reducer = PowerSGDReducer(rank=4)
+    outs = reducer.reduce(worker_grads())
+    for w in range(1, 4):
+        for name in outs[0]:
+            np.testing.assert_array_equal(outs[0][name], outs[w][name])
+
+
+def test_powersgd_bias_reduced_densely_and_exactly():
+    grads = worker_grads()
+    outs = PowerSGDReducer(rank=4).reduce(grads)
+    expected = np.mean([g["fc.bias"] for g in grads], axis=0)
+    np.testing.assert_allclose(outs[0]["fc.bias"], expected, rtol=1e-5)
+
+
+def test_powersgd_matrix_result_is_low_rank():
+    grads = worker_grads()
+    outs = PowerSGDReducer(rank=2).reduce(grads)
+    singular_values = np.linalg.svd(outs[0]["fc.weight"],
+                                    compute_uv=False)
+    assert np.sum(singular_values > 1e-4) <= 2
+
+
+def test_powersgd_error_feedback_mean_converges():
+    """On a constant full-rank gradient, a rank-2 transmission cannot be
+    exact per step, but error feedback guarantees the *cumulative mean*
+    of the transmitted updates converges to the true gradient."""
+    rng = np.random.default_rng(1)
+    target = rng.normal(size=(32, 16)).astype(np.float32)
+    reducer = PowerSGDReducer(rank=2)
+    steps = 60
+    total = np.zeros_like(target)
+    errors = []
+    for step in range(1, steps + 1):
+        out = reducer.reduce([{"w": target.copy()} for _ in range(2)])[0]["w"]
+        total += out
+        errors.append(float(np.linalg.norm(total / step - target)))
+    assert errors[-1] < 0.25 * errors[0]
+    assert errors[-1] < 0.2 * np.linalg.norm(target)
+
+
+def test_powersgd_rejects_fp16():
+    reducer = PowerSGDReducer(rank=2)
+    grads = [{"w": np.ones((8, 8), dtype=np.float16)}]
+    with pytest.raises(TypeError):
+        reducer.reduce(grads)
+    PowerSGDReducer(rank=2, allow_fp16=True).reduce(
+        [{"w": np.ones((8, 8), dtype=np.float16)}])
+
+
+def test_powersgd_wire_accounting():
+    reducer = PowerSGDReducer(rank=4)
+    reducer.reduce(worker_grads())
+    # fc.weight factors (32+16)*4*4 bytes + dense bias 32*4
+    assert reducer.wire_bytes_last == (32 + 16) * 4 * 4 + 32 * 4
+
+
+def test_powersgd_sum_mode():
+    grads = worker_grads(world=3)
+    avg = PowerSGDReducer(rank=4, seed=1).reduce(grads, average=True)
+    total = PowerSGDReducer(rank=4, seed=1).reduce(grads, average=False)
+    np.testing.assert_allclose(total[0]["fc.weight"],
+                               3.0 * avg[0]["fc.weight"], rtol=1e-5)
+
+
+def test_powersgd_invalid_rank():
+    with pytest.raises(ValueError):
+        PowerSGDReducer(rank=0)
+
+
+def test_powersgd_reset():
+    reducer = PowerSGDReducer(rank=2)
+    reducer.reduce(worker_grads())
+    assert reducer._q and reducer._errors
+    reducer.reset()
+    assert not reducer._q and not reducer._errors

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_simulate_outputs_throughput():
+    code, text = run_cli(["simulate", "--model", "resnet50",
+                          "--machine", "rtx3090-8x", "--method", "cgx"])
+    assert code == 0
+    assert "throughput" in text
+    assert "% of linear" in text
+    assert "25.6M params" in text
+
+
+def test_simulate_methods_differ():
+    _, cgx = run_cli(["simulate", "--model", "vit",
+                      "--machine", "rtx3090-8x", "--method", "cgx"])
+    _, nccl = run_cli(["simulate", "--model", "vit",
+                       "--machine", "rtx3090-8x", "--method", "nccl"])
+    assert cgx != nccl
+    assert "scheme=ring" in nccl and "scheme=sra" in cgx
+
+
+def test_simulate_gpu_count_and_scheme_override():
+    code, text = run_cli(["simulate", "--model", "bert",
+                          "--machine", "dgx1", "--method", "cgx",
+                          "--gpus", "4", "--scheme", "ring"])
+    assert code == 0
+    assert "x4" in text
+    assert "scheme=ring" in text
+
+
+def test_simulate_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        run_cli(["simulate", "--model", "resnet18",
+                 "--machine", "rtx3090-8x"])
+
+
+def test_train_runs_and_reports():
+    code, text = run_cli(["train", "--family", "mlp", "--world", "2",
+                          "--steps", "30"])
+    assert code == 0
+    assert "final top1" in text
+    assert "compression:" in text
+
+
+def test_train_baseline_flag():
+    code, text = run_cli(["train", "--family", "mlp", "--world", "2",
+                          "--steps", "20", "--baseline"])
+    assert code == 0
+    assert "baseline" in text
+    assert "compression: 1.0x" in text
+
+
+def test_train_unknown_family_is_graceful():
+    code, _ = run_cli(["train", "--family", "resnet18"])
+    assert code == 2
+
+
+def test_topology_describes_machine():
+    code, text = run_cli(["topology", "--machine", "rtx3090-8x"])
+    assert code == 0
+    assert "NUMA0" in text and "NUMA1" in text
+    assert "GPUDirect: False" in text
+
+
+def test_topology_price_shown_for_cloud():
+    _, text = run_cli(["topology", "--machine", "genesis-4x3090"])
+    assert "$6.8/hour" in text
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_experiment_list():
+    code, text = run_cli(["experiment", "--list"])
+    assert code == 0
+    assert "fig3" in text and "table7" in text
+    assert "bench_table7_adaptive.py" in text
+
+
+def test_experiment_default_lists():
+    code, text = run_cli(["experiment"])
+    assert code == 0
+    assert "available experiments" in text
+
+
+def test_experiment_unknown_name():
+    code, _ = run_cli(["experiment", "figure99"])
+    assert code == 2
+
+
+def test_experiment_registry_files_exist():
+    import os
+
+    from repro.cli import EXPERIMENTS
+
+    bench_dir = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+    for bench in EXPERIMENTS.values():
+        assert os.path.exists(os.path.join(bench_dir, bench)), bench
+
+
+def test_simulate_with_config_file(tmp_path):
+    from repro.core import CGXConfig
+    from repro.core.serialization import dump_config
+
+    config = CGXConfig.cgx_default()
+    config.scheme = "ring"
+    path = tmp_path / "cfg.json"
+    dump_config(config, str(path))
+    code, text = run_cli(["simulate", "--model", "vit",
+                          "--machine", "rtx3090-8x",
+                          "--config", str(path)])
+    assert code == 0
+    assert "scheme=ring" in text
+    assert str(path) in text

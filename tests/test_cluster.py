@@ -1,0 +1,302 @@
+"""Tests for the cluster simulator: GPUs, topologies, networks, machines."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BACKENDS,
+    GPUS,
+    Link,
+    Network,
+    Resource,
+    ResourcePool,
+    Topology,
+    get_backend,
+    get_gpu,
+    get_machine,
+    make_cluster,
+    nvlink_mesh,
+    pcie_dual_root,
+)
+from repro.models import build_spec
+
+
+# -- simclock -----------------------------------------------------------------
+
+def test_resource_serializes_tasks():
+    r = Resource("link")
+    s1, e1 = r.schedule(0.0, 1.0)
+    s2, e2 = r.schedule(0.0, 1.0)
+    assert (s1, e1) == (0.0, 1.0)
+    assert (s2, e2) == (1.0, 2.0)
+    assert r.busy_time == 2.0
+
+
+def test_resource_respects_ready_time():
+    r = Resource("x")
+    s, e = r.schedule(5.0, 1.0)
+    assert (s, e) == (5.0, 6.0)
+
+
+def test_resource_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        Resource("x").schedule(0.0, -1.0)
+
+
+def test_pool_schedule_path_waits_for_all():
+    pool = ResourcePool()
+    pool.get("a").schedule(0.0, 3.0)
+    start, end = pool.schedule_path(["a", "b"], 0.0, 1.0)
+    assert start == 3.0 and end == 4.0
+    assert pool.get("b").busy_until == 4.0
+
+
+def test_pool_reset_and_utilization():
+    pool = ResourcePool()
+    pool.get("a").schedule(0.0, 2.0)
+    assert pool.utilization(4.0)["a"] == pytest.approx(0.5)
+    pool.reset()
+    assert pool.get("a").busy_until == 0.0
+
+
+# -- GPUs ----------------------------------------------------------------------
+
+def test_gpu_catalog_matches_table1():
+    v100 = get_gpu("V100")
+    assert v100.gpu_direct and v100.memory_gb == 16
+    rtx = get_gpu("RTX3090")
+    assert not rtx.gpu_direct and rtx.memory_gb == 24
+    assert get_gpu("RTX2080Ti").memory_gb == 10
+    assert len(GPUS) == 4
+
+
+def test_single_gpu_throughput_reproduces_anchors():
+    """The calibration must reproduce Table 1's measured throughputs."""
+    for gpu_name, model, expected in [
+        ("V100", "resnet50", 1226.0),
+        ("RTX3090", "resnet50", 850.0),
+        ("V100", "transformer_xl", 37_000.0),
+        ("RTX3090", "transformer_xl", 39_000.0),
+        ("RTX2080Ti", "transformer_xl", 13_000.0),
+    ]:
+        gpu = get_gpu(gpu_name)
+        spec = build_spec(model)
+        batch = 32
+        step = gpu.step_compute_time(spec, batch)
+        items = batch * spec.items_per_sample
+        assert items / step == pytest.approx(expected, rel=1e-6)
+
+
+def test_memory_limits_batch():
+    spec = build_spec("transformer_xl")
+    assert get_gpu("RTX2080Ti").max_batch_per_gpu(spec) < \
+        get_gpu("RTX3090").max_batch_per_gpu(spec)
+
+
+def test_unknown_gpu_raises():
+    with pytest.raises(KeyError):
+        get_gpu("H100")
+
+
+# -- topologies ------------------------------------------------------------------
+
+def test_pcie_topology_routes_and_numa():
+    topo = pcie_dual_root(8)
+    assert topo.n_gpus == 8
+    assert topo.numa_of == [0, 0, 0, 0, 1, 1, 1, 1]
+    # same-NUMA route avoids QPI
+    same = [l.name for l in topo.path(0, 1)]
+    assert not any("qpi" in n for n in same)
+    cross = [l.name for l in topo.path(0, 7)]
+    assert any("qpi" in n for n in cross)
+    assert topo.staged_through_host
+
+
+def test_pcie_single_root():
+    topo = pcie_dual_root(4, roots=1)
+    assert topo.numa_of == [0, 0, 0, 0]
+    assert not any("qpi" in name for name in topo.links)
+
+
+def test_pcie_rejects_odd_dual_root():
+    with pytest.raises(ValueError):
+        pcie_dual_root(7)
+
+
+def test_nvlink_mesh_neighbors_direct():
+    topo = nvlink_mesh(8)
+    assert len(topo.path(0, 1)) == 1
+    assert len(topo.path(0, 4)) == 4  # opposite side of the ring
+    assert not topo.staged_through_host
+
+
+def test_nvlink_routes_shortest_way():
+    topo = nvlink_mesh(8)
+    assert len(topo.path(0, 7)) == 1  # wraps around
+
+
+def test_path_bandwidth_and_latency():
+    topo = pcie_dual_root(8, pcie_bandwidth=14e9, qpi_bandwidth=11e9)
+    assert topo.path_bandwidth(0, 7) == 11e9  # QPI bottleneck
+    assert topo.path_bandwidth(0, 1) == 14e9
+    assert topo.path_latency(0, 7) > topo.path_latency(0, 1)
+
+
+def test_no_route_raises():
+    topo = Topology("empty", 2, {}, {})
+    with pytest.raises(KeyError):
+        topo.path(0, 1)
+
+
+def test_self_route_is_empty():
+    topo = pcie_dual_root(4, roots=1)
+    assert topo.path(2, 2) == []
+    assert topo.path_bandwidth(2, 2) == float("inf")
+
+
+def test_describe_renders_numa_groups():
+    text = pcie_dual_root(8).describe()
+    assert "NUMA0" in text and "NUMA1" in text
+    assert "staged via host memory" in text
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        Link("bad", bandwidth=0, latency=0)
+    with pytest.raises(ValueError):
+        Link("bad", bandwidth=1e9, latency=-1)
+
+
+def test_multinode_cluster_structure():
+    cluster = make_cluster("genesis-4x3090", 4)
+    assert cluster.n_gpus == 16
+    assert cluster.node_of == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+    cross = [l.name for l in cluster.path(0, 12)]
+    assert any("eth" in n for n in cross)
+    intra = [l.name for l in cluster.path(0, 1)]
+    assert not any("eth" in n for n in intra)
+    assert cluster.gpus_on_node(2) == [8, 9, 10, 11]
+
+
+# -- network --------------------------------------------------------------------
+
+def test_transfer_time_scales_with_bytes():
+    net = get_machine("rtx3090-8x").network("shm")
+    t_small = net.transfer(0, 1, 1 << 20, 0.0)
+    net.reset()
+    t_large = net.transfer(0, 1, 1 << 26, 0.0)
+    assert t_large > t_small * 10
+
+
+def test_concurrent_transfers_contend_on_shared_links():
+    """Two flows through the same host-memory bridge serialize there."""
+    net = get_machine("rtx3090-8x").network("shm")
+    nbytes = 1 << 26
+    solo = net.transfer(0, 1, nbytes, 0.0)
+    net.reset()
+    net.transfer(0, 1, nbytes, 0.0)
+    contended = net.transfer(2, 3, nbytes, 0.0)  # same NUMA root
+    assert contended > solo * 1.15
+
+
+def test_disjoint_paths_do_not_contend():
+    net = get_machine("dgx1").network("nccl")
+    nbytes = 1 << 26
+    solo = net.transfer(0, 1, nbytes, 0.0)
+    net.reset()
+    net.transfer(0, 1, nbytes, 0.0)
+    other = net.transfer(4, 5, nbytes, 0.0)  # different nvlink pair
+    assert other == pytest.approx(solo, rel=1e-6)
+
+
+def test_commodity_vs_nvlink_bandwidth_gap():
+    """Reproduces Table 2's measured difference: ~14 GB/s bus vs
+    ~100 GB/s NVLink point-to-point."""
+    commodity = get_machine("rtx3090-8x").network("shm")
+    dgx = get_machine("dgx1").network("shm")
+    bw_commodity = commodity.measure_p2p_bandwidth(0, 1)
+    bw_dgx = dgx.measure_p2p_bandwidth(0, 1)
+    assert bw_dgx > 5 * bw_commodity
+    assert 4e9 < bw_commodity < 20e9
+    assert 50e9 < bw_dgx < 120e9
+
+
+def test_zero_gpu_transfer_is_noop():
+    net = get_machine("dgx1").network("shm")
+    assert net.transfer(3, 3, 1 << 20, 7.0) == 7.0
+
+
+def test_network_trace():
+    net = get_machine("dgx1").network("shm")
+    net.enable_trace()
+    net.transfer(0, 1, 1024, 0.0)
+    assert len(net.trace) == 1
+    assert net.trace[0].src == 0 and net.trace[0].nbytes == 1024
+
+
+def test_chrome_trace_export(tmp_path):
+    import json
+
+    from repro.cluster import export_chrome_trace
+
+    net = get_machine("dgx1").network("shm")
+    net.enable_trace()
+    net.transfer(0, 1, 1 << 20, 0.0)
+    net.transfer(1, 2, 1 << 20, 0.0)
+    path = tmp_path / "trace.json"
+    count = export_chrome_trace(net, str(path))
+    assert count == 2
+    data = json.loads(path.read_text())
+    events = data["traceEvents"]
+    assert len(events) == 2
+    assert events[0]["ph"] == "X"
+    assert events[0]["tid"] == 0 and events[1]["tid"] == 1
+    assert events[0]["dur"] > 0
+
+
+def test_run_kernel_serializes_per_engine():
+    net = get_machine("dgx1").network("shm")
+    e1 = net.run_kernel(0, "compress", 1e-3, 0.0)
+    e2 = net.run_kernel(0, "compress", 1e-3, 0.0)
+    e3 = net.run_kernel(1, "compress", 1e-3, 0.0)  # other GPU: parallel
+    assert e2 == pytest.approx(2e-3)
+    assert e3 == pytest.approx(1e-3)
+
+
+# -- backends / machines ----------------------------------------------------------
+
+def test_backend_catalog():
+    assert set(BACKENDS) == {"shm", "nccl", "mpi", "gloo"}
+    assert get_backend("shm").alpha < get_backend("nccl").alpha
+    assert get_backend("mpi").sync_per_op > 0
+    assert not get_backend("shm").multinode
+    # the paper: NCCL showed better performance than OpenMPI or Gloo
+    assert get_backend("gloo").copy_factor >= get_backend("nccl").copy_factor
+    assert get_backend("gloo").alpha > get_backend("nccl").alpha
+
+
+def test_backend_message_time_components():
+    shm = get_backend("shm")
+    t = shm.message_time(14e9, 14e9, 0.0)  # 1 second of bytes
+    assert t == pytest.approx(1.0 + shm.alpha)
+
+
+def test_machine_catalog_matches_table2():
+    m3090 = get_machine("rtx3090-8x")
+    assert m3090.n_gpus == 8 and m3090.interconnect == "pcie"
+    dgx = get_machine("dgx1")
+    assert dgx.interconnect == "nvlink" and dgx.gpu.name == "V100"
+    assert get_machine("genesis-4x3090").price_per_hour == 6.8
+
+
+def test_machine_subset_topologies():
+    m = get_machine("rtx3090-8x")
+    assert max(m.topology(4).numa_of) == 0   # 4 GPUs fit one root
+    assert max(m.topology(8).numa_of) == 1   # 8 span two roots
+    with pytest.raises(ValueError):
+        m.topology(16)
+
+
+def test_single_gpu_topology_degenerate():
+    topo = get_machine("dgx1").topology(1)
+    assert topo.n_gpus == 1 and not topo.links

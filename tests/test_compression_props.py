@@ -1,0 +1,141 @@
+"""Cross-compressor property tests and metrics tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import (
+    CompressionSpec,
+    make_compressor,
+    measure_error,
+    model_wire_bytes,
+    kernel_seconds,
+    relative_error,
+)
+
+ALL_SPECS = [
+    CompressionSpec("none"),
+    CompressionSpec("fp16"),
+    CompressionSpec("qsgd", bits=4, bucket_size=128),
+    CompressionSpec("qsgd", bits=8, bucket_size=64),
+    CompressionSpec("topk", density=0.2),
+    CompressionSpec("fake", ratio=4),
+]
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: f"{s.method}")
+def test_shape_preserved(spec):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(7, 11)).astype(np.float32)
+    comp = make_compressor(spec)
+    out = comp.roundtrip(x, rng)
+    assert out.shape == x.shape
+    assert out.dtype == np.float32
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: f"{s.method}")
+def test_wire_bytes_positive_and_bounded(spec):
+    n = 10_000
+    wire = spec.wire_bytes(n)
+    assert wire > 0
+    if spec.method != "none":
+        assert wire <= n * 4  # never exceeds dense fp32
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: f"{s.method}")
+def test_compressed_nbytes_matches_spec(spec):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=500).astype(np.float32)
+    compressed = make_compressor(spec).compress(x, rng)
+    assert compressed.nbytes == spec.wire_bytes(500)
+
+
+def test_identity_and_fp16_errors():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=1000).astype(np.float32)
+    assert relative_error(CompressionSpec("none"), x, rng) == 0.0
+    fp16_err = relative_error(CompressionSpec("fp16"), x, rng)
+    assert 0 < fp16_err < 1e-3
+
+
+def test_fake_compression_error_matches_truncation():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=1000).astype(np.float32)
+    stats = measure_error(CompressionSpec("fake", ratio=10), x, rng)
+    expected = float(np.linalg.norm(x[100:]))
+    assert stats.error_norm == pytest.approx(expected, rel=1e-5)
+
+
+def test_decompress_is_deterministic():
+    """Compression may be stochastic, but decompressing a fixed payload
+    must always give the same values (all ranks must agree)."""
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=300).astype(np.float32)
+    comp = make_compressor(CompressionSpec("qsgd", bits=4, bucket_size=64))
+    compressed = comp.compress(x, rng)
+    a = comp.decompress(compressed)
+    b = comp.decompress(compressed.copy())
+    np.testing.assert_array_equal(a, b)
+
+
+@given(n=st.integers(1, 3000))
+@settings(max_examples=50, deadline=None)
+def test_qsgd_wire_bytes_formula(n):
+    spec = CompressionSpec("qsgd", bits=4, bucket_size=128)
+    buckets = -(-n // 128)
+    expected = -(-(n * 4) // 8) + buckets * 4
+    assert spec.wire_bytes(n) == expected
+
+
+def test_grace_int8_wire_format():
+    packed = CompressionSpec("qsgd", bits=4, bucket_size=128)
+    int8 = CompressionSpec("qsgd", bits=4, bucket_size=128,
+                           wire_dtype_bits=8)
+    assert int8.wire_bytes(1024) > packed.wire_bytes(1024)
+    assert int8.wire_bytes(1024) == 1024 + 8 * 4
+
+
+def test_model_wire_bytes_uses_overrides():
+    sizes = {"a": 1000, "b": 1000}
+    specs = {"a": CompressionSpec("qsgd", bits=4, bucket_size=128)}
+    total = model_wire_bytes(specs, sizes)
+    # b falls back to dense
+    assert total == CompressionSpec("qsgd", bits=4,
+                                    bucket_size=128).wire_bytes(1000) + 4000
+
+
+def test_kernel_seconds_monotone_in_bytes():
+    assert kernel_seconds(1 << 20) < kernel_seconds(1 << 24)
+    assert kernel_seconds(0) > 0  # launch overhead floor
+
+
+def test_compression_ratio_definition():
+    spec = CompressionSpec("qsgd", bits=4, bucket_size=1024)
+    n = 1 << 20
+    assert spec.compression_ratio(n) == pytest.approx(
+        n * 4 / spec.wire_bytes(n)
+    )
+    assert 7.0 < spec.compression_ratio(n) < 8.0
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError):
+        CompressionSpec("zstd")
+
+
+def test_with_bits_copies_spec():
+    spec = CompressionSpec("qsgd", bits=4, bucket_size=128)
+    other = spec.with_bits(8, 512)
+    assert other.bits == 8 and other.bucket_size == 512
+    assert spec.bits == 4  # original untouched
+
+
+def test_measure_error_stats_fields():
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=256).astype(np.float32)
+    stats = measure_error(CompressionSpec("qsgd", bits=4, bucket_size=128),
+                          x, rng, name="layer0")
+    assert stats.name == "layer0"
+    assert stats.numel == 256
+    assert stats.grad_norm == pytest.approx(float(np.linalg.norm(x)), rel=1e-5)
+    assert 0 < stats.relative < 1

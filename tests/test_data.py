@@ -1,0 +1,101 @@
+"""Tests for synthetic datasets: determinism, shapes, learnability."""
+
+import numpy as np
+
+from repro.nn import SGD, build_model
+from repro.nn.data import (
+    MarkovText,
+    SyntheticImages,
+    SyntheticQA,
+    SyntheticVectors,
+)
+from repro.nn.loss import softmax_cross_entropy
+
+
+def test_vectors_shapes_and_determinism():
+    data = SyntheticVectors(num_classes=5, dim=8, seed=3)
+    x1, y1 = data.sample(16, np.random.default_rng(0))
+    x2, y2 = data.sample(16, np.random.default_rng(0))
+    np.testing.assert_array_equal(x1, x2)
+    np.testing.assert_array_equal(y1, y2)
+    assert x1.shape == (16, 8) and x1.dtype == np.float32
+    assert set(np.unique(y1)) <= set(range(5))
+
+
+def test_vectors_eval_set_fixed():
+    data = SyntheticVectors(seed=1)
+    xa, ya = data.eval_set(32)
+    xb, yb = data.eval_set(32)
+    np.testing.assert_array_equal(xa, xb)
+    np.testing.assert_array_equal(ya, yb)
+
+
+def test_images_shapes_and_class_structure():
+    data = SyntheticImages(num_classes=4, channels=3, image_size=8, seed=0)
+    x, y = data.sample(32, np.random.default_rng(1))
+    assert x.shape == (32, 3, 8, 8)
+    # samples of the same class correlate more with their prototype
+    proto = data.prototypes
+    sample = x[0]
+    own = float(np.sum(sample * proto[y[0]]))
+    other = float(np.mean([np.sum(sample * proto[c])
+                           for c in range(4) if c != y[0]]))
+    assert own > other
+
+
+def test_markov_text_next_token_structure():
+    data = MarkovText(vocab_size=16, seq_len=12, seed=2)
+    x, y = data.sample(8, np.random.default_rng(3))
+    assert x.shape == (8, 12) and y.shape == (8, 12)
+    # target is the shifted stream
+    np.testing.assert_array_equal(x[:, 1:], y[:, :-1])
+    assert x.max() < 16 and x.min() >= 0
+
+
+def test_markov_text_is_predictable():
+    """The stream must be more predictable than uniform (learnable)."""
+    data = MarkovText(vocab_size=16, seq_len=64, branching=3, seed=4)
+    x, y = data.sample(64, np.random.default_rng(5))
+    # empirical entropy of next-token given bigram is far below log(16)
+    hits = 0
+    total = 0
+    for row_x, row_y in zip(x, y):
+        for t in range(1, len(row_x)):
+            a, b = row_x[t - 1], row_x[t]
+            nxt = row_y[t]
+            hits += nxt in data.successors[a, b]
+            total += 1
+    assert hits / total > 0.95
+
+
+def test_qa_markers_present_and_consistent():
+    data = SyntheticQA(vocab_size=32, seq_len=16)
+    tokens, starts, ends = data.sample(32, np.random.default_rng(6))
+    rows = np.arange(32)
+    assert np.all(tokens[rows, starts] == SyntheticQA.BEGIN)
+    assert np.all(tokens[rows, ends] == SyntheticQA.END)
+    assert np.all(starts < ends)
+    assert np.all(ends < 16)
+
+
+def test_qa_rejects_tiny_vocab():
+    import pytest
+
+    with pytest.raises(ValueError):
+        SyntheticQA(vocab_size=4)
+
+
+def test_vectors_task_learnable_end_to_end():
+    data = SyntheticVectors(seed=7)
+    model = build_model("mlp", seed=0)
+    opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+    rng = np.random.default_rng(8)
+    for _ in range(80):
+        x, y = data.sample(64, rng)
+        loss, grad = softmax_cross_entropy(model(x), y)
+        model.zero_grad()
+        model.backward(grad)
+        opt.step()
+    xe, ye = data.eval_set(256)
+    accuracy = float((model(xe).argmax(-1) == ye).mean())
+    assert accuracy > 0.9, f"synthetic vectors should be learnable, got {accuracy}"

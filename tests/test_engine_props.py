@@ -1,0 +1,103 @@
+"""Property-based tests over the engine's reduce path.
+
+These are the invariants every CGX deployment depends on, checked over
+randomized layer layouts, world sizes, schemes and compression specs:
+
+* dense reduction equals the exact mean;
+* all workers always receive bit-identical gradients (no divergence);
+* shapes and names are preserved;
+* compressed reduction error is bounded relative to the gradient norm.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import CompressionSpec
+from repro.core import CGXConfig, CommunicationEngine
+
+SCHEMES = ["sra", "ring", "tree", "allgather", "ps"]
+
+
+def layouts():
+    """Random layer layouts: a few tensors with mixed shapes/names."""
+    shape = st.sampled_from([(8,), (64,), (300,), (16, 8), (40, 5), (4, 4, 4)])
+    kind = st.sampled_from(["weight", "bias", "ln.weight"])
+    layer = st.tuples(kind, shape)
+    return st.lists(layer, min_size=1, max_size=5)
+
+
+def grads_for(layout, world, seed):
+    per_worker = []
+    for w in range(world):
+        rng = np.random.default_rng(seed + w)
+        grads = {}
+        for i, (kind, shape) in enumerate(layout):
+            grads[f"l{i}.{kind}"] = rng.normal(size=shape).astype(np.float32)
+        per_worker.append(grads)
+    return per_worker
+
+
+@given(layout=layouts(), world=st.integers(1, 6),
+       scheme=st.sampled_from(SCHEMES), seed=st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_dense_reduce_is_exact_mean(layout, world, scheme, seed):
+    config = CGXConfig(compression=CompressionSpec("none"), scheme=scheme)
+    engine = CommunicationEngine(config)
+    per_worker = grads_for(layout, world, seed)
+    reduced, _ = engine.reduce(per_worker, np.random.default_rng(0))
+    for name in per_worker[0]:
+        expected = np.mean([g[name] for g in per_worker], axis=0)
+        np.testing.assert_allclose(reduced[0][name], expected,
+                                   rtol=1e-4, atol=1e-5)
+
+
+@given(layout=layouts(), world=st.integers(2, 6),
+       scheme=st.sampled_from(SCHEMES),
+       bits=st.integers(2, 8), bucket=st.sampled_from([16, 64, 128]),
+       seed=st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_compressed_reduce_identical_across_workers(layout, world, scheme,
+                                                    bits, bucket, seed):
+    config = CGXConfig(
+        compression=CompressionSpec("qsgd", bits=bits, bucket_size=bucket),
+        scheme=scheme,
+    )
+    engine = CommunicationEngine(config)
+    per_worker = grads_for(layout, world, seed)
+    reduced, _ = engine.reduce(per_worker, np.random.default_rng(1))
+    for name in per_worker[0]:
+        assert reduced[0][name].shape == per_worker[0][name].shape
+        for w in range(1, world):
+            np.testing.assert_array_equal(reduced[0][name],
+                                          reduced[w][name])
+
+
+@given(layout=layouts(), world=st.integers(2, 4), seed=st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_compressed_error_bounded(layout, world, seed):
+    """4-bit SRA reduction error stays a bounded fraction of the mean."""
+    engine = CommunicationEngine(CGXConfig.cgx_default())
+    per_worker = grads_for(layout, world, seed)
+    reduced, _ = engine.reduce(per_worker, np.random.default_rng(2))
+    for name in per_worker[0]:
+        expected = np.mean([g[name] for g in per_worker], axis=0)
+        norm = np.linalg.norm(expected)
+        if norm < 1e-6:
+            continue
+        error = np.linalg.norm(reduced[0][name] - expected)
+        assert error <= norm  # never worse than dropping the gradient
+
+
+@given(layout=layouts(), world=st.integers(2, 4),
+       mode=st.sampled_from(["cgx", "fused"]), seed=st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_plans_cover_every_tensor_once(layout, world, mode, seed):
+    from repro.core import LayerInfo
+
+    engine = CommunicationEngine(CGXConfig.cgx_default())
+    per_worker = grads_for(layout, world, seed)
+    layers = [LayerInfo(name, g.size, tuple(g.shape))
+              for name, g in per_worker[0].items()]
+    plan = engine.plan(layers, mode=mode)
+    planned = [l.name for pkg in plan for l in pkg.layers]
+    assert sorted(planned) == sorted(g for g in per_worker[0])

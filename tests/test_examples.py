@@ -1,0 +1,62 @@
+"""Smoke tests keeping the example scripts runnable.
+
+The fast examples run end-to-end in a subprocess; the training-heavy
+adaptive example is compile+import checked (its full path is exercised
+by bench_fig4_adaptive_training.py).
+"""
+
+import os
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, timeout=600):
+    path = os.path.join(EXAMPLES_DIR, name)
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True,
+        timeout=timeout, cwd=EXAMPLES_DIR,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_runs_and_recovers_accuracy():
+    out = run_example("quickstart.py")
+    assert "accuracy gap" in out
+    assert "compression" in out
+
+
+def test_commodity_vs_cloud_prints_speedups():
+    out = run_example("commodity_vs_cloud.py")
+    assert "transformer_xl" in out
+    assert "DGX-1" in out
+    # every model row shows a multi-x speedup
+    assert out.count("x ") >= 4
+
+
+def test_multinode_cloud_prints_tables():
+    out = run_example("multinode_cloud.py")
+    assert "Table 5" in out
+    assert "tokens/s per $" in out
+
+
+def test_communication_trace_writes_perfetto_json():
+    out = run_example("communication_trace.py")
+    assert "transfers traced" in out
+    assert "busiest links" in out
+    trace = os.path.join(EXAMPLES_DIR, "vit_step_trace.json")
+    assert os.path.exists(trace)
+    os.unlink(trace)
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart.py", "commodity_vs_cloud.py", "adaptive_compression.py",
+    "multinode_cloud.py", "communication_trace.py",
+])
+def test_all_examples_compile(name):
+    py_compile.compile(os.path.join(EXAMPLES_DIR, name), doraise=True)

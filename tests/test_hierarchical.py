@@ -1,0 +1,90 @@
+"""Focused tests for the hierarchical allreduce data path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import hierarchical_allreduce
+from repro.compression import CompressionSpec, make_compressor
+
+
+def make_buffers(world, numel=200, seed=0):
+    return [np.random.default_rng(seed + i).normal(size=numel)
+            .astype(np.float32) for i in range(world)]
+
+
+def test_uneven_node_sizes():
+    """Nodes of different sizes (3 + 1) still reduce correctly."""
+    bufs = make_buffers(4)
+    exact = np.sum(bufs, axis=0)
+    outs, _ = hierarchical_allreduce(
+        bufs, make_compressor(CompressionSpec("none")),
+        np.random.default_rng(0), node_of=[0, 0, 0, 1])
+    for out in outs:
+        np.testing.assert_allclose(out, exact, rtol=1e-4, atol=1e-5)
+
+
+def test_single_gpu_nodes():
+    """Every rank its own node degrades to inter-node SRA + broadcast."""
+    bufs = make_buffers(4)
+    exact = np.sum(bufs, axis=0)
+    outs, stats = hierarchical_allreduce(
+        bufs, make_compressor(CompressionSpec("none")),
+        np.random.default_rng(0), node_of=[0, 1, 2, 3])
+    np.testing.assert_allclose(outs[0], exact, rtol=1e-4, atol=1e-5)
+    assert stats.scheme == "hier"
+
+
+def test_none_node_map_is_single_node():
+    bufs = make_buffers(4)
+    outs, stats = hierarchical_allreduce(
+        bufs, make_compressor(CompressionSpec("none")),
+        np.random.default_rng(0), node_of=None)
+    assert stats.scheme == "sra"  # fell back to flat SRA
+
+
+@given(world=st.integers(2, 8), n_nodes=st.integers(1, 4),
+       seed=st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_hier_dense_exact_property(world, n_nodes, seed):
+    node_of = [r % n_nodes for r in range(world)]
+    bufs = make_buffers(world, numel=64, seed=seed)
+    exact = np.sum(bufs, axis=0)
+    outs, _ = hierarchical_allreduce(
+        bufs, make_compressor(CompressionSpec("none")),
+        np.random.default_rng(seed), node_of=node_of)
+    for out in outs:
+        np.testing.assert_allclose(out, exact, rtol=1e-3, atol=1e-4)
+
+
+@given(world=st.integers(4, 8), seed=st.integers(0, 30))
+@settings(max_examples=20, deadline=None)
+def test_hier_quantized_identical_property(world, seed):
+    node_of = [0 if r < world // 2 else 1 for r in range(world)]
+    bufs = make_buffers(world, numel=256, seed=seed)
+    comp = make_compressor(CompressionSpec("qsgd", bits=4, bucket_size=64))
+    outs, _ = hierarchical_allreduce(bufs, comp, np.random.default_rng(seed),
+                                     node_of=node_of)
+    for out in outs[1:]:
+        np.testing.assert_array_equal(outs[0], out)
+
+
+def test_hier_error_bounded_by_recompression_depth():
+    """Five quantization rounds still keep the error a modest fraction of
+    the signal (each round is unbiased)."""
+    world = 8
+    bufs = make_buffers(world, numel=2048)
+    exact = np.sum(bufs, axis=0)
+    comp = make_compressor(CompressionSpec("qsgd", bits=4, bucket_size=128))
+    outs, stats = hierarchical_allreduce(
+        bufs, comp, np.random.default_rng(1), node_of=[0, 0, 0, 0, 1, 1, 1, 1])
+    rel = np.linalg.norm(outs[0] - exact) / np.linalg.norm(exact)
+    assert stats.max_recompressions == 5
+    assert rel < 0.8
+
+
+def test_hier_rejects_short_node_map():
+    with pytest.raises(ValueError):
+        hierarchical_allreduce(make_buffers(4),
+                               make_compressor(CompressionSpec("none")),
+                               np.random.default_rng(0), node_of=[0, 1])

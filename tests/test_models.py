@@ -1,0 +1,137 @@
+"""Tests for the scaled-down model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MODEL_FAMILIES, build_model
+from repro.nn.data import MarkovText, SyntheticImages, SyntheticQA
+from repro.nn.loss import (
+    sequence_cross_entropy,
+    softmax_cross_entropy,
+    span_extraction_loss,
+)
+
+
+def test_registry_covers_paper_models():
+    for family in ["resnet50", "vgg16", "vit", "transformer_xl", "gpt2",
+                   "bert"]:
+        assert family in MODEL_FAMILIES
+
+
+def test_build_model_unknown_family_raises():
+    with pytest.raises(KeyError):
+        build_model("alexnet")
+
+
+def test_same_seed_builds_identical_replicas():
+    a = build_model("vit", seed=7)
+    b = build_model("vit", seed=7)
+    for (name_a, pa), (name_b, pb) in zip(a.named_parameters(),
+                                          b.named_parameters()):
+        assert name_a == name_b
+        np.testing.assert_array_equal(pa.data, pb.data)
+
+
+def test_different_seeds_differ():
+    a = build_model("mlp", seed=1)
+    b = build_model("mlp", seed=2)
+    diffs = [not np.array_equal(pa.data, pb.data)
+             for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                         b.named_parameters())]
+    assert any(diffs)
+
+
+@pytest.mark.parametrize("family", ["resnet50", "vgg16", "vit"])
+def test_classifier_forward_backward(family):
+    rng = np.random.default_rng(0)
+    model = build_model(family, seed=0)
+    data = SyntheticImages()
+    x, y = data.sample(4, rng)
+    logits = model(x)
+    assert logits.shape == (4, 10)
+    loss, grad = softmax_cross_entropy(logits, y)
+    model.zero_grad()
+    model.backward(grad)
+    grads = [p.grad for p in model.parameters() if p.grad is not None]
+    assert grads, "backward produced no gradients"
+    assert all(np.all(np.isfinite(g)) for g in grads)
+
+
+def test_lm_forward_backward_and_vocab():
+    model = build_model("transformer_xl", vocab_size=32, max_len=16, dim=16,
+                        depth=1, num_heads=2)
+    data = MarkovText(vocab_size=32, seq_len=16)
+    x, y = data.sample(3, np.random.default_rng(1))
+    logits = model(x)
+    assert logits.shape == (3, 16, 32)
+    loss, grad = sequence_cross_entropy(logits, y)
+    model.zero_grad()
+    model.backward(grad)
+    emb = dict(model.named_parameters())["embed.weight"]
+    assert emb.grad is not None and np.any(emb.grad != 0)
+
+
+def test_bert_qa_heads():
+    model = build_model("bert", vocab_size=32, max_len=16, dim=16, depth=1,
+                        num_heads=2)
+    data = SyntheticQA(vocab_size=32, seq_len=16)
+    tokens, starts, ends = data.sample(3, np.random.default_rng(2))
+    logits = model(tokens)
+    assert logits.shape == (3, 16, 2)
+    loss, grad = span_extraction_loss(logits, starts, ends)
+    model.zero_grad()
+    model.backward(grad)
+    assert loss > 0
+
+
+def test_lm_rejects_overlong_sequence():
+    model = build_model("transformer_xl", vocab_size=16, max_len=8, dim=16,
+                        depth=1, num_heads=2)
+    with pytest.raises(ValueError):
+        model(np.zeros((1, 9), dtype=np.int64))
+
+
+def test_state_dict_roundtrip():
+    model = build_model("vit", seed=3)
+    state = model.state_dict()
+    other = build_model("vit", seed=99)
+    other.load_state_dict(state)
+    for (_, pa), (_, pb) in zip(model.named_parameters(),
+                                other.named_parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data)
+
+
+def test_load_state_dict_rejects_mismatch():
+    model = build_model("mlp")
+    state = model.state_dict()
+    state.pop(next(iter(state)))
+    with pytest.raises(KeyError):
+        model.load_state_dict(state)
+
+
+def test_parameter_names_include_filterable_layers():
+    """CGX filters match on 'bias'/'bn'/'ln'/'norm' substrings; the model
+    zoo must expose those names for the filters to act on."""
+    model = build_model("resnet50")
+    names = [n for n, _ in model.named_parameters()]
+    assert any("bn" in n for n in names)
+    assert any("bias" in n for n in names)
+    vit = build_model("vit")
+    vit_names = [n for n, _ in vit.named_parameters()]
+    assert any("ln" in n or "norm" in n for n in vit_names)
+
+
+def test_num_parameters_consistent():
+    model = build_model("mlp", in_features=8, hidden=16, num_classes=4)
+    # 8*16+16 + 16*16+16 + 16*4+4
+    assert model.num_parameters() == 8 * 16 + 16 + 16 * 16 + 16 + 16 * 4 + 4
+
+
+def test_zero_grad_clears_all():
+    model = build_model("mlp")
+    x = np.random.default_rng(0).normal(size=(2, 32)).astype(np.float32)
+    loss, grad = softmax_cross_entropy(model(x), np.array([0, 1]))
+    model.backward(grad)
+    assert any(p.grad is not None for p in model.parameters())
+    model.zero_grad()
+    assert all(p.grad is None for p in model.parameters())

@@ -1,0 +1,82 @@
+"""Edge-case tests for the module/parameter machinery."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential
+
+
+def test_parameter_accumulate_grad():
+    p = Parameter(np.zeros(3, dtype=np.float32))
+    p.accumulate_grad(np.ones(3, dtype=np.float32))
+    p.accumulate_grad(np.ones(3, dtype=np.float32))
+    np.testing.assert_array_equal(p.grad, [2, 2, 2])
+    p.zero_grad()
+    assert p.grad is None
+
+
+def test_parameter_casts_to_float32():
+    p = Parameter(np.array([1, 2, 3]))  # int input
+    assert p.data.dtype == np.float32
+    assert p.numel == 3
+    assert p.shape == (3,)
+
+
+def test_sequential_append_registers_child():
+    model = Sequential(Linear(4, 4, rng=np.random.default_rng(0)))
+    model.append(ReLU())
+    model.append(Linear(4, 2, rng=np.random.default_rng(1)))
+    assert len(model) == 3
+    names = [n for n, _ in model.named_parameters()]
+    assert "2.weight" in names
+    x = np.ones((1, 4), dtype=np.float32)
+    assert model(x).shape == (1, 2)
+
+
+def test_modules_traversal_depth_first():
+    inner = Sequential(Linear(2, 2, rng=np.random.default_rng(0)))
+    outer = Sequential(inner, ReLU())
+    found = list(outer.modules())
+    assert outer in found and inner in found
+    assert any(isinstance(m, Linear) for m in found)
+    assert any(isinstance(m, ReLU) for m in found)
+
+
+def test_train_eval_propagates():
+    model = Sequential(Linear(2, 2, rng=np.random.default_rng(0)), ReLU())
+    model.eval()
+    assert all(not m.training for m in model.modules())
+    model.train()
+    assert all(m.training for m in model.modules())
+
+
+def test_assigning_module_before_init_raises():
+    class Broken(Module):
+        def __init__(self):
+            # forgot super().__init__() before assigning a child
+            self.child = ReLU()
+
+    with pytest.raises(RuntimeError):
+        Broken()
+
+
+def test_load_state_dict_shape_mismatch():
+    a = Linear(4, 4, rng=np.random.default_rng(0))
+    state = a.state_dict()
+    state["weight"] = np.zeros((2, 2), dtype=np.float32)
+    with pytest.raises(ValueError):
+        a.load_state_dict(state)
+
+
+def test_base_module_forward_backward_abstract():
+    m = Module()
+    with pytest.raises(NotImplementedError):
+        m.forward(np.zeros(1))
+    with pytest.raises(NotImplementedError):
+        m.backward(np.zeros(1))
+
+
+def test_num_parameters_counts_children():
+    model = Sequential(Linear(3, 5, rng=np.random.default_rng(0)),
+                       Linear(5, 2, rng=np.random.default_rng(1)))
+    assert model.num_parameters() == (3 * 5 + 5) + (5 * 2 + 2)

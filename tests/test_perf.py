@@ -1,0 +1,223 @@
+"""Tests for the step-time performance model against the paper's shapes."""
+
+import pytest
+
+from repro.cluster import get_machine, make_cluster
+from repro.compression import CompressionSpec
+from repro.core import CGXConfig
+from repro.core.qnccl import qnccl_config
+from repro.models import build_spec
+from repro.training import (
+    simulate_machine_step,
+    simulate_step,
+    single_gpu_step_time,
+)
+
+
+RTX = get_machine("rtx3090-8x")
+DGX = get_machine("dgx1")
+
+
+def run(machine, model, config, **kwargs):
+    return simulate_machine_step(machine, build_spec(model), config, **kwargs)
+
+
+def test_single_gpu_has_no_comm():
+    t = run(RTX, "resnet50", CGXConfig.cgx_default(), n_gpus=1)
+    assert t.wire_bytes == 0
+    assert t.scaling_efficiency == pytest.approx(1.0)
+
+
+def test_efficiency_bounded_by_one():
+    for model in ["resnet50", "transformer_xl", "bert"]:
+        for config, mode in [(CGXConfig.baseline_nccl(), "fused"),
+                             (CGXConfig.cgx_default(), "cgx")]:
+            t = run(RTX, model, config, plan_mode=mode)
+            assert 0 < t.scaling_efficiency <= 1.0
+
+
+def test_nccl_baseline_under_half_linear_on_commodity():
+    """Figure 3: '< 50% of linear scaling' for large models on 8x3090."""
+    for model in ["transformer_xl", "vit", "vgg16"]:
+        t = run(RTX, model, CGXConfig.baseline_nccl(), plan_mode="fused")
+        assert t.scaling_efficiency < 0.5, model
+
+
+def test_cgx_reaches_high_scaling_on_commodity():
+    """Figure 3: CGX reaches 80-90% of linear scaling (TXL somewhat lower
+    due to the uncompressible embedding tail, Appendix E)."""
+    for model, floor in [("resnet50", 0.8), ("vit", 0.8), ("bert", 0.8),
+                         ("transformer_xl", 0.65)]:
+        t = run(RTX, model, CGXConfig.cgx_default())
+        assert t.scaling_efficiency > floor, model
+
+
+def test_cgx_self_speedup_2_to_3x():
+    """Headline claim: 2-3x self-speedup over NCCL on the 8x3090 box."""
+    for model in ["resnet50", "vit", "bert"]:
+        base = run(RTX, model, CGXConfig.baseline_nccl(), plan_mode="fused")
+        cgx = run(RTX, model, CGXConfig.cgx_default())
+        speedup = cgx.throughput / base.throughput
+        assert speedup > 1.8, (model, speedup)
+
+
+def test_cgx_beats_qnccl_which_beats_nccl():
+    """Ordering on commodity: CGX >= QNCCL > NCCL."""
+    for model in ["resnet50", "transformer_xl"]:
+        base = run(RTX, model, CGXConfig.baseline_nccl(), plan_mode="fused")
+        qn = run(RTX, model, qnccl_config(), plan_mode="fused")
+        cgx = run(RTX, model, CGXConfig.cgx_default())
+        assert base.throughput < qn.throughput <= cgx.throughput * 1.02, model
+
+
+def test_dgx_scales_well_without_compression():
+    for model in ["resnet50", "transformer_xl", "vit"]:
+        t = run(DGX, model, CGXConfig.baseline_nccl(), plan_mode="fused")
+        assert t.scaling_efficiency > 0.85, model
+
+
+def test_commodity_cgx_matches_dgx_class_throughput():
+    """The headline: 8x3090 + CGX matches (or beats) DGX-1 throughput for
+    models where the per-GPU envelopes are comparable."""
+    for model in ["vit", "bert"]:
+        dgx = run(DGX, model, CGXConfig.baseline_nccl(), plan_mode="fused")
+        cgx = run(RTX, model, CGXConfig.cgx_default())
+        assert cgx.throughput > 0.95 * dgx.throughput, model
+
+
+def test_fake_compression_sweep_monotone():
+    """Figure 1: step time decreases monotonically toward the ideal as the
+    (fake) compression ratio grows, then saturates."""
+    spec = build_spec("transformer_xl")
+    times = []
+    for ratio in [1, 4, 16, 64, 256, 1024]:
+        config = CGXConfig(
+            backend="shm", scheme="sra",
+            compression=CompressionSpec("fake", ratio=ratio),
+        )
+        t = simulate_machine_step(RTX, spec, config)
+        times.append(t.step_time)
+    assert all(a >= b * 0.999 for a, b in zip(times, times[1:]))
+    ideal = single_gpu_step_time(spec, RTX.gpu,
+                                 RTX.gpu.max_batch_per_gpu(spec))
+    assert times[-1] < 1.2 * ideal          # saturates near ideal
+    assert times[0] > 2.5 * times[-1]       # bandwidth was the bottleneck
+
+
+def test_scaling_cliff_from_4_to_8_gpus():
+    """Figure 3: commodity scaling decays with GPU count, and crossing
+    to the second NUMA root (4 -> 8) is a visible cliff.  For
+    bandwidth-light BERT the QPI crossing dominates (absolute drop 4->8
+    exceeds 2->4); heavier models are already bus-bound at 4."""
+    efficiencies = {}
+    for model in ["transformer_xl", "bert"]:
+        eff = {}
+        for n in [2, 4, 8]:
+            t = run(RTX, model, CGXConfig.baseline_nccl(),
+                    plan_mode="fused", n_gpus=n)
+            eff[n] = t.scaling_efficiency
+        assert eff[2] > eff[4] > eff[8], model
+        efficiencies[model] = eff
+    bert = efficiencies["bert"]
+    assert (bert[4] - bert[8]) > (bert[2] - bert[4])
+
+
+def test_2080_limited_by_memory_and_compute():
+    t3090 = run(RTX, "transformer_xl", CGXConfig.cgx_default())
+    t2080 = run(get_machine("rtx2080-8x"), "transformer_xl",
+                CGXConfig.cgx_default())
+    assert t2080.throughput < 0.5 * t3090.throughput
+    assert t2080.batch_per_gpu < t3090.batch_per_gpu
+
+
+def test_adaptive_bits_reduce_step_time():
+    """Lower per-layer bits on the TXL embedding shortens the comm tail."""
+    spec = build_spec("transformer_xl")
+    static = simulate_machine_step(RTX, spec, CGXConfig.cgx_default())
+    adaptive_config = CGXConfig.cgx_default()
+    adaptive_config.per_layer["word_emb.weight"] = \
+        CompressionSpec("qsgd", bits=2, bucket_size=64)
+    adaptive = simulate_machine_step(RTX, spec, adaptive_config)
+    assert adaptive.step_time < static.step_time
+
+
+def test_powersgd_timing_on_commodity():
+    """Table 6 shape: PowerSGD is competitive but below CGX."""
+    for model in ["resnet50", "bert"]:
+        cfg = CGXConfig(backend="shm", scheme="sra",
+                        compression=CompressionSpec("powersgd", rank=4))
+        ps = run(RTX, model, cfg)
+        cgx = run(RTX, model, CGXConfig.cgx_default())
+        base = run(RTX, model, CGXConfig.baseline_nccl(), plan_mode="fused")
+        assert base.throughput < ps.throughput <= cgx.throughput * 1.05, model
+
+
+def test_grace_far_below_cgx():
+    """Table 6: GRACE is >2x slower than CGX (allgather + INT8 wire)."""
+    from repro.baselines import grace_config
+
+    for model in ["transformer_xl", "bert"]:
+        gr = run(RTX, model, grace_config(), plan_mode="fused")
+        cgx = run(RTX, model, CGXConfig.cgx_default())
+        assert cgx.throughput > 1.8 * gr.throughput, model
+
+
+def test_multinode_speedup_shape():
+    """Table 5: CGX gives multi-x speedups over 4 nodes of 4x3090."""
+    gen = get_machine("genesis-4x3090")
+    cluster = make_cluster("genesis-4x3090", 4)
+    for model in ["resnet50", "transformer_xl"]:
+        spec = build_spec(model)
+        base = simulate_step(spec, gen.gpu, cluster,
+                             CGXConfig.baseline_nccl(), plan_mode="fused")
+        cgx_cfg = CGXConfig.cgx_default()
+        cgx_cfg.backend = "nccl"
+        cgx_cfg.scheme = "hier"
+        cgx = simulate_step(spec, gen.gpu, cluster, cgx_cfg)
+        assert cgx.throughput > 2.5 * base.throughput, model
+
+
+def test_table4_cloud_economics():
+    """Table 4: Genesis+CGX beats AWS NCCL on throughput per dollar."""
+    spec = build_spec("bert")
+    gen = get_machine("genesis-4x3090")
+    aws = get_machine("aws-p3.8xlarge")
+    gen_nccl = simulate_machine_step(gen, spec, CGXConfig.baseline_nccl(),
+                                     plan_mode="fused")
+    aws_nccl = simulate_machine_step(aws, spec, CGXConfig.baseline_nccl(),
+                                     plan_mode="fused")
+    gen_cgx = simulate_machine_step(gen, spec, CGXConfig.cgx_default())
+    per_dollar = {
+        "genesis-nccl": gen_nccl.throughput / gen.price_per_hour,
+        "aws-nccl": aws_nccl.throughput / aws.price_per_hour,
+        "genesis-cgx": gen_cgx.throughput / gen.price_per_hour,
+    }
+    assert per_dollar["genesis-cgx"] > 1.5 * per_dollar["aws-nccl"]
+    assert per_dollar["genesis-cgx"] > 2 * per_dollar["genesis-nccl"]
+    # absolute throughputs in the paper's ballpark
+    assert gen_cgx.throughput == pytest.approx(14171, rel=0.25)
+    assert aws_nccl.throughput == pytest.approx(14407, rel=0.25)
+
+
+def test_bandwidth_ceiling_table8():
+    """Appendix E: with the bandwidth term removed, 88-95% of linear."""
+    for model, floor in [("resnet50", 0.85), ("vit", 0.85),
+                         ("transformer_xl", 0.85), ("bert", 0.8)]:
+        config = CGXConfig(backend="shm", scheme="sra",
+                           compression=CompressionSpec("fake", ratio=1e6))
+        t = run(RTX, model, config)
+        assert t.scaling_efficiency > floor, model
+
+
+def test_wire_bytes_reported():
+    t = run(RTX, "resnet50", CGXConfig.cgx_default())
+    dense = build_spec("resnet50").gradient_bytes
+    assert 0 < t.wire_bytes < dense * 4  # well under 8x dense traffic
+
+
+def test_step_timing_fields_consistent():
+    t = run(RTX, "vit", CGXConfig.cgx_default())
+    assert t.step_time >= t.compute_time
+    assert t.comm_tail >= 0
+    assert t.throughput == pytest.approx(t.items_per_step / t.step_time)
+    assert t.ideal_throughput >= t.throughput

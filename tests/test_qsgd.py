@@ -1,0 +1,163 @@
+"""Tests for bucketed QSGD quantization and bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import CompressionSpec, QSGDCompressor, make_compressor
+from repro.compression.qsgd import pack_codes, unpack_codes
+
+
+@given(
+    codes=st.lists(st.integers(0, 255), min_size=0, max_size=200),
+    bits=st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_pack_unpack_roundtrip(codes, bits):
+    arr = np.array([c % (1 << bits) for c in codes], dtype=np.uint8)
+    packed = pack_codes(arr, bits)
+    restored = unpack_codes(packed, bits, len(arr))
+    np.testing.assert_array_equal(restored, arr)
+
+
+def test_pack_achieves_bit_density():
+    codes = np.zeros(1000, dtype=np.uint8)
+    assert pack_codes(codes, 4).size == 500
+    assert pack_codes(codes, 2).size == 250
+    assert pack_codes(codes, 8).size == 1000
+
+
+def test_pack_rejects_bad_bits():
+    with pytest.raises(ValueError):
+        pack_codes(np.zeros(4, dtype=np.uint8), 9)
+
+
+def _spec(bits=4, bucket=128):
+    return CompressionSpec("qsgd", bits=bits, bucket_size=bucket)
+
+
+def test_roundtrip_preserves_shape_and_dtype():
+    comp = make_compressor(_spec())
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(13, 7)).astype(np.float32)
+    out = comp.roundtrip(x, rng)
+    assert out.shape == x.shape
+    assert out.dtype == np.float32
+
+
+def test_zero_vector_exact():
+    comp = make_compressor(_spec())
+    x = np.zeros(300, dtype=np.float32)
+    np.testing.assert_array_equal(comp.roundtrip(x, np.random.default_rng(0)),
+                                  x)
+
+
+def test_quantization_is_unbiased():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=512).astype(np.float32)
+    comp = make_compressor(_spec())
+    mean = np.zeros_like(x)
+    trials = 400
+    for i in range(trials):
+        mean += comp.roundtrip(x, np.random.default_rng(i))
+    mean /= trials
+    bias = float(np.abs(mean - x).mean())
+    assert bias < 0.02 * float(np.abs(x).mean()) + 0.01
+
+
+def test_error_decreases_with_bits():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=4096).astype(np.float32)
+    errors = []
+    for bits in [2, 3, 4, 6, 8]:
+        comp = make_compressor(_spec(bits=bits))
+        restored = comp.roundtrip(x, np.random.default_rng(0))
+        errors.append(float(np.linalg.norm(x - restored)))
+    assert errors == sorted(errors, reverse=True)
+
+
+def test_larger_buckets_increase_error():
+    """The paper's bucket trade-off: bigger buckets, higher error."""
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=8192).astype(np.float32)
+    small = make_compressor(_spec(bucket=64)).error_norm(
+        x, np.random.default_rng(0))
+    large = make_compressor(_spec(bucket=4096)).error_norm(
+        x, np.random.default_rng(0))
+    assert small < large
+
+
+def test_larger_buckets_reduce_wire_size():
+    small = _spec(bucket=64).wire_bytes(8192)
+    large = _spec(bucket=4096).wire_bytes(8192)
+    assert large < small
+
+
+def test_wire_bytes_exact_accounting():
+    spec = _spec(bits=4, bucket=128)
+    # 1000 elements: 500 payload bytes + ceil(1000/128)=8 norms * 4
+    assert spec.wire_bytes(1000) == 500 + 8 * 4
+    comp = make_compressor(spec)
+    compressed = comp.compress(np.ones(1000, dtype=np.float32),
+                               np.random.default_rng(0))
+    payload = compressed.payload
+    actual = payload["codes"].nbytes + payload["norms"].nbytes
+    assert actual == spec.wire_bytes(1000)
+
+
+def test_values_bounded_by_bucket_max():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=256).astype(np.float32)
+    comp = make_compressor(_spec())
+    out = comp.roundtrip(x, rng)
+    assert float(np.abs(out).max()) <= float(np.abs(x).max()) * (1 + 1e-5)
+
+
+def test_non_multiple_of_bucket_size():
+    comp = make_compressor(_spec(bucket=128))
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=130).astype(np.float32)  # 2 buckets, tail of 2
+    out = comp.roundtrip(x, rng)
+    assert out.shape == x.shape
+    err = np.linalg.norm(out - x) / np.linalg.norm(x)
+    assert err < 0.5
+
+
+@given(bits=st.integers(2, 8), n=st.integers(1, 600))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_error_bounded_property(bits, n):
+    """Relative error is bounded by the quantization step size."""
+    rng = np.random.default_rng(n)
+    x = rng.normal(size=n).astype(np.float32)
+    comp = QSGDCompressor(CompressionSpec("qsgd", bits=bits, bucket_size=64))
+    out = comp.roundtrip(x, np.random.default_rng(0))
+    levels = 2 ** (bits - 1) - 1
+    # per-element error at most one grid step of its bucket's max
+    step = np.abs(x).max() / levels
+    assert float(np.abs(out - x).max()) <= step + 1e-5
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        CompressionSpec("qsgd", bits=1)
+    with pytest.raises(ValueError):
+        CompressionSpec("qsgd", bits=9)
+    with pytest.raises(ValueError):
+        CompressionSpec("qsgd", bucket_size=0)
+
+
+def test_huge_bucket_size_does_not_overallocate():
+    """Regression: GRACE-style bucket_size=2^30 on a small tensor must
+    quantize with a single tensor-sized bucket, not allocate a
+    bucket_size-padded (4 GB) buffer.  The whole suite once died on
+    this via the OOM killer."""
+    spec = CompressionSpec("qsgd", bits=4, bucket_size=1 << 30)
+    comp = make_compressor(spec)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=65_536).astype(np.float32)
+    compressed = comp.compress(x, rng)
+    assert compressed.payload["norms"].size == 1  # one global scale
+    out = comp.decompress(compressed)
+    assert out.shape == x.shape
+    rel = np.linalg.norm(out - x) / np.linalg.norm(x)
+    assert rel < 1.0

@@ -1,0 +1,60 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.report import ascii_chart
+
+
+def test_chart_contains_markers_and_legend():
+    chart = ascii_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+    assert "o" in chart and "x" in chart
+    assert "o=a" in chart and "x=b" in chart
+
+
+def test_chart_dimensions():
+    chart = ascii_chart({"s": [(0, 0), (10, 5)]}, width=40, height=10)
+    lines = chart.splitlines()
+    plot_lines = [l for l in lines if "|" in l]
+    assert len(plot_lines) == 10
+    assert all(len(l.split("|", 1)[1]) <= 40 for l in plot_lines)
+
+
+def test_chart_extremes_placed_at_corners():
+    chart = ascii_chart({"s": [(0, 0), (100, 100)]}, width=20, height=5)
+    lines = [l.split("|", 1)[1] for l in chart.splitlines() if "|" in l]
+    assert lines[0].rstrip().endswith("o")     # max y at top-right
+    assert lines[-1].startswith("o")           # min y at bottom-left
+
+
+def test_log_axes():
+    chart = ascii_chart({"s": [(1, 1), (10, 10), (100, 100)]},
+                        log_x=True, log_y=True, width=21, height=7)
+    lines = [l.split("|", 1)[1] for l in chart.splitlines() if "|" in l]
+    # on log-log a geometric series is a straight diagonal: the middle
+    # point lands in the middle row and middle column
+    middle = lines[3]
+    assert middle[10] == "o"
+    assert "[log x]" in chart and "[log y]" in chart
+
+
+def test_log_axis_rejects_non_positive():
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(0, 1), (1, 2)]}, log_x=True)
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"s": []})
+
+
+def test_flat_series_does_not_crash():
+    chart = ascii_chart({"s": [(0, 5), (1, 5), (2, 5)]})
+    assert "o" in chart
+
+
+def test_axis_labels_rendered():
+    chart = ascii_chart({"s": [(1, 2), (3, 4)]}, x_label="ratio",
+                        y_label="ms")
+    assert "ms vs ratio" in chart

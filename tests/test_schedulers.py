@@ -1,0 +1,68 @@
+"""Tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, SGD
+from repro.nn.schedulers import ConstantLR, CosineWarmup, StepDecay
+
+
+def make_opt(lr=1.0):
+    return SGD([Parameter(np.zeros(2, dtype=np.float32))], lr=lr)
+
+
+def test_constant_lr():
+    sched = ConstantLR(make_opt(0.5))
+    for _ in range(5):
+        assert sched.step() == 0.5
+
+
+def test_cosine_warmup_ramps_linearly():
+    sched = CosineWarmup(make_opt(1.0), total_steps=100, warmup_steps=10)
+    lrs = [sched.step() for _ in range(10)]
+    np.testing.assert_allclose(lrs, np.arange(1, 11) / 10.0, rtol=1e-6)
+
+
+def test_cosine_decays_to_min():
+    opt = make_opt(1.0)
+    sched = CosineWarmup(opt, total_steps=50, warmup_steps=0, min_lr=0.1)
+    lrs = [sched.step() for _ in range(50)]
+    assert lrs[0] > lrs[25] > lrs[-1]
+    assert lrs[-1] == pytest.approx(0.1, abs=1e-2)
+    # monotone decreasing after warmup
+    assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+
+def test_cosine_updates_optimizer():
+    opt = make_opt(1.0)
+    sched = CosineWarmup(opt, total_steps=10, warmup_steps=2)
+    sched.step()
+    assert opt.lr == pytest.approx(0.5)
+
+
+def test_cosine_validation():
+    with pytest.raises(ValueError):
+        CosineWarmup(make_opt(), total_steps=0)
+    with pytest.raises(ValueError):
+        CosineWarmup(make_opt(), total_steps=10, warmup_steps=10)
+
+
+def test_step_decay_milestones():
+    sched = StepDecay(make_opt(1.0), milestones=[3, 6], gamma=0.1)
+    lrs = [sched.step() for _ in range(8)]
+    assert lrs[0] == 1.0 and lrs[1] == 1.0
+    assert lrs[2] == pytest.approx(0.1)   # step 3
+    assert lrs[5] == pytest.approx(0.01)  # step 6
+    assert lrs[-1] == pytest.approx(0.01)
+
+
+def test_step_decay_validation():
+    with pytest.raises(ValueError):
+        StepDecay(make_opt(), milestones=[1], gamma=0.0)
+
+
+def test_schedule_beyond_horizon_clamps():
+    sched = CosineWarmup(make_opt(1.0), total_steps=5, warmup_steps=0)
+    for _ in range(10):
+        lr = sched.step()
+    assert lr == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,96 @@
+"""Tests for the full-size model inventories."""
+
+import pytest
+
+from repro.models import available_specs, build_spec
+
+
+def test_available_specs_cover_evaluation_models():
+    assert set(available_specs()) == {
+        "resnet50", "vgg16", "vit", "transformer_xl", "bert", "gpt2"
+    }
+
+
+@pytest.mark.parametrize("name,expected_millions,tolerance", [
+    ("resnet50", 25.6, 0.3),       # torchvision: 25.56 M
+    ("vgg16", 138.4, 0.5),         # torchvision: 138.36 M
+    ("vit", 86.6, 1.0),            # ViT-B/16: 86.6 M
+    ("bert", 109.0, 1.5),          # BERT-Base: 109.5 M
+    ("gpt2", 124.4, 1.5),          # GPT-2 small: 124.4 M
+    ("transformer_xl", 188.0, 5.0),  # TXL-base + tied WT-103 embedding
+])
+def test_parameter_counts_match_real_architectures(name, expected_millions,
+                                                   tolerance):
+    spec = build_spec(name)
+    millions = spec.num_parameters / 1e6
+    assert abs(millions - expected_millions) < tolerance, \
+        f"{name}: {millions:.2f}M vs expected {expected_millions}M"
+
+
+def test_backward_order_reverses_positions():
+    spec = build_spec("resnet50")
+    order = spec.backward_order()
+    positions = [t.position for t in order]
+    assert positions == sorted(positions, reverse=True)
+    # the stem conv is the last gradient to appear
+    assert order[-1].name == "conv1.weight"
+
+
+def test_txl_embedding_is_first_layer_hence_synchronized_last():
+    """Appendix E: the giant embedding sits at the input, so its gradient
+    is emitted last during backward."""
+    spec = build_spec("transformer_xl")
+    order = spec.backward_order()
+    assert order[-1].name == "word_emb.weight"
+    embedding = order[-1]
+    assert embedding.numel > 0.5 * spec.num_parameters
+
+
+def test_flops_positive_and_dominated_by_compute_layers():
+    for name in available_specs():
+        spec = build_spec(name)
+        assert spec.flops_per_item > 0
+        norm_flops = sum(t.flops for t in spec.tensors if t.kind == "norm")
+        assert norm_flops < 0.01 * spec.flops_per_item
+
+
+def test_tensor_kinds_are_labelled():
+    spec = build_spec("bert")
+    kinds = {t.kind for t in spec.tensors}
+    assert {"embedding", "linear", "norm", "bias"} <= kinds
+    conv_spec = build_spec("resnet50")
+    assert any(t.kind == "conv" for t in conv_spec.tensors)
+
+
+def test_matrix_shapes_for_decomposition():
+    spec = build_spec("vit")
+    qkv = next(t for t in spec.tensors if "qkv" in t.name)
+    rows, cols = qkv.matrix_shape
+    assert rows * cols == qkv.numel
+    assert rows > 1 and cols > 1
+    bias = next(t for t in spec.tensors if t.kind == "bias")
+    assert bias.matrix_shape[0] == 1
+
+
+def test_gradient_bytes():
+    spec = build_spec("resnet50")
+    assert spec.gradient_bytes == spec.num_parameters * 4
+
+
+def test_lm_workload_metadata():
+    txl = build_spec("transformer_xl")
+    assert txl.item_unit == "tokens"
+    assert txl.items_per_sample == 192
+    resnet = build_spec("resnet50")
+    assert resnet.item_unit == "imgs"
+    assert resnet.items_per_sample == 1
+
+
+def test_bert_rate_scale_reflects_fp32_recipe():
+    assert build_spec("bert").rate_scale < 0.1
+    assert build_spec("transformer_xl").rate_scale == 1.0
+
+
+def test_unknown_spec_raises():
+    with pytest.raises(KeyError):
+        build_spec("resnet18")
