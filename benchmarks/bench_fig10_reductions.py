@@ -9,7 +9,6 @@ collectives tests; here the timing side is regenerated.
 from common import emit, format_table, run_once
 
 from repro.cluster import get_machine
-from repro.compression import CompressionSpec
 from repro.core import CGXConfig
 from repro.models import build_spec
 from repro.training import simulate_machine_step

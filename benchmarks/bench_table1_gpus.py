@@ -10,7 +10,6 @@ from common import emit, format_table, run_once
 
 from repro.cluster import GPUS
 from repro.models import build_spec
-from repro.training import single_gpu_step_time
 
 PAPER_NUMBERS = {  # (resnet50 imgs/s, txl tokens/s) from Table 1
     "V100": (1226, 37_000),

@@ -1,0 +1,36 @@
+"""Domain-aware static analysis for the CGX reproduction.
+
+Two pillars (see ``docs/analysis.md``):
+
+* :mod:`repro.analysis.rules` — an AST linter with repo-specific
+  numerical-safety rules (REP001..REP006): float equality, default-dtype
+  allocations in hot paths, aliased error-feedback state, mutable
+  defaults, bare excepts, and in-place ops on ``split_chunks`` views.
+* :mod:`repro.analysis.schedule` — a collective-schedule verifier that
+  traces every registered reduction scheme on instrumented fake ranks
+  and checks the send/recv log for pairing symmetry, deadlock freedom,
+  wire-byte conservation against ``ReduceStats``, and bounded
+  recompression depth (SCH001..SCH007).
+
+Run ``python -m repro.analysis`` (or ``python -m repro analyze``); the
+baseline workflow and output formats live in :mod:`repro.analysis.cli`.
+"""
+
+from .baseline import load_baseline, split_baselined, write_baseline
+from .cli import main
+from .findings import JSON_REPORT_SCHEMA, Finding, sort_findings
+from .rules import HOT_PATH_PARTS, RULES, lint_file, lint_source, run_lint
+from .schedule import (SchemeCase, default_cases,
+                       expected_recompression_bound, trace_case,
+                       verify_callable, verify_case, verify_schedules,
+                       verify_trace)
+
+__all__ = [
+    "Finding", "JSON_REPORT_SCHEMA", "sort_findings",
+    "RULES", "HOT_PATH_PARTS", "lint_source", "lint_file", "run_lint",
+    "SchemeCase", "default_cases", "expected_recompression_bound",
+    "trace_case", "verify_trace", "verify_case", "verify_schedules",
+    "verify_callable",
+    "load_baseline", "write_baseline", "split_baselined",
+    "main",
+]

@@ -1,0 +1,56 @@
+"""Baseline (allowlist) support: grandfather findings, fail on new ones.
+
+A baseline file is JSON mapping finding fingerprints to a human-readable
+context, written with ``--write-baseline``.  On later runs, findings
+whose fingerprint appears in the baseline are reported as *baselined*
+and do not affect the exit code — the standard ratchet workflow for
+introducing a linter to an existing codebase.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "split_baselined",
+           "DEFAULT_BASELINE_PATH"]
+
+DEFAULT_BASELINE_PATH = "analysis-baseline.json"
+_VERSION = 1
+
+
+def load_baseline(path: str) -> set[str]:
+    """Fingerprints grandfathered by ``path``; empty if absent."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    return set(data.get("fingerprints", {}))
+
+
+def write_baseline(findings: list[Finding], path: str) -> int:
+    """Persist ``findings`` as the new baseline; returns the count."""
+    fingerprints = {
+        f.fingerprint: {"rule": f.rule, "path": f.path, "message": f.message}
+        for f in findings
+    }
+    payload = {"version": _VERSION, "fingerprints": fingerprints}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(fingerprints)
+
+
+def split_baselined(findings: list[Finding], baseline: set[str],
+                    ) -> tuple[list[Finding], list[Finding]]:
+    """(new, baselined) partition of ``findings``."""
+    new, old = [], []
+    for finding in findings:
+        (old if finding.fingerprint in baseline else new).append(finding)
+    return new, old

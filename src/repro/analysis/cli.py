@@ -1,0 +1,107 @@
+"""Entry point: ``python -m repro.analysis`` / ``repro analyze``.
+
+Runs the numerical-safety linter over the given paths and the
+collective-schedule verifier over every registered reduction scheme,
+then reports findings as text or JSON.  Exit status: 0 when clean (or
+all findings baselined), 1 when new findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import Sequence
+
+from .baseline import (DEFAULT_BASELINE_PATH, load_baseline, split_baselined,
+                       write_baseline)
+from .findings import Finding, sort_findings
+from .rules import run_lint
+from .schedule import verify_schedules
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Static analysis: numerical-safety lint (REP rules) + "
+                    "collective-schedule verification (SCH rules).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files/directories to lint (default: src)")
+    parser.add_argument("--format", dest="fmt", default="text",
+                        choices=("text", "json"), help="output format")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE_PATH,
+                        help="allowlist file of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE_PATH})")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current findings as the baseline "
+                             "and exit 0")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--no-schedule", action="store_true",
+                      help="skip the collective-schedule verifier")
+    mode.add_argument("--schedule-only", action="store_true",
+                      help="run only the collective-schedule verifier")
+    return parser
+
+
+def _report(new: list[Finding], baselined: list[Finding], fmt: str,
+            out) -> None:
+    if fmt == "json":
+        summary = {
+            "total": len(new) + len(baselined),
+            "new": len(new),
+            "baselined": len(baselined),
+            "by_rule": dict(sorted(Counter(f.rule for f in new).items())),
+        }
+        payload = {
+            "version": 1,
+            "findings": [f.to_dict() for f in new],
+            "summary": summary,
+        }
+        print(json.dumps(payload, indent=2), file=out)
+        return
+    for finding in new:
+        print(finding.render(), file=out)
+    if new:
+        print(f"{len(new)} finding(s) ({len(baselined)} baselined)",
+              file=out)
+    else:
+        print(f"clean: no new findings ({len(baselined)} baselined)",
+              file=out)
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+
+    findings: list[Finding] = []
+    if not args.schedule_only:
+        import os
+
+        for path in args.paths:
+            if not os.path.exists(path):
+                print(f"repro.analysis: path not found: {path}",
+                      file=sys.stderr)
+                return 2
+        findings.extend(run_lint(args.paths))
+    if not args.no_schedule:
+        findings.extend(verify_schedules())
+    findings = sort_findings(findings)
+
+    if args.write_baseline:
+        count = write_baseline(findings, args.baseline)
+        print(f"baseline written: {count} fingerprint(s) -> {args.baseline}",
+              file=out)
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new, baselined = split_baselined(findings, baseline)
+    _report(new, baselined, args.fmt, out)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

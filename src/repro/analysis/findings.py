@@ -1,0 +1,111 @@
+"""Finding model shared by the linter and the schedule verifier.
+
+A :class:`Finding` is one diagnostic: a rule id, a location (file:line
+for lint findings, a ``<schedule:scheme@world=N>`` pseudo-path for
+schedule findings) and a message.  Findings carry a stable
+*fingerprint* so a baseline file can grandfather existing ones while
+still failing the build on anything new (see :mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "JSON_REPORT_SCHEMA", "sort_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from the linter or the schedule verifier."""
+
+    rule: str            # e.g. "REP001" or "SCH005"
+    path: str            # file path, or "<schedule:scheme@world=N>"
+    line: int            # 1-based; 0 for schedule findings
+    col: int             # 0-based; 0 for schedule findings
+    message: str
+    source: str = "lint"     # "lint" | "schedule"
+    snippet: str = ""        # stripped source line (lint findings)
+    scheme: str = ""         # reduction scheme (schedule findings)
+    world: int = 0           # world size (schedule findings)
+    occurrence: int = field(default=0, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Location-tolerant identity: survives unrelated line shifts.
+
+        Lint findings hash (rule, path, stripped line text, occurrence
+        index among identical lines); schedule findings hash
+        (rule, scheme, world, message).
+        """
+        if self.source == "schedule":
+            raw = f"{self.rule}|{self.scheme}|{self.world}|{self.message}"
+        else:
+            raw = f"{self.rule}|{self.path}|{self.snippet}|{self.occurrence}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "source": self.source,
+            "snippet": self.snippet,
+            "scheme": self.scheme,
+            "world": self.world,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        if self.source == "schedule":
+            return (f"schedule[{self.scheme}@world={self.world}]: "
+                    f"{self.rule} {self.message}")
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=lambda f: (f.source, f.path, f.line, f.col,
+                                           f.rule, f.message))
+
+
+#: Minimal JSON-schema-style description of ``--format json`` output,
+#: validated by tests without requiring the ``jsonschema`` package.
+JSON_REPORT_SCHEMA = {
+    "type": "object",
+    "required": ["version", "findings", "summary"],
+    "properties": {
+        "version": {"type": "integer"},
+        "findings": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["rule", "path", "line", "col", "message",
+                             "source", "fingerprint"],
+                "properties": {
+                    "rule": {"type": "string"},
+                    "path": {"type": "string"},
+                    "line": {"type": "integer"},
+                    "col": {"type": "integer"},
+                    "message": {"type": "string"},
+                    "source": {"type": "string"},
+                    "snippet": {"type": "string"},
+                    "scheme": {"type": "string"},
+                    "world": {"type": "integer"},
+                    "fingerprint": {"type": "string"},
+                },
+            },
+        },
+        "summary": {
+            "type": "object",
+            "required": ["total", "new", "baselined", "by_rule"],
+            "properties": {
+                "total": {"type": "integer"},
+                "new": {"type": "integer"},
+                "baselined": {"type": "integer"},
+                "by_rule": {"type": "object"},
+            },
+        },
+    },
+}

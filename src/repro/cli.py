@@ -8,7 +8,9 @@ Three commands cover the common workflows:
   model family (the Table 3 axis);
 * ``topology`` — render a machine's interconnect (Figure 8);
 * ``experiment`` — regenerate one of the paper's tables/figures by
-  running its benchmark (``--list`` enumerates them).
+  running its benchmark (``--list`` enumerates them);
+* ``analyze`` — static analysis: numerical-safety lint + collective-
+  schedule verification (see ``docs/analysis.md``).
 
 Examples::
 
@@ -75,6 +77,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment id, e.g. fig3 or table7")
     exp.add_argument("--list", action="store_true", dest="list_all",
                      help="list available experiments")
+
+    ana = sub.add_parser("analyze",
+                         help="run the static-analysis suite "
+                              "(lint + schedule verifier)")
+    ana.add_argument("paths", nargs="*", default=["src"],
+                     help="files/directories to lint (default: src)")
+    ana.add_argument("--format", dest="fmt", default="text",
+                     choices=("text", "json"))
+    ana.add_argument("--baseline", default=None,
+                     help="findings allowlist file")
+    ana.add_argument("--write-baseline", action="store_true")
+    ana.add_argument("--no-schedule", action="store_true")
+    ana.add_argument("--schedule-only", action="store_true")
     return parser
 
 
@@ -213,6 +228,21 @@ def _cmd_experiment(args, out) -> int:
     return pytest.main([bench, "--benchmark-only", "-q", "-s"])
 
 
+def _cmd_analyze(args, out) -> int:
+    from repro.analysis.cli import main as analysis_main
+
+    argv = list(args.paths) + ["--format", args.fmt]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.no_schedule:
+        argv.append("--no-schedule")
+    if args.schedule_only:
+        argv.append("--schedule-only")
+    return analysis_main(argv, out=out)
+
+
 def _cmd_topology(args, out) -> int:
     machine = get_machine(args.machine)
     topo = machine.topology(args.gpus)
@@ -233,6 +263,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "train": _cmd_train,
         "topology": _cmd_topology,
         "experiment": _cmd_experiment,
+        "analyze": _cmd_analyze,
     }
     return commands[args.command](args, out)
 

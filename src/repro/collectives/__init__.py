@@ -9,6 +9,7 @@ from .ring import ring_allreduce
 from .sra import sra_allreduce
 from .timing import (SCHEMES, CollectiveTiming, time_allreduce,
                      time_partial_allreduce)
+from .trace import ScheduleTrace, TraceEvent, capture, rank_scope
 from .tree import tree_allreduce
 
 #: scheme name -> data-path implementation
@@ -43,4 +44,5 @@ __all__ = [
     "ALGORITHMS", "allreduce",
     "SCHEMES", "CollectiveTiming", "time_allreduce",
     "time_partial_allreduce", "PartialAllreduce",
+    "ScheduleTrace", "TraceEvent", "capture", "rank_scope",
 ]

@@ -16,6 +16,7 @@ import numpy as np
 from repro.compression import Compressor
 
 from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
+from .trace import emit_recv, emit_send
 
 __all__ = ["allgather_allreduce"]
 
@@ -37,7 +38,13 @@ def allgather_allreduce(
                               key=f"{key}/{rank}", stats=stats)
         # one encode, broadcast to world-1 peers
         stats.wire_bytes += wire.nbytes * max(0, world - 2)
+        for dst in range(world):
+            if dst != rank:
+                emit_send(rank, dst, wire.nbytes, step=0, tag=f"bcast/{rank}")
         decoded.append(decompress_chunk(compressor, wire, stats))
+        for dst in range(world):
+            if dst != rank:
+                emit_recv(dst, rank, wire.nbytes, step=0, tag=f"bcast/{rank}")
 
     total = np.sum(decoded, axis=0, dtype=np.float32)
     stats.max_recompressions = 1

@@ -23,6 +23,7 @@ from repro.compression import Compressor
 
 from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
 from .sra import sra_allreduce
+from .trace import emit_recv, emit_send, rank_scope
 
 __all__ = ["hierarchical_allreduce"]
 
@@ -58,17 +59,20 @@ def hierarchical_allreduce(
     node_sum: dict[int, np.ndarray] = {}
     for node in nodes:
         local = [buffers[r] for r in members[node]]
-        reduced, sub = sra_allreduce(local, compressor, rng,
-                                     key=f"{key}/intra{node}")
+        with rank_scope(members[node]):
+            reduced, sub = sra_allreduce(local, compressor, rng,
+                                         key=f"{key}/intra{node}")
         stats.wire_bytes += sub.wire_bytes
         stats.compress_calls += sub.compress_calls
         stats.decompress_calls += sub.decompress_calls
         node_sum[node] = reduced[0]
 
     # Stage 2: inter-node allreduce among the leaders.
+    leaders = [members[node][0] for node in nodes]
     leader_buffers = [node_sum[node] for node in nodes]
-    reduced, sub = sra_allreduce(leader_buffers, compressor, rng,
-                                 key=f"{key}/inter")
+    with rank_scope(leaders):
+        reduced, sub = sra_allreduce(leader_buffers, compressor, rng,
+                                     key=f"{key}/inter")
     stats.wire_bytes += sub.wire_bytes
     stats.compress_calls += sub.compress_calls
     stats.decompress_calls += sub.decompress_calls
@@ -82,9 +86,17 @@ def hierarchical_allreduce(
                           key=f"{key}/bcast", stats=stats)
     follower_count = sum(len(members[node]) - 1 for node in nodes)
     stats.wire_bytes += wire.nbytes * max(0, follower_count - 1)
+    for node in nodes:
+        leader = members[node][0]
+        for peer in members[node][1:]:
+            emit_send(leader, peer, wire.nbytes, step=2, tag="bcast")
     decoded = decompress_chunk(compressor, wire, stats).reshape(
         buffers[0].shape
     )
+    for node in nodes:
+        leader = members[node][0]
+        for peer in members[node][1:]:
+            emit_recv(peer, leader, wire.nbytes, step=2, tag="bcast")
     outputs = [decoded.copy() for _ in range(world)]
     stats.max_recompressions = 5
     return outputs, stats

@@ -14,6 +14,7 @@ import numpy as np
 from repro.compression import Compressor
 
 from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
+from .trace import emit_recv, emit_send
 
 __all__ = ["ps_allreduce"]
 
@@ -33,12 +34,18 @@ def ps_allreduce(
     for rank in range(1, world):
         wire = compress_chunk(compressor, buffers[rank].ravel(), rng,
                               key=f"{key}/push/{rank}", stats=stats)
+        emit_send(rank, 0, wire.nbytes, step=0, tag=f"push/{rank}")
         total += decompress_chunk(compressor, wire, stats)
+        emit_recv(0, rank, wire.nbytes, step=0, tag=f"push/{rank}")
 
     wire = compress_chunk(compressor, total, rng, key=f"{key}/bcast",
                           stats=stats)
     stats.wire_bytes += wire.nbytes * max(0, world - 2)
+    for rank in range(1, world):
+        emit_send(0, rank, wire.nbytes, step=1, tag="bcast")
     result = decompress_chunk(compressor, wire, stats)
+    for rank in range(1, world):
+        emit_recv(rank, 0, wire.nbytes, step=1, tag="bcast")
     stats.max_recompressions = 2
     shaped = result.reshape(buffers[0].shape)
     return [shaped.copy() for _ in range(world)], stats

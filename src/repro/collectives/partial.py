@@ -21,6 +21,7 @@ from repro.compression import Compressor
 
 from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
 from .sra import sra_allreduce
+from .trace import emit_recv, emit_send, rank_scope
 
 __all__ = ["PartialAllreduce"]
 
@@ -80,20 +81,28 @@ class PartialAllreduce:
                 else carry + grad
 
         # reduce among the quorum, then one broadcast payload for everyone
-        reduced, stats = sra_allreduce(contributions, compressor, rng,
-                                       key=f"{key}/quorum")
+        with rank_scope(participants):
+            reduced, stats = sra_allreduce(contributions, compressor, rng,
+                                           key=f"{key}/quorum")
         total = reduced[0]
 
         wire = compress_chunk(compressor, total.ravel(), rng,
                               key=f"{key}/late", stats=stats)
         laggards = self.world - len(participants)
         stats.wire_bytes += wire.nbytes * max(0, laggards - 1)
+        late_ranks = [r for r in range(self.world) if r not in participants]
+        for rank in late_ranks:
+            emit_send(participants[0], rank, wire.nbytes, step=2, tag="late")
         decoded = decompress_chunk(compressor, wire, stats).reshape(
             buffers[0].shape
         )
+        for rank in late_ranks:
+            emit_recv(rank, participants[0], wire.nbytes, step=2, tag="late")
         # every rank adopts the identical decoded payload
         outputs = [decoded.copy() for _ in range(self.world)]
         stats.scheme = "partial"
+        # quorum SRA quantizes twice; the late broadcast re-encodes once more
+        stats.max_recompressions = 3
         return outputs, stats
 
     def carry_norm(self, key: str, rank: int) -> float:

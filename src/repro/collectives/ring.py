@@ -22,6 +22,7 @@ from .base import (
     decompress_chunk,
     split_chunks,
 )
+from .trace import emit_recv, emit_send
 
 __all__ = ["ring_allreduce"]
 
@@ -53,10 +54,14 @@ def ring_allreduce(
             chunk_id = (rank - step) % world
             wire = compress_chunk(compressor, work[rank][chunk_id], rng,
                                   key=f"{key}/rs/{step}/{rank}", stats=stats)
+            emit_send(rank, (rank + 1) % world, wire.nbytes, step=step,
+                      tag=f"rs/{step}/{rank}")
             transfers.append((rank, chunk_id, wire))
         for rank, chunk_id, wire in transfers:
             nxt = (rank + 1) % world
             work[nxt][chunk_id] += decompress_chunk(compressor, wire, stats)
+            emit_recv(nxt, rank, wire.nbytes, step=step,
+                      tag=f"rs/{step}/{rank}")
 
     # After N-1 steps, rank r holds the full sum of chunk (r + 1) mod N.
     # Phase 2: allgather.  Each owner compresses its final chunk once and
@@ -67,7 +72,18 @@ def ring_allreduce(
         wire = compress_chunk(compressor, work[rank][owned], rng,
                               key=f"{key}/ag/{rank}", stats=stats)
         stats.wire_bytes += wire.nbytes * (world - 2)  # forwarded N-1 hops total
+        # the payload hops the ring verbatim: rank -> rank+1 -> ... (N-1 hops)
+        for hop in range(world - 1):
+            src = (rank + hop) % world
+            dst = (rank + hop + 1) % world
+            emit_send(src, dst, wire.nbytes, step=world - 1 + hop,
+                      tag=f"ag/{owned}")
         final_payloads[owned] = decompress_chunk(compressor, wire, stats)
+        for hop in range(world - 1):
+            src = (rank + hop) % world
+            dst = (rank + hop + 1) % world
+            emit_recv(dst, src, wire.nbytes, step=world - 1 + hop,
+                      tag=f"ag/{owned}")
 
     outputs = []
     for _ in range(world):

@@ -26,6 +26,7 @@ from .base import (
     decompress_chunk,
     split_chunks,
 )
+from .trace import emit_recv, emit_send
 
 __all__ = ["sra_allreduce"]
 
@@ -63,7 +64,11 @@ def sra_allreduce(
                 compressor, per_rank_chunks[rank][owner], rng,
                 key=f"{key}/sr/{owner}/{rank}", stats=stats,
             )
+            emit_send(rank, owner, wire.nbytes, step=0,
+                      tag=f"sr/{owner}/{rank}")
             total += decompress_chunk(compressor, wire, stats)
+            emit_recv(owner, rank, wire.nbytes, step=0,
+                      tag=f"sr/{owner}/{rank}")
         aggregated.append(total)
 
     # Round 2: allgather.  Owner compresses its aggregate once; all ranks
@@ -75,9 +80,14 @@ def sra_allreduce(
                               key=f"{key}/ag/{owner}", stats=stats)
         # broadcast costs world-1 sends of the same payload
         stats.wire_bytes += wire.nbytes * (world - 2) if world > 1 else 0
+        for dst in range(world):
+            if dst != owner:
+                emit_send(owner, dst, wire.nbytes, step=1, tag=f"ag/{owner}")
         decoded = decompress_chunk(compressor, wire, stats)
         for rank in range(world):
             out_chunks[rank][owner][:] = decoded
+            if rank != owner:
+                emit_recv(rank, owner, wire.nbytes, step=1, tag=f"ag/{owner}")
     stats.max_recompressions = 2
     shaped = [out.reshape(buffers[0].shape) for out in outputs]
     return shaped, stats

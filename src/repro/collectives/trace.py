@@ -1,0 +1,142 @@
+"""Schedule-tracing hooks for the collectives.
+
+The collectives in this package execute the *data path* of each
+reduction scheme in-process, so there is no real transport whose
+send/recv calls could be intercepted.  Instead each scheme is
+instrumented at the points where payloads logically move between ranks:
+it emits one ``send`` event at the encode/transmit site and one ``recv``
+event at the decode/accumulate site, per logical point-to-point
+message (broadcasts emit one event pair per receiving rank, matching
+the ``ReduceStats.wire_bytes`` accounting).
+
+The hooks are no-ops unless a :class:`ScheduleTrace` has been installed
+with :func:`capture`, so the data path pays one ``None`` check per
+transfer when tracing is off.  The static checks over a captured trace
+live in :mod:`repro.analysis.schedule`.
+
+Nested collectives (hierarchical composes per-node SRA calls whose
+internal rank ids are 0..k-1) translate their local ranks to global
+ones by wrapping the inner call in :func:`rank_scope`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = [
+    "TraceEvent",
+    "ScheduleTrace",
+    "capture",
+    "rank_scope",
+    "emit_send",
+    "emit_recv",
+    "tracing_active",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One logical point-to-point message endpoint.
+
+    ``kind`` is ``"send"`` (emitted where the payload is encoded) or
+    ``"recv"`` (emitted where it is decoded).  A send and its matching
+    recv share ``(src, dst, step, nbytes, tag)``.
+    """
+
+    kind: str
+    step: int
+    src: int
+    dst: int
+    nbytes: int
+    tag: str
+
+    def match_key(self) -> tuple:
+        return (self.src, self.dst, self.step, self.nbytes, self.tag)
+
+
+class ScheduleTrace:
+    """An append-only log of :class:`TraceEvent` in emission order."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def sends(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "send"]
+
+    @property
+    def recvs(self) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "recv"]
+
+    def send_bytes(self) -> int:
+        """Total payload bytes across all send events."""
+        return sum(e.nbytes for e in self.sends)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+_active: ScheduleTrace | None = None
+_rank_maps: list[Sequence[int]] = []
+
+
+def tracing_active() -> bool:
+    return _active is not None
+
+
+def _translate(rank: int) -> int:
+    """Map a collective-local rank through the nested scopes."""
+    for mapping in reversed(_rank_maps):
+        rank = mapping[rank]
+    return rank
+
+
+def emit_send(src: int, dst: int, nbytes: int, step: int,
+              tag: str = "") -> None:
+    """Record that ``src`` transmits ``nbytes`` to ``dst`` at ``step``."""
+    if _active is None:
+        return
+    _active.record(TraceEvent("send", step, _translate(src), _translate(dst),
+                              int(nbytes), tag))
+
+
+def emit_recv(dst: int, src: int, nbytes: int, step: int,
+              tag: str = "") -> None:
+    """Record that ``dst`` consumes the payload ``src`` sent at ``step``."""
+    if _active is None:
+        return
+    _active.record(TraceEvent("recv", step, _translate(src), _translate(dst),
+                              int(nbytes), tag))
+
+
+@contextmanager
+def capture() -> Iterator[ScheduleTrace]:
+    """Install a fresh trace; events emitted inside the block land in it."""
+    global _active
+    previous = _active
+    trace = ScheduleTrace()
+    _active = trace
+    try:
+        yield trace
+    finally:
+        _active = previous
+
+
+@contextmanager
+def rank_scope(mapping: Sequence[int]) -> Iterator[None]:
+    """Translate local ranks 0..k-1 of a nested collective to global ids.
+
+    ``mapping[i]`` is the global rank of the nested call's rank ``i``.
+    Scopes nest: the innermost mapping applies first.  No-op (beyond a
+    list push) when tracing is inactive.
+    """
+    _rank_maps.append(mapping)
+    try:
+        yield
+    finally:
+        _rank_maps.pop()

@@ -15,6 +15,7 @@ import numpy as np
 from repro.compression import Compressor
 
 from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
+from .trace import emit_recv, emit_send
 
 __all__ = ["tree_allreduce"]
 
@@ -34,23 +35,37 @@ def tree_allreduce(
     # Reduce phase: at stride s, rank r (multiple of 2s) absorbs rank r+s.
     stride = 1
     depth = 0
+    edges: list[tuple[int, int, int]] = []  # (parent, child, reduce step)
     while stride < world:
         for receiver in range(0, world - stride, 2 * stride):
             sender = receiver + stride
             wire = compress_chunk(compressor, partial[sender], rng,
                                   key=f"{key}/up/{stride}/{sender}", stats=stats)
+            emit_send(sender, receiver, wire.nbytes, step=depth,
+                      tag=f"up/{stride}/{sender}")
             partial[receiver] = partial[receiver] + decompress_chunk(
                 compressor, wire, stats
             )
+            emit_recv(receiver, sender, wire.nbytes, step=depth,
+                      tag=f"up/{stride}/{sender}")
+            edges.append((receiver, sender, depth))
         stride *= 2
         depth += 1
 
     # Broadcast phase: the root compresses once; the payload is forwarded
-    # down the tree verbatim so every rank decodes the same values.
+    # down the tree verbatim so every rank decodes the same values.  The
+    # forwarding retraces the reduce edges parent->child in reverse stride
+    # order (the edge reduced at step k is broadcast at step 2*depth-1-k).
     wire = compress_chunk(compressor, partial[0], rng, key=f"{key}/down",
                           stats=stats)
     stats.wire_bytes += wire.nbytes * max(0, world - 2)
+    for parent, child, k in reversed(edges):
+        emit_send(parent, child, wire.nbytes, step=2 * depth - 1 - k,
+                  tag="down")
     result = decompress_chunk(compressor, wire, stats)
+    for parent, child, k in reversed(edges):
+        emit_recv(child, parent, wire.nbytes, step=2 * depth - 1 - k,
+                  tag="down")
     stats.max_recompressions = depth + 1
     shaped = result.reshape(buffers[0].shape)
     return [shaped.copy() for _ in range(world)], stats

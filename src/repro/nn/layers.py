@@ -229,7 +229,7 @@ class Dropout(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        if not self.training or self.p == 0.0:
+        if not self.training or self.p <= 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.p

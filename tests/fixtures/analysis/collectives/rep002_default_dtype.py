@@ -1,0 +1,10 @@
+"""Fixture: triggers exactly REP002 (default-dtype alloc in a hot path).
+
+Lives under a ``collectives/`` directory so the hot-path scoping applies.
+"""
+
+import numpy as np
+
+
+def make_accumulator(numel):
+    return np.zeros(numel)

@@ -1,0 +1,5 @@
+"""Fixture: triggers exactly REP001 (float equality)."""
+
+
+def converged(loss):
+    return loss == 0.0

@@ -1,0 +1,10 @@
+"""Fixture: triggers exactly REP003 (aliased error-feedback state)."""
+
+
+class Feedback:
+    def __init__(self):
+        self._residuals = {}
+
+    def update(self, key, grad):
+        # stores the caller's array; their next in-place op corrupts it
+        self._residuals[key] = grad

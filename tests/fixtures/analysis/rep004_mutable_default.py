@@ -1,0 +1,6 @@
+"""Fixture: triggers exactly REP004 (mutable default argument)."""
+
+
+def record(value, history=[]):
+    history.append(value)
+    return history

@@ -1,0 +1,9 @@
+"""Fixture: triggers exactly REP005 (bare except)."""
+
+
+def safe_read(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except:
+        return None

@@ -1,0 +1,9 @@
+"""Fixture: triggers exactly REP006 (in-place op on a split_chunks view)."""
+
+from repro.collectives import split_chunks
+
+
+def accumulate(buffer, update):
+    chunks = split_chunks(buffer, 4)
+    chunks[0] += update  # mutates the caller's buffer through the view
+    return chunks

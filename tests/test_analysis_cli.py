@@ -1,0 +1,102 @@
+"""Tests for the analysis CLI: formats, exit codes, baseline workflow."""
+
+import io
+import json
+import os
+import shutil
+
+from repro.analysis import JSON_REPORT_SCHEMA
+from repro.analysis.cli import main as analysis_main
+from repro.cli import main as repro_main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "analysis")
+SRC = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = analysis_main(argv, out=out)
+    return code, out.getvalue()
+
+
+def _validate(value, schema, where="$"):
+    """Minimal JSON-schema validator covering the subset we emit."""
+    kind = schema["type"]
+    types = {"object": dict, "array": list, "integer": int, "string": str}
+    assert isinstance(value, types[kind]), f"{where}: expected {kind}"
+    if kind == "object":
+        for required in schema.get("required", ()):
+            assert required in value, f"{where}: missing {required!r}"
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                _validate(value[key], sub, f"{where}.{key}")
+    elif kind == "array":
+        for i, item in enumerate(value):
+            _validate(item, schema["items"], f"{where}[{i}]")
+
+
+def test_clean_tree_exits_zero_with_schedule_verification():
+    code, out = run_cli([SRC, "--format", "text"])
+    assert code == 0
+    assert "clean" in out
+
+
+def test_fixture_files_exit_nonzero_and_name_every_rule():
+    code, out = run_cli([FIXTURES, "--format", "text", "--no-schedule"])
+    assert code == 1
+    for rule in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+        assert rule in out
+
+
+def test_json_output_matches_schema():
+    code, out = run_cli([FIXTURES, "--format", "json", "--no-schedule"])
+    assert code == 1
+    report = json.loads(out)
+    _validate(report, JSON_REPORT_SCHEMA)
+    assert report["summary"]["new"] == len(report["findings"]) > 0
+    assert report["summary"]["by_rule"]["REP001"] == 1
+
+
+def test_schedule_only_skips_lint_paths():
+    code, out = run_cli(["--schedule-only", "--format", "json",
+                         "this/path/does/not/exist"])
+    assert code == 0  # paths are ignored entirely in schedule-only mode
+    assert json.loads(out)["summary"]["total"] == 0
+
+
+def test_missing_lint_path_is_a_usage_error():
+    code, _ = run_cli(["this/path/does/not/exist", "--no-schedule"])
+    assert code == 2
+
+
+def test_baseline_grandfathers_old_findings_but_fails_new_ones(tmp_path):
+    victim = tmp_path / "victim.py"
+    shutil.copy(os.path.join(FIXTURES, "rep001_float_eq.py"), victim)
+    baseline = tmp_path / "baseline.json"
+
+    code, out = run_cli([str(victim), "--no-schedule",
+                         "--baseline", str(baseline), "--write-baseline"])
+    assert code == 0 and "baseline written" in out
+
+    # grandfathered: same finding no longer fails the run
+    code, out = run_cli([str(victim), "--no-schedule",
+                         "--baseline", str(baseline)])
+    assert code == 0
+    assert "(1 baselined)" in out
+
+    # a new violation still fails, and only the new one is reported
+    victim.write_text(victim.read_text() + "\n\ndef f(x, acc=[]):\n"
+                      "    acc.append(x)\n    return acc\n")
+    code, out = run_cli([str(victim), "--no-schedule",
+                         "--baseline", str(baseline)])
+    assert code == 1
+    assert "REP004" in out and "REP001" not in out
+
+
+def test_repro_analyze_subcommand_forwards(capsys):
+    out = io.StringIO()
+    code = repro_main(["analyze", SRC, "--format", "json"], out=out)
+    assert code == 0
+    report = json.loads(out.getvalue())
+    _validate(report, JSON_REPORT_SCHEMA)
+    assert report["summary"]["new"] == 0

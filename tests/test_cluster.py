@@ -1,13 +1,11 @@
 """Tests for the cluster simulator: GPUs, topologies, networks, machines."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import (
     BACKENDS,
     GPUS,
     Link,
-    Network,
     Resource,
     ResourcePool,
     Topology,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.collectives import ALGORITHMS, allreduce, chunk_bounds, split_chunks
+from repro.collectives import allreduce, chunk_bounds, split_chunks
 from repro.compression import CompressionSpec, make_compressor
 
 SCHEMES = ["sra", "ring", "tree", "allgather", "ps"]

@@ -13,13 +13,20 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
 
 
 def run_example(name, timeout=600):
     path = os.path.join(EXAMPLES_DIR, name)
+    # the subprocess does not inherit pytest's import path, so put the
+    # in-repo package on PYTHONPATH explicitly
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
     result = subprocess.run(
         [sys.executable, path], capture_output=True, text=True,
-        timeout=timeout, cwd=EXAMPLES_DIR,
+        timeout=timeout, cwd=EXAMPLES_DIR, env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout

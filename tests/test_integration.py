@@ -1,10 +1,8 @@
 """End-to-end integration tests crossing subsystem boundaries."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import PowerSGDReducer
-from repro.compression import CompressionSpec
 from repro.core import (
     AdaptiveController,
     CGXConfig,

@@ -1,7 +1,5 @@
 """Property-based tests over the timed collective schedules."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import Network, get_machine

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.compression import CompressionSpec
 from repro.core import AdaptiveController, CGXConfig
 from repro.nn import build_model
 from repro.training import (
