@@ -1,6 +1,6 @@
 """Domain-aware static analysis for the CGX reproduction.
 
-Two pillars (see ``docs/analysis.md``):
+Four pillars (see ``docs/analysis.md``):
 
 * :mod:`repro.analysis.rules` — an AST linter with repo-specific
   numerical-safety rules (REP001..REP006): float equality, default-dtype
@@ -11,14 +11,30 @@ Two pillars (see ``docs/analysis.md``):
   and checks the send/recv log for pairing symmetry, deadlock freedom,
   wire-byte conservation against ``ReduceStats``, and bounded
   recompression depth (SCH001..SCH007).
+* :mod:`repro.analysis.contracts` — a compressor-contract checker
+  (CON001..CON008) that abstractly executes every registered operator
+  (via :mod:`repro.analysis.abstract`) and verifies its declared
+  :class:`~repro.compression.CompressorContract`: shape/dtype
+  preservation, wire-byte exactness against real serialization,
+  state/rng behaviour, and error-feedback wiring through the engine.
+* :mod:`repro.analysis.races` — a happens-before race detector
+  (RACE001..RACE004) over buffer-access-annotated schedule traces:
+  unordered write/write and read/write on aliased memory, cross-rank
+  keyed-state sharing, and overlapping rank-local buffer declarations.
 
 Run ``python -m repro.analysis`` (or ``python -m repro analyze``); the
 baseline workflow and output formats live in :mod:`repro.analysis.cli`.
 """
 
+from .abstract import (BehaviorObservation, RoundtripObservation,
+                       default_registry, execute_behavior,
+                       execute_roundtrips, probe_specs,
+                       replay_adaptive_respec, replay_engine_wiring)
 from .baseline import load_baseline, split_baselined, write_baseline
 from .cli import main
+from .contracts import CONTRACT_RULES, check_engine_wiring, verify_contracts
 from .findings import JSON_REPORT_SCHEMA, Finding, sort_findings
+from .races import RACE_RULES, analyze_callable, analyze_trace, verify_races
 from .rules import HOT_PATH_PARTS, RULES, lint_file, lint_source, run_lint
 from .schedule import (SchemeCase, default_cases,
                        expected_recompression_bound, trace_case,
@@ -31,6 +47,11 @@ __all__ = [
     "SchemeCase", "default_cases", "expected_recompression_bound",
     "trace_case", "verify_trace", "verify_case", "verify_schedules",
     "verify_callable",
+    "CONTRACT_RULES", "verify_contracts", "check_engine_wiring",
+    "RoundtripObservation", "BehaviorObservation", "default_registry",
+    "probe_specs", "execute_roundtrips", "execute_behavior",
+    "replay_engine_wiring", "replay_adaptive_respec",
+    "RACE_RULES", "analyze_trace", "analyze_callable", "verify_races",
     "load_baseline", "write_baseline", "split_baselined",
     "main",
 ]

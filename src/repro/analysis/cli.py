@@ -1,9 +1,19 @@
 """Entry point: ``python -m repro.analysis`` / ``repro analyze``.
 
-Runs the numerical-safety linter over the given paths and the
-collective-schedule verifier over every registered reduction scheme,
-then reports findings as text or JSON.  Exit status: 0 when clean (or
-all findings baselined), 1 when new findings exist, 2 on usage errors.
+Runs up to four passes and reports findings as text or JSON:
+
+* **lint** — numerical-safety AST rules (REP) over the given paths;
+* **schedule** — collective-schedule verification (SCH);
+* **contracts** — compressor-contract checking (CON);
+* **races** — happens-before race detection (RACE).
+
+All four run by default.  ``--contracts`` / ``--races`` select *only*
+the named semantic passes (they combine with each other);
+``--schedule-only`` keeps its PR-1 meaning (schedule pass alone) and
+``--no-schedule`` drops the schedule pass from the default set.
+
+Exit status: 0 when clean (or all findings baselined), 1 when new
+findings exist, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -20,14 +30,17 @@ from .findings import Finding, sort_findings
 from .rules import run_lint
 from .schedule import verify_schedules
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "select_passes"]
+
+PASSES = ("lint", "schedule", "contracts", "races")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
-        description="Static analysis: numerical-safety lint (REP rules) + "
-                    "collective-schedule verification (SCH rules).",
+        description="Static analysis: numerical-safety lint (REP), "
+                    "collective-schedule verification (SCH), compressor "
+                    "contracts (CON), happens-before races (RACE).",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to lint (default: src)")
@@ -44,7 +57,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the collective-schedule verifier")
     mode.add_argument("--schedule-only", action="store_true",
                       help="run only the collective-schedule verifier")
+    parser.add_argument("--contracts", action="store_true",
+                        help="run only the compressor-contract checker "
+                             "(combines with --races)")
+    parser.add_argument("--races", action="store_true",
+                        help="run only the happens-before race detector "
+                             "(combines with --contracts)")
     return parser
+
+
+def select_passes(args: argparse.Namespace) -> tuple[str, ...]:
+    """Which passes a parsed command line asks for (see module doc)."""
+    if args.schedule_only:
+        if args.contracts or args.races:
+            raise SystemExit(
+                "repro.analysis: --schedule-only cannot combine with "
+                "--contracts/--races")
+        return ("schedule",)
+    if args.contracts or args.races:
+        if args.no_schedule:
+            raise SystemExit(
+                "repro.analysis: --no-schedule is redundant with "
+                "--contracts/--races (schedule is already deselected)")
+        selected = []
+        if args.contracts:
+            selected.append("contracts")
+        if args.races:
+            selected.append("races")
+        return tuple(selected)
+    if args.no_schedule:
+        return ("lint", "contracts", "races")
+    return PASSES
 
 
 def _report(new: list[Finding], baselined: list[Finding], fmt: str,
@@ -76,9 +119,14 @@ def _report(new: list[Finding], baselined: list[Finding], fmt: str,
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    try:
+        passes = select_passes(args)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
     findings: list[Finding] = []
-    if not args.schedule_only:
+    if "lint" in passes:
         import os
 
         for path in args.paths:
@@ -87,8 +135,16 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                       file=sys.stderr)
                 return 2
         findings.extend(run_lint(args.paths))
-    if not args.no_schedule:
+    if "schedule" in passes:
         findings.extend(verify_schedules())
+    if "contracts" in passes:
+        from .contracts import verify_contracts
+
+        findings.extend(verify_contracts())
+    if "races" in passes:
+        from .races import verify_races
+
+        findings.extend(verify_races())
     findings = sort_findings(findings)
 
     if args.write_baseline:

@@ -1,0 +1,235 @@
+"""Compressor-contract checker (rules CON001..CON008).
+
+Each compression operator declares a
+:class:`~repro.compression.CompressorContract`; this pass verifies the
+declaration against *observed* behaviour from
+:mod:`repro.analysis.abstract` — no source inspection, so a contract
+violation means the operator genuinely misbehaves, not that it is
+written in an unexpected style.
+
+Rules:
+
+``CON001``  operator has no contract, or the contract's ``method`` does
+            not match the registry name it is registered under.
+``CON002``  roundtrip broke shape/numel/dtype preservation despite
+            ``preserves_shape`` / ``output_dtype`` claiming otherwise.
+``CON003``  wire-byte drift: ``spec.wire_bytes``, ``Compressed.nbytes``
+            and the measured serialized payload size disagree while the
+            contract claims ``exact_wire_claim``.
+``CON004``  statefulness mismatch: repeated compression of identical
+            input under identically-seeded fresh generators differs for
+            an operator declared stateless (or never differs for one
+            declared stateful — a stale declaration).
+``CON005``  rng mismatch: payload depends on the generator seed for an
+            operator declared rng-free, or is seed-invariant for one
+            declared stochastic.
+``CON006``  an error-feedback-requiring method is wired into the engine
+            without :class:`~repro.compression.ErrorFeedback` (methods
+            with ``self_error_feedback``, e.g. DGC, are exempt — and
+            must NOT be double-wrapped).
+``CON007``  the engine drops accumulated error-feedback residuals when
+            the adaptive policy reassigns a layer's spec without
+            changing the method.
+``CON008``  lossless claim violated: a roundtrip declared bit-exact
+            altered at least one element.
+"""
+
+from __future__ import annotations
+
+from repro.compression import CompressionSpec, Compressor, ErrorFeedback
+from repro.core import CGXConfig, CommunicationEngine
+
+from .abstract import (
+    default_registry,
+    execute_behavior,
+    execute_roundtrips,
+    probe_specs,
+    replay_adaptive_respec,
+    replay_engine_wiring,
+)
+from .findings import Finding
+
+__all__ = ["CONTRACT_RULES", "verify_contracts", "check_engine_wiring"]
+
+CONTRACT_RULES = {
+    "CON001": "missing or mismatched compressor contract",
+    "CON002": "shape/numel/dtype preservation violated",
+    "CON003": "wire-byte claim drifts from serialized payload",
+    "CON004": "statefulness declaration does not match behaviour",
+    "CON005": "rng-usage declaration does not match behaviour",
+    "CON006": "error-feedback-requiring method wired without ErrorFeedback",
+    "CON007": "error-feedback residuals dropped on same-method respec",
+    "CON008": "lossless claim violated by roundtrip",
+}
+
+
+def _finding(rule: str, method: str, message: str) -> Finding:
+    return Finding(rule=rule, path=f"<contract:{method}>", line=0, col=0,
+                   message=message, source="contract", scheme=method)
+
+
+def _spec_label(spec: CompressionSpec) -> str:
+    """Compact spec id for messages: distinguishes same-method probes."""
+    parts = [spec.method]
+    for name in ("bits", "bucket_size", "density", "rank", "ratio",
+                 "scaling", "wire_dtype_bits"):
+        value = getattr(spec, name, None)
+        if value not in (None, "", 0):
+            parts.append(f"{name}={value}")
+    return " ".join(parts)
+
+
+def _check_operator(method: str, cls: type[Compressor]) -> list[Finding]:
+    """CON001..CON005 + CON008 for one registered operator class."""
+    contract = getattr(cls, "contract", None)
+    if contract is None:
+        return [_finding("CON001", method,
+                         f"{cls.__name__} declares no CompressorContract")]
+    if contract.method != method:
+        return [_finding(
+            "CON001", method,
+            f"{cls.__name__}.contract.method is {contract.method!r} but the "
+            f"operator is registered as {method!r}")]
+
+    findings: list[Finding] = []
+    specs = probe_specs(method) or [CompressionSpec(method)]
+    for spec in specs:
+        for obs in execute_roundtrips(cls, spec):
+            if contract.preserves_shape and (
+                    obs.out_shape != obs.shape
+                    or obs.out_numel != _numel(obs.shape)):
+                findings.append(_finding(
+                    "CON002", method,
+                    f"roundtrip of shape {obs.shape} returned shape "
+                    f"{obs.out_shape} ({_spec_label(spec)})"))
+            if obs.out_dtype != contract.output_dtype:
+                findings.append(_finding(
+                    "CON002", method,
+                    f"decompress returned dtype {obs.out_dtype}, contract "
+                    f"declares {contract.output_dtype} ({_spec_label(spec)})"))
+            if contract.exact_wire_claim and not (
+                    obs.claimed_bytes == obs.declared_bytes
+                    == obs.measured_bytes):
+                findings.append(_finding(
+                    "CON003", method,
+                    f"shape {obs.shape} ({_spec_label(spec)}): wire_bytes "
+                    f"claims {obs.claimed_bytes}, payload declares "
+                    f"{obs.declared_bytes}, serialization measures "
+                    f"{obs.measured_bytes}"))
+            if contract.lossless and not obs.exact:
+                findings.append(_finding(
+                    "CON008", method,
+                    f"shape {obs.shape} ({_spec_label(spec)}): roundtrip "
+                    f"declared lossless altered the tensor"))
+
+        behavior = execute_behavior(cls, spec)
+        if behavior.repeat_differs and not contract.stateful:
+            findings.append(_finding(
+                "CON004", method,
+                f"payload changed across identical repeat calls but the "
+                f"contract declares stateless ({_spec_label(spec)})"))
+        if contract.stateful and not behavior.repeat_differs:
+            findings.append(_finding(
+                "CON004", method,
+                f"contract declares stateful but repeated identical calls "
+                f"produced identical payloads ({_spec_label(spec)})"))
+        if behavior.rng_sensitive and not contract.uses_rng:
+            findings.append(_finding(
+                "CON005", method,
+                f"payload depends on the generator seed but the contract "
+                f"declares uses_rng=False ({_spec_label(spec)})"))
+        if contract.uses_rng and not behavior.rng_sensitive:
+            findings.append(_finding(
+                "CON005", method,
+                f"contract declares uses_rng=True but payloads were "
+                f"seed-invariant ({_spec_label(spec)})"))
+    return findings
+
+
+def _numel(shape: tuple[int, ...]) -> int:
+    n = 1
+    for dim in shape:
+        n *= dim
+    return n
+
+
+def check_engine_wiring(
+    configs: list[CGXConfig] | None = None,
+    engine_cls: type[CommunicationEngine] = CommunicationEngine,
+    registry: dict[str, type[Compressor]] | None = None,
+) -> list[Finding]:
+    """CON006/CON007: replay engine planning and adaptive respec.
+
+    Args:
+        configs: engine configs to replay; defaults to one config per
+            EF-relevant method so every wiring path is exercised.
+        engine_cls: injectable for fixtures (a legacy engine class that
+            drops residuals triggers CON007).
+        registry: method -> class map; contracts are read from it.
+    """
+    registry = registry or default_registry()
+    if configs is None:
+        configs = [CGXConfig.cgx_default(128)]
+        for method, spec in (
+            ("topk", CompressionSpec("topk", density=0.1,
+                                     error_feedback=True)),
+            ("powersgd", CompressionSpec("powersgd", rank=4,
+                                         error_feedback=True)),
+            ("onebit", CompressionSpec("onebit", error_feedback=True)),
+            ("dgc", CompressionSpec("dgc", density=0.05)),
+        ):
+            if method in registry:
+                configs.append(CGXConfig(compression=spec))
+
+    findings: list[Finding] = []
+    for config in configs:
+        for package, compressor in replay_engine_wiring(config, engine_cls):
+            method = package.spec.method
+            cls = registry.get(method)
+            contract = getattr(cls, "contract", None) if cls else None
+            if contract is None:
+                continue  # CON001 reports the missing declaration
+            wrapped = isinstance(compressor, ErrorFeedback)
+            if (contract.requires_error_feedback
+                    and not contract.self_error_feedback and not wrapped):
+                findings.append(_finding(
+                    "CON006", method,
+                    f"package {package.name!r} uses {method} (requires "
+                    f"error feedback) but the engine built a bare "
+                    f"{type(compressor).__name__}"))
+            if contract.self_error_feedback and wrapped:
+                findings.append(_finding(
+                    "CON006", method,
+                    f"package {package.name!r}: {method} maintains its own "
+                    f"residual but the engine double-wrapped it in "
+                    f"ErrorFeedback"))
+
+    respec = replay_adaptive_respec(engine_cls)
+    if respec["rebuilt"] and not respec["carried"]:
+        findings.append(_finding(
+            "CON007", "topk",
+            "adaptive same-method respec rebuilt the compressor and lost "
+            f"{respec['residual_norm_before']:.3g} of accumulated "
+            "error-feedback residual (expected it to carry over)"))
+    return findings
+
+
+def verify_contracts(
+    registry: dict[str, type[Compressor]] | None = None,
+    engine_cls: type[CommunicationEngine] = CommunicationEngine,
+    check_wiring: bool = True,
+) -> list[Finding]:
+    """Run every contract rule over the registered operators.
+
+    Defaults replay the real registry (:func:`make_compressor`'s table)
+    and the real engine; tests inject broken registries/engines to
+    exercise each rule.
+    """
+    registry = registry or default_registry()
+    findings: list[Finding] = []
+    for method in sorted(registry):
+        findings.extend(_check_operator(method, registry[method]))
+    if check_wiring:
+        findings.extend(check_engine_wiring(engine_cls=engine_cls,
+                                            registry=registry))
+    return findings

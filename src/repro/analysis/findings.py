@@ -1,10 +1,11 @@
-"""Finding model shared by the linter and the schedule verifier.
+"""Finding model shared by every analysis pass.
 
 A :class:`Finding` is one diagnostic: a rule id, a location (file:line
-for lint findings, a ``<schedule:scheme@world=N>`` pseudo-path for
-schedule findings) and a message.  Findings carry a stable
-*fingerprint* so a baseline file can grandfather existing ones while
-still failing the build on anything new (see :mod:`repro.analysis.baseline`).
+for lint findings; a ``<schedule:scheme@world=N>``, ``<contract:method>``
+or ``<race:scheme@world=N>`` pseudo-path for the semantic passes) and a
+message.  Findings carry a stable *fingerprint* so a baseline file can
+grandfather existing ones while still failing the build on anything new
+(see :mod:`repro.analysis.baseline`).
 """
 
 from __future__ import annotations
@@ -19,15 +20,15 @@ __all__ = ["Finding", "JSON_REPORT_SCHEMA", "sort_findings"]
 class Finding:
     """One diagnostic from the linter or the schedule verifier."""
 
-    rule: str            # e.g. "REP001" or "SCH005"
-    path: str            # file path, or "<schedule:scheme@world=N>"
-    line: int            # 1-based; 0 for schedule findings
-    col: int             # 0-based; 0 for schedule findings
+    rule: str            # e.g. "REP001", "SCH005", "CON003", "RACE001"
+    path: str            # file path, or a <pass:...> pseudo-path
+    line: int            # 1-based; 0 for non-lint findings
+    col: int             # 0-based; 0 for non-lint findings
     message: str
-    source: str = "lint"     # "lint" | "schedule"
+    source: str = "lint"     # "lint" | "schedule" | "contract" | "race"
     snippet: str = ""        # stripped source line (lint findings)
-    scheme: str = ""         # reduction scheme (schedule findings)
-    world: int = 0           # world size (schedule findings)
+    scheme: str = ""         # reduction scheme, or compression method
+    world: int = 0           # world size (0 for lint/contract findings)
     occurrence: int = field(default=0, compare=False)
 
     @property
@@ -35,13 +36,13 @@ class Finding:
         """Location-tolerant identity: survives unrelated line shifts.
 
         Lint findings hash (rule, path, stripped line text, occurrence
-        index among identical lines); schedule findings hash
-        (rule, scheme, world, message).
+        index among identical lines); semantic findings (schedule,
+        contract, race) hash (rule, scheme, world, message).
         """
-        if self.source == "schedule":
-            raw = f"{self.rule}|{self.scheme}|{self.world}|{self.message}"
-        else:
+        if self.source == "lint":
             raw = f"{self.rule}|{self.path}|{self.snippet}|{self.occurrence}"
+        else:
+            raw = f"{self.rule}|{self.scheme}|{self.world}|{self.message}"
         return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
 
     def to_dict(self) -> dict:
@@ -61,6 +62,11 @@ class Finding:
     def render(self) -> str:
         if self.source == "schedule":
             return (f"schedule[{self.scheme}@world={self.world}]: "
+                    f"{self.rule} {self.message}")
+        if self.source == "contract":
+            return f"contract[{self.scheme}]: {self.rule} {self.message}"
+        if self.source == "race":
+            return (f"race[{self.scheme}@world={self.world}]: "
                     f"{self.rule} {self.message}")
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
 

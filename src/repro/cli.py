@@ -79,8 +79,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="list available experiments")
 
     ana = sub.add_parser("analyze",
-                         help="run the static-analysis suite "
-                              "(lint + schedule verifier)")
+                         help="run the static-analysis suite (lint + "
+                              "schedule verifier + contracts + races)")
     ana.add_argument("paths", nargs="*", default=["src"],
                      help="files/directories to lint (default: src)")
     ana.add_argument("--format", dest="fmt", default="text",
@@ -90,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--write-baseline", action="store_true")
     ana.add_argument("--no-schedule", action="store_true")
     ana.add_argument("--schedule-only", action="store_true")
+    ana.add_argument("--contracts", action="store_true",
+                     help="run only the compressor-contract checker "
+                          "(combines with --races)")
+    ana.add_argument("--races", action="store_true",
+                     help="run only the happens-before race detector "
+                          "(combines with --contracts)")
     return parser
 
 
@@ -105,8 +111,11 @@ def _method_setup(args) -> tuple[CGXConfig, str]:
 
         return grace_config(bits=args.bits), "fused"
     if args.method == "powersgd":
+        # PowerSGD needs error feedback for accuracy (Vogels et al. 2019;
+        # enforced by contract rule CON006)
         return CGXConfig(backend="shm", scheme="sra",
-                         compression=CompressionSpec("powersgd", rank=4)), \
+                         compression=CompressionSpec("powersgd", rank=4,
+                                                     error_feedback=True)), \
             "cgx"
     config = CGXConfig.cgx_default(args.bucket_size)
     config.compression = CompressionSpec("qsgd", bits=args.bits,
@@ -240,6 +249,10 @@ def _cmd_analyze(args, out) -> int:
         argv.append("--no-schedule")
     if args.schedule_only:
         argv.append("--schedule-only")
+    if args.contracts:
+        argv.append("--contracts")
+    if args.races:
+        argv.append("--races")
     return analysis_main(argv, out=out)
 
 

@@ -1,7 +1,8 @@
 """Compression-aware collectives: data paths and timed schedules."""
 
 from .allgather import allgather_allreduce
-from .base import ReduceStats, chunk_bounds, check_buffers, split_chunks
+from .base import (ReduceStats, accumulate_chunk, check_buffers, chunk_bounds,
+                   compress_chunk, decompress_chunk, split_chunks, store_chunk)
 from .hierarchical import hierarchical_allreduce
 from .parameter_server import ps_allreduce
 from .partial import PartialAllreduce
@@ -9,7 +10,9 @@ from .ring import ring_allreduce
 from .sra import sra_allreduce
 from .timing import (SCHEMES, CollectiveTiming, time_allreduce,
                      time_partial_allreduce)
-from .trace import ScheduleTrace, TraceEvent, capture, rank_scope
+from .trace import (BufferAccess, ScheduleTrace, TraceEvent, capture,
+                    declare_buffer, emit_buffer_read, emit_buffer_update,
+                    emit_buffer_write, emit_state_use, rank_scope)
 from .tree import tree_allreduce
 
 #: scheme name -> data-path implementation
@@ -39,10 +42,13 @@ def allreduce(scheme, buffers, compressor, rng, key="", node_of=None):
 
 __all__ = [
     "ReduceStats", "chunk_bounds", "check_buffers", "split_chunks",
+    "compress_chunk", "decompress_chunk", "accumulate_chunk", "store_chunk",
     "sra_allreduce", "ring_allreduce", "tree_allreduce",
     "allgather_allreduce", "ps_allreduce", "hierarchical_allreduce",
     "ALGORITHMS", "allreduce",
     "SCHEMES", "CollectiveTiming", "time_allreduce",
     "time_partial_allreduce", "PartialAllreduce",
-    "ScheduleTrace", "TraceEvent", "capture", "rank_scope",
+    "ScheduleTrace", "TraceEvent", "BufferAccess", "capture", "rank_scope",
+    "declare_buffer", "emit_buffer_read", "emit_buffer_write",
+    "emit_buffer_update", "emit_state_use",
 ]

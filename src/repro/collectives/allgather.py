@@ -16,7 +16,7 @@ import numpy as np
 from repro.compression import Compressor
 
 from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
-from .trace import emit_recv, emit_send
+from .trace import declare_buffer, emit_recv, emit_send
 
 __all__ = ["allgather_allreduce"]
 
@@ -31,11 +31,14 @@ def allgather_allreduce(
     numel = check_buffers(buffers)
     world = len(buffers)
     stats = ReduceStats("allgather", world, numel)
+    for rank, buf in enumerate(buffers):
+        declare_buffer(rank, buf, name=f"{key}/input")
 
     decoded = []
     for rank in range(world):
         wire = compress_chunk(compressor, buffers[rank].ravel(), rng,
-                              key=f"{key}/{rank}", stats=stats)
+                              key=f"{key}/{rank}", stats=stats,
+                              rank=rank, tag=f"bcast/{rank}")
         # one encode, broadcast to world-1 peers
         stats.wire_bytes += wire.nbytes * max(0, world - 2)
         for dst in range(world):

@@ -19,8 +19,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.compression import Compressor
+from repro.compression.topk import ErrorFeedback
 
-__all__ = ["ReduceStats", "chunk_bounds", "split_chunks", "check_buffers"]
+from .trace import (emit_buffer_read, emit_buffer_update, emit_buffer_write,
+                    emit_state_use, tracing_active)
+
+__all__ = ["ReduceStats", "chunk_bounds", "split_chunks", "check_buffers",
+           "compress_chunk", "decompress_chunk", "accumulate_chunk",
+           "store_chunk"]
 
 
 @dataclass
@@ -72,9 +78,27 @@ def check_buffers(buffers: list[np.ndarray]) -> int:
     return numel
 
 
+def _uses_keyed_state(compressor) -> bool:
+    """Whether compressing under a key touches per-key mutable state."""
+    if isinstance(compressor, ErrorFeedback):
+        return True
+    contract = getattr(type(compressor), "contract", None)
+    return bool(contract is not None and contract.stateful)
+
+
 def compress_chunk(compressor: Compressor, chunk: np.ndarray,
-                   rng: np.random.Generator, key, stats: ReduceStats):
-    """Compress one chunk, updating stats; returns the wire object."""
+                   rng: np.random.Generator, key, stats: ReduceStats,
+                   rank: int | None = None, tag: str = ""):
+    """Compress one chunk, updating stats; returns the wire object.
+
+    ``rank`` attributes the access under an active trace: a buffer read
+    of ``chunk``, plus a state use of ``key`` when the compressor keeps
+    per-key state (error feedback, PowerSGD/DGC accumulators).
+    """
+    if rank is not None and tracing_active():
+        emit_buffer_read(rank, chunk, tag=tag or str(key))
+        if _uses_keyed_state(compressor):
+            emit_state_use(rank, key, tag=tag or str(key))
     compressed = compressor.compress(chunk, rng, key=key)
     stats.compress_calls += 1
     stats.record_send(compressed.nbytes)
@@ -85,3 +109,21 @@ def decompress_chunk(compressor: Compressor, compressed,
                      stats: ReduceStats) -> np.ndarray:
     stats.decompress_calls += 1
     return compressor.decompress(compressed)
+
+
+def accumulate_chunk(target: np.ndarray, value: np.ndarray,
+                     rank: int | None = None, tag: str = "") -> np.ndarray:
+    """``target += value`` with an in-place-update access record."""
+    if rank is not None:
+        emit_buffer_update(rank, target, tag=tag)
+    target += value
+    return target
+
+
+def store_chunk(target: np.ndarray, value: np.ndarray,
+                rank: int | None = None, tag: str = "") -> np.ndarray:
+    """``target[:] = value`` with a write access record."""
+    if rank is not None:
+        emit_buffer_write(rank, target, tag=tag)
+    target[:] = value
+    return target

@@ -83,7 +83,8 @@ def hierarchical_allreduce(
     # every rank on every node decodes bit-identical values — replicas
     # must not diverge across nodes.
     wire = compress_chunk(compressor, reduced[0].ravel(), rng,
-                          key=f"{key}/bcast", stats=stats)
+                          key=f"{key}/bcast", stats=stats,
+                          rank=leaders[0], tag="bcast")
     follower_count = sum(len(members[node]) - 1 for node in nodes)
     stats.wire_bytes += wire.nbytes * max(0, follower_count - 1)
     for node in nodes:

@@ -13,8 +13,9 @@ import numpy as np
 
 from repro.compression import Compressor
 
-from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
-from .trace import emit_recv, emit_send
+from .base import (ReduceStats, accumulate_chunk, check_buffers,
+                   compress_chunk, decompress_chunk)
+from .trace import declare_buffer, emit_recv, emit_send
 
 __all__ = ["ps_allreduce"]
 
@@ -29,17 +30,21 @@ def ps_allreduce(
     numel = check_buffers(buffers)
     world = len(buffers)
     stats = ReduceStats("ps", world, numel)
+    for rank, buf in enumerate(buffers):
+        declare_buffer(rank, buf, name=f"{key}/input")
 
     total = buffers[0].astype(np.float32).ravel().copy()
     for rank in range(1, world):
         wire = compress_chunk(compressor, buffers[rank].ravel(), rng,
-                              key=f"{key}/push/{rank}", stats=stats)
+                              key=f"{key}/push/{rank}", stats=stats,
+                              rank=rank, tag=f"push/{rank}")
         emit_send(rank, 0, wire.nbytes, step=0, tag=f"push/{rank}")
-        total += decompress_chunk(compressor, wire, stats)
         emit_recv(0, rank, wire.nbytes, step=0, tag=f"push/{rank}")
+        accumulate_chunk(total, decompress_chunk(compressor, wire, stats),
+                         rank=0, tag="push/agg")
 
     wire = compress_chunk(compressor, total, rng, key=f"{key}/bcast",
-                          stats=stats)
+                          stats=stats, rank=0, tag="bcast")
     stats.wire_bytes += wire.nbytes * max(0, world - 2)
     for rank in range(1, world):
         emit_send(0, rank, wire.nbytes, step=1, tag="bcast")

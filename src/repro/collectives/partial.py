@@ -21,7 +21,7 @@ from repro.compression import Compressor
 
 from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
 from .sra import sra_allreduce
-from .trace import emit_recv, emit_send, rank_scope
+from .trace import emit_recv, emit_send, emit_state_use, rank_scope
 
 __all__ = ["PartialAllreduce"]
 
@@ -70,6 +70,7 @@ class PartialAllreduce:
             value = buffers[rank].astype(np.float32).copy()
             carry = self._carry.pop((key, rank), None)
             if carry is not None:
+                emit_state_use(rank, (key, rank), tag="carry")
                 value += carry.reshape(value.shape)
             contributions.append(value)
         for rank in range(self.world):
@@ -77,6 +78,7 @@ class PartialAllreduce:
                 continue
             carry = self._carry.get((key, rank))
             grad = buffers[rank].astype(np.float32)
+            emit_state_use(rank, (key, rank), tag="carry")
             self._carry[(key, rank)] = grad.copy() if carry is None \
                 else carry + grad
 
@@ -87,7 +89,8 @@ class PartialAllreduce:
         total = reduced[0]
 
         wire = compress_chunk(compressor, total.ravel(), rng,
-                              key=f"{key}/late", stats=stats)
+                              key=f"{key}/late", stats=stats,
+                              rank=participants[0], tag="late")
         laggards = self.world - len(participants)
         stats.wire_bytes += wire.nbytes * max(0, laggards - 1)
         late_ranks = [r for r in range(self.world) if r not in participants]

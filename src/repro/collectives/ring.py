@@ -17,12 +17,14 @@ from repro.compression import Compressor
 
 from .base import (
     ReduceStats,
+    accumulate_chunk,
     check_buffers,
     compress_chunk,
     decompress_chunk,
     split_chunks,
+    store_chunk,
 )
-from .trace import emit_recv, emit_send
+from .trace import declare_buffer, emit_recv, emit_send
 
 __all__ = ["ring_allreduce"]
 
@@ -39,6 +41,8 @@ def ring_allreduce(
     stats = ReduceStats("ring", world, numel)
     if world == 1:
         return [buffers[0].astype(np.float32).copy()], stats
+    for rank, buf in enumerate(buffers):
+        declare_buffer(rank, buf, name=f"{key}/input")
 
     # working copies, chunked; chunk c starts its journey at rank c
     work = [
@@ -53,15 +57,18 @@ def ring_allreduce(
         for rank in range(world):
             chunk_id = (rank - step) % world
             wire = compress_chunk(compressor, work[rank][chunk_id], rng,
-                                  key=f"{key}/rs/{step}/{rank}", stats=stats)
+                                  key=f"{key}/rs/{step}/{rank}", stats=stats,
+                                  rank=rank, tag=f"rs/{step}/{rank}")
             emit_send(rank, (rank + 1) % world, wire.nbytes, step=step,
                       tag=f"rs/{step}/{rank}")
             transfers.append((rank, chunk_id, wire))
         for rank, chunk_id, wire in transfers:
             nxt = (rank + 1) % world
-            work[nxt][chunk_id] += decompress_chunk(compressor, wire, stats)
             emit_recv(nxt, rank, wire.nbytes, step=step,
                       tag=f"rs/{step}/{rank}")
+            accumulate_chunk(work[nxt][chunk_id],
+                             decompress_chunk(compressor, wire, stats),
+                             rank=nxt, tag=f"rs/acc/{step}/{nxt}")
 
     # After N-1 steps, rank r holds the full sum of chunk (r + 1) mod N.
     # Phase 2: allgather.  Each owner compresses its final chunk once and
@@ -70,7 +77,8 @@ def ring_allreduce(
     for rank in range(world):
         owned = (rank + 1) % world
         wire = compress_chunk(compressor, work[rank][owned], rng,
-                              key=f"{key}/ag/{rank}", stats=stats)
+                              key=f"{key}/ag/{rank}", stats=stats,
+                              rank=rank, tag=f"ag/{owned}")
         stats.wire_bytes += wire.nbytes * (world - 2)  # forwarded N-1 hops total
         # the payload hops the ring verbatim: rank -> rank+1 -> ... (N-1 hops)
         for hop in range(world - 1):
@@ -86,10 +94,11 @@ def ring_allreduce(
                       tag=f"ag/{owned}")
 
     outputs = []
-    for _ in range(world):
+    for rank in range(world):
         out = np.empty(numel, dtype=np.float32)
         for chunk_id, view in enumerate(split_chunks(out, world)):
-            view[:] = final_payloads[chunk_id]
+            store_chunk(view, final_payloads[chunk_id], rank=rank,
+                        tag=f"ag/out/{chunk_id}")
         outputs.append(out.reshape(buffers[0].shape))
     stats.max_recompressions = world  # N-1 reduce hops + 1 allgather encode
     return outputs, stats

@@ -21,12 +21,14 @@ from repro.compression import Compressor
 
 from .base import (
     ReduceStats,
+    accumulate_chunk,
     check_buffers,
     compress_chunk,
     decompress_chunk,
     split_chunks,
+    store_chunk,
 )
-from .trace import emit_recv, emit_send
+from .trace import declare_buffer, emit_recv, emit_send
 
 __all__ = ["sra_allreduce"]
 
@@ -51,6 +53,8 @@ def sra_allreduce(
     numel = check_buffers(buffers)
     world = len(buffers)
     stats = ReduceStats("sra", world, numel)
+    for rank, buf in enumerate(buffers):
+        declare_buffer(rank, buf, name=f"{key}/input")
     per_rank_chunks = [split_chunks(buf, world) for buf in buffers]
 
     # Round 1: scatter-reduce.  Owner o aggregates chunk o of every rank.
@@ -63,12 +67,14 @@ def sra_allreduce(
             wire = compress_chunk(
                 compressor, per_rank_chunks[rank][owner], rng,
                 key=f"{key}/sr/{owner}/{rank}", stats=stats,
+                rank=rank, tag=f"sr/{owner}/{rank}",
             )
             emit_send(rank, owner, wire.nbytes, step=0,
                       tag=f"sr/{owner}/{rank}")
-            total += decompress_chunk(compressor, wire, stats)
             emit_recv(owner, rank, wire.nbytes, step=0,
                       tag=f"sr/{owner}/{rank}")
+            accumulate_chunk(total, decompress_chunk(compressor, wire, stats),
+                             rank=owner, tag=f"sr/agg/{owner}")
         aggregated.append(total)
 
     # Round 2: allgather.  Owner compresses its aggregate once; all ranks
@@ -77,7 +83,8 @@ def sra_allreduce(
     out_chunks = [split_chunks(out, world) for out in outputs]
     for owner in range(world):
         wire = compress_chunk(compressor, aggregated[owner], rng,
-                              key=f"{key}/ag/{owner}", stats=stats)
+                              key=f"{key}/ag/{owner}", stats=stats,
+                              rank=owner, tag=f"ag/{owner}")
         # broadcast costs world-1 sends of the same payload
         stats.wire_bytes += wire.nbytes * (world - 2) if world > 1 else 0
         for dst in range(world):
@@ -85,9 +92,10 @@ def sra_allreduce(
                 emit_send(owner, dst, wire.nbytes, step=1, tag=f"ag/{owner}")
         decoded = decompress_chunk(compressor, wire, stats)
         for rank in range(world):
-            out_chunks[rank][owner][:] = decoded
             if rank != owner:
                 emit_recv(rank, owner, wire.nbytes, step=1, tag=f"ag/{owner}")
+            store_chunk(out_chunks[rank][owner], decoded, rank=rank,
+                        tag=f"ag/out/{owner}")
     stats.max_recompressions = 2
     shaped = [out.reshape(buffers[0].shape) for out in outputs]
     return shaped, stats

@@ -17,21 +17,44 @@ live in :mod:`repro.analysis.schedule`.
 Nested collectives (hierarchical composes per-node SRA calls whose
 internal rank ids are 0..k-1) translate their local ranks to global
 ones by wrapping the inner call in :func:`rank_scope`.
+
+Besides message endpoints the trace records **buffer accesses**
+(:class:`BufferAccess`): reads, writes and in-place updates on
+rank-local numpy views, plus uses of keyed compressor state (error-
+feedback residual dicts, PowerSGD warm-start memory, partial-allreduce
+carries).  Memory accesses carry the absolute byte span of the array so
+aliasing is detected from addresses, not names; the trace keeps a
+reference to every recorded array so spans stay valid for the capture's
+lifetime.  The happens-before race detector over these records lives in
+:mod:`repro.analysis.races`.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, Sequence, Union
+
+import numpy as np
+
+try:  # numpy >= 2.0 moved byte_bounds out of the top-level namespace
+    from numpy.lib.array_utils import byte_bounds
+except ImportError:  # pragma: no cover - numpy < 2.0
+    from numpy import byte_bounds  # type: ignore[attr-defined, no-redef]
 
 __all__ = [
     "TraceEvent",
+    "BufferAccess",
     "ScheduleTrace",
     "capture",
     "rank_scope",
     "emit_send",
     "emit_recv",
+    "emit_buffer_read",
+    "emit_buffer_write",
+    "emit_buffer_update",
+    "emit_state_use",
+    "declare_buffer",
     "tracing_active",
 ]
 
@@ -56,14 +79,67 @@ class TraceEvent:
         return (self.src, self.dst, self.step, self.nbytes, self.tag)
 
 
+@dataclass(frozen=True)
+class BufferAccess:
+    """One access to rank-local memory or keyed compressor state.
+
+    ``kind`` is ``"read"``, ``"write"`` (overwrite) or ``"update"``
+    (in-place read-modify-write, e.g. ``+=`` accumulation).  ``space``
+    selects the aliasing model: ``"mem"`` accesses alias when their
+    absolute byte spans ``[start, end)`` overlap; ``"state"`` accesses
+    (residual dicts, warm-start memory) alias when their ``buffer``
+    labels are equal — dict entries have no stable address.
+    """
+
+    kind: str
+    rank: int
+    space: str     # "mem" | "state"
+    buffer: str    # label: the emitting tag (mem) or the state key (state)
+    start: int     # absolute byte span for mem accesses; 0 for state
+    end: int
+    tag: str
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in ("write", "update")
+
+    def aliases(self, other: "BufferAccess") -> bool:
+        """Whether the two accesses can touch the same storage."""
+        if self.space != other.space:
+            return False
+        if self.space == "state":
+            return self.buffer == other.buffer
+        return self.start < other.end and other.start < self.end
+
+
 class ScheduleTrace:
-    """An append-only log of :class:`TraceEvent` in emission order."""
+    """An append-only log of events and accesses in emission order.
+
+    ``events`` holds only the send/recv endpoints (the schedule
+    verifier's input, unchanged); ``timeline`` interleaves them with
+    :class:`BufferAccess` records in true emission order, which is what
+    the happens-before analysis consumes.
+    """
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
+        self.accesses: list[BufferAccess] = []
+        self.timeline: list[Union[TraceEvent, BufferAccess]] = []
+        #: (rank, name, start, end) of each declared rank-local buffer
+        self.declared: list[tuple[int, str, int, int]] = []
+        # recorded arrays are pinned so freed storage cannot be reused
+        # by a later allocation at the same address mid-capture
+        self._keepalive: list = []
 
     def record(self, event: TraceEvent) -> None:
         self.events.append(event)
+        self.timeline.append(event)
+
+    def record_access(self, access: BufferAccess, array=None) -> None:
+        self.accesses.append(access)
+        self.timeline.append(access)
+        if array is not None:
+            self._keepalive.append(array)
 
     @property
     def sends(self) -> list[TraceEvent]:
@@ -112,6 +188,63 @@ def emit_recv(dst: int, src: int, nbytes: int, step: int,
         return
     _active.record(TraceEvent("recv", step, _translate(src), _translate(dst),
                               int(nbytes), tag))
+
+
+def _record_mem_access(kind: str, rank: int, array, tag: str) -> None:
+    if _active is None:
+        return
+    arr = np.asarray(array)
+    start, end = byte_bounds(arr)
+    _active.record_access(
+        BufferAccess(kind, _translate(rank), "mem", tag, int(start),
+                     int(end), tag),
+        array=arr,
+    )
+
+
+def emit_buffer_read(rank: int, array, tag: str = "") -> None:
+    """Record that ``rank`` reads ``array`` (e.g. to compress it)."""
+    _record_mem_access("read", rank, array, tag)
+
+
+def emit_buffer_write(rank: int, array, tag: str = "") -> None:
+    """Record that ``rank`` overwrites ``array`` (e.g. ``buf[:] = x``)."""
+    _record_mem_access("write", rank, array, tag)
+
+
+def emit_buffer_update(rank: int, array, tag: str = "") -> None:
+    """Record an in-place read-modify-write (e.g. ``buf += x``)."""
+    _record_mem_access("update", rank, array, tag)
+
+
+def emit_state_use(rank: int, key, tag: str = "") -> None:
+    """Record that ``rank`` reads+writes keyed compressor state.
+
+    Error-feedback residuals, PowerSGD warm-start memory and DGC
+    accumulators are all read-modify-write per compress call, so every
+    state use is an ``update``; two ranks sharing a key without an
+    ordering message is a race (RACE003).
+    """
+    if _active is None:
+        return
+    _active.record_access(
+        BufferAccess("update", _translate(rank), "state", repr(key), 0, 0, tag)
+    )
+
+
+def declare_buffer(rank: int, array, name: str = "") -> None:
+    """Declare ``array`` as ``rank``'s private input/output buffer.
+
+    Declarations feed the static aliasing check (RACE004): two ranks
+    declaring overlapping storage share memory that the schedule treats
+    as rank-local.
+    """
+    if _active is None:
+        return
+    arr = np.asarray(array)
+    start, end = byte_bounds(arr)
+    _active.declared.append((_translate(rank), name, int(start), int(end)))
+    _active._keepalive.append(arr)
 
 
 @contextmanager

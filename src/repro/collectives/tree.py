@@ -14,8 +14,9 @@ import numpy as np
 
 from repro.compression import Compressor
 
-from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
-from .trace import emit_recv, emit_send
+from .base import (ReduceStats, accumulate_chunk, check_buffers,
+                   compress_chunk, decompress_chunk)
+from .trace import declare_buffer, emit_recv, emit_send
 
 __all__ = ["tree_allreduce"]
 
@@ -30,6 +31,8 @@ def tree_allreduce(
     numel = check_buffers(buffers)
     world = len(buffers)
     stats = ReduceStats("tree", world, numel)
+    for rank, buf in enumerate(buffers):
+        declare_buffer(rank, buf, name=f"{key}/input")
     partial = [buf.astype(np.float32).ravel().copy() for buf in buffers]
 
     # Reduce phase: at stride s, rank r (multiple of 2s) absorbs rank r+s.
@@ -40,14 +43,15 @@ def tree_allreduce(
         for receiver in range(0, world - stride, 2 * stride):
             sender = receiver + stride
             wire = compress_chunk(compressor, partial[sender], rng,
-                                  key=f"{key}/up/{stride}/{sender}", stats=stats)
+                                  key=f"{key}/up/{stride}/{sender}", stats=stats,
+                                  rank=sender, tag=f"up/{stride}/{sender}")
             emit_send(sender, receiver, wire.nbytes, step=depth,
                       tag=f"up/{stride}/{sender}")
-            partial[receiver] = partial[receiver] + decompress_chunk(
-                compressor, wire, stats
-            )
             emit_recv(receiver, sender, wire.nbytes, step=depth,
                       tag=f"up/{stride}/{sender}")
+            accumulate_chunk(partial[receiver],
+                             decompress_chunk(compressor, wire, stats),
+                             rank=receiver, tag=f"up/acc/{receiver}")
             edges.append((receiver, sender, depth))
         stride *= 2
         depth += 1
@@ -57,7 +61,7 @@ def tree_allreduce(
     # forwarding retraces the reduce edges parent->child in reverse stride
     # order (the edge reduced at step k is broadcast at step 2*depth-1-k).
     wire = compress_chunk(compressor, partial[0], rng, key=f"{key}/down",
-                          stats=stats)
+                          stats=stats, rank=0, tag="down")
     stats.wire_bytes += wire.nbytes * max(0, world - 2)
     for parent, child, k in reversed(edges):
         emit_send(parent, child, wire.nbytes, step=2 * depth - 1 - k,

@@ -1,6 +1,7 @@
 """Gradient compression operators: QSGD, TopK, PowerSGD, fake, identity."""
 
 from .base import Compressed, CompressionSpec, Compressor, make_compressor
+from .contracts import CompressorContract
 from .dgc import DGCCompressor
 from .fake import FakeCompressor
 from .metrics import (
@@ -19,6 +20,7 @@ from .topk import ErrorFeedback, TopKCompressor
 
 __all__ = [
     "Compressed", "CompressionSpec", "Compressor", "make_compressor",
+    "CompressorContract",
     "FakeCompressor", "FP16Compressor", "IdentityCompressor",
     "NUQSGDCompressor", "exponential_levels",
     "OneBitCompressor", "DGCCompressor",

@@ -14,9 +14,11 @@ which is the 4-bit + metadata layout CGX transmits.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, ClassVar
 
 import numpy as np
+
+from .contracts import CompressorContract
 
 if TYPE_CHECKING:  # pragma: no cover
     from typing import Any
@@ -101,7 +103,9 @@ class CompressionSpec:
             rows, cols = _matrix_shape(numel, shape)
             if rows == 1 or cols == 1:
                 return numel * FP32_BYTES  # 1-D tensors stay uncompressed
-            return (rows + cols) * self.rank * FP32_BYTES
+            # the operator clamps the rank to the matrix dimensions, so
+            # the claim must too or small layers over-report their bytes
+            return (rows + cols) * min(self.rank, rows, cols) * FP32_BYTES
         if self.method == "fake":
             return max(1, int(numel / self.ratio)) * FP32_BYTES
         raise AssertionError(f"unreachable method {self.method}")
@@ -150,6 +154,10 @@ class Compressor:
     warm start) key their state on a caller-provided ``key`` argument
     (typically ``(worker, layer_name)``).
     """
+
+    #: declared invariants; every operator registered in
+    #: :func:`make_compressor` must override this (checked by CON001)
+    contract: ClassVar[CompressorContract | None] = None
 
     def __init__(self, spec: CompressionSpec):
         self.spec = spec

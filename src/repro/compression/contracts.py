@@ -1,0 +1,66 @@
+"""Machine-checkable contracts for compression operators.
+
+Every compressor class declares a :class:`CompressorContract` describing
+the invariants the rest of the system (engine, collectives, perf model)
+relies on but no unit test states explicitly:
+
+* a roundtrip preserves shape, element count, and produces fp32;
+* the :meth:`CompressionSpec.wire_bytes` claim, the ``Compressed.nbytes``
+  field, and the *actual* serialized payload size all agree — the byte
+  accounting behind the paper's Fig. 7/10 and the adaptive bit-width
+  objective ``sum_l b_l * size(L_l)``;
+* whether the operator keeps per-key state (PowerSGD warm start, DGC
+  momentum) — stateful operators must never be shared across
+  uncoordinated callers;
+* whether the operator draws from the shared rng — all replicas feed
+  the same generator, so an operator that draws when its contract says
+  it does not (or vice versa) desynchronizes replicas;
+* whether the method needs error feedback to converge (topk, powersgd,
+  onebit), or embeds its own residual mechanism (DGC's velocity).
+
+The declarations are *data*; :mod:`repro.analysis.contracts` is the
+checker that verifies each registered compressor actually honours its
+declaration (rules CON001..CON008).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CompressorContract"]
+
+
+@dataclass(frozen=True)
+class CompressorContract:
+    """Declared invariants of one compression method.
+
+    Attributes:
+        method: the :class:`CompressionSpec` method this contract covers.
+        preserves_shape: decompress(compress(x)) has x's shape and numel.
+        output_dtype: dtype of the decompressed tensor (the data path is
+            fp32 end to end).
+        exact_wire_claim: ``spec.wire_bytes(numel, shape)``,
+            ``Compressed.nbytes``, and the measured serialized payload
+            size are all equal.
+        stateful: compress mutates per-key state, so repeated calls on
+            identical input may produce different payloads.
+        uses_rng: compress draws from the shared generator (stochastic
+            rounding); replicas must feed identical rng state.
+        requires_error_feedback: the method only converges when wrapped
+            in :class:`~repro.compression.topk.ErrorFeedback` (or an
+            equivalent built-in residual, see ``self_error_feedback``).
+        self_error_feedback: the operator maintains its own residual
+            (DGC's velocity doubles as error feedback), so the engine
+            must NOT additionally wrap it.
+        lossless: roundtrip is bit-exact for fp32 inputs.
+    """
+
+    method: str
+    preserves_shape: bool = True
+    output_dtype: str = "float32"
+    exact_wire_claim: bool = True
+    stateful: bool = False
+    uses_rng: bool = False
+    requires_error_feedback: bool = False
+    self_error_feedback: bool = False
+    lossless: bool = False

@@ -22,12 +22,17 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Compressed, CompressionSpec, Compressor
+from .contracts import CompressorContract
 
 __all__ = ["DGCCompressor"]
 
 
 class DGCCompressor(Compressor):
     """TopK with momentum correction and density warm-up."""
+
+    contract = CompressorContract("dgc", stateful=True,
+                                  requires_error_feedback=True,
+                                  self_error_feedback=True)
 
     def __init__(self, spec: CompressionSpec, momentum: float = 0.9,
                  warmup_steps: int = 0, initial_density: float = 0.25):

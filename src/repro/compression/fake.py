@@ -13,12 +13,15 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Compressed, Compressor
+from .contracts import CompressorContract
 
 __all__ = ["FakeCompressor"]
 
 
 class FakeCompressor(Compressor):
     """Transmit only the first ``numel / ratio`` elements."""
+
+    contract = CompressorContract("fake")
 
     def compress(self, array: np.ndarray, rng: np.random.Generator,
                  key=None) -> Compressed:

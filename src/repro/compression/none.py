@@ -5,12 +5,15 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Compressed, Compressor
+from .contracts import CompressorContract
 
 __all__ = ["IdentityCompressor", "FP16Compressor"]
 
 
 class IdentityCompressor(Compressor):
     """Transmits full-precision fp32 values unchanged."""
+
+    contract = CompressorContract("none", lossless=True)
 
     def compress(self, array: np.ndarray, rng: np.random.Generator,
                  key=None) -> Compressed:
@@ -24,6 +27,8 @@ class IdentityCompressor(Compressor):
 
 class FP16Compressor(Compressor):
     """Half-precision cast: 2x size reduction, deterministic rounding."""
+
+    contract = CompressorContract("fp16")
 
     def compress(self, array: np.ndarray, rng: np.random.Generator,
                  key=None) -> Compressed:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Compressed, CompressionSpec, Compressor
+from .contracts import CompressorContract
 from .qsgd import pack_codes, unpack_codes
 
 __all__ = ["NUQSGDCompressor", "exponential_levels"]
@@ -45,6 +46,8 @@ class NUQSGDCompressor(Compressor):
     bucket), so :meth:`CompressionSpec.wire_bytes` accounting carries
     over unchanged; only the level placement differs.
     """
+
+    contract = CompressorContract("nuq", uses_rng=True)
 
     def __init__(self, spec: CompressionSpec):
         super().__init__(spec)

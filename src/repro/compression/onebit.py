@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Compressed, Compressor
+from .contracts import CompressorContract
 from .qsgd import pack_codes, unpack_codes
 
 __all__ = ["OneBitCompressor"]
@@ -20,6 +21,8 @@ __all__ = ["OneBitCompressor"]
 
 class OneBitCompressor(Compressor):
     """Per-bucket sign quantization with two-sided mean reconstruction."""
+
+    contract = CompressorContract("onebit", requires_error_feedback=True)
 
     def _bucketize(self, flat: np.ndarray) -> np.ndarray:
         size = min(self.spec.bucket_size, max(1, flat.size))

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Compressed, CompressionSpec, Compressor, _matrix_shape
+from .contracts import CompressorContract
 
 __all__ = ["PowerSGDCompressor", "orthonormalize"]
 
@@ -42,6 +43,9 @@ def orthonormalize(matrix: np.ndarray, eps: float = 1e-8) -> np.ndarray:
 
 class PowerSGDCompressor(Compressor):
     """Rank-``r`` power-iteration compressor with warm-started Q."""
+
+    contract = CompressorContract("powersgd", stateful=True,
+                                  requires_error_feedback=True)
 
     def __init__(self, spec: CompressionSpec):
         super().__init__(spec)

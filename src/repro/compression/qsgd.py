@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Compressed, CompressionSpec, Compressor
+from .contracts import CompressorContract
 
 __all__ = ["QSGDCompressor", "pack_codes", "unpack_codes"]
 
@@ -47,6 +48,8 @@ def unpack_codes(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
 
 class QSGDCompressor(Compressor):
     """Stochastic uniform quantizer over fixed-size buckets."""
+
+    contract = CompressorContract("qsgd", uses_rng=True)
 
     def __init__(self, spec: CompressionSpec):
         super().__init__(spec)

@@ -13,12 +13,15 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Compressed, CompressionSpec, Compressor
+from .contracts import CompressorContract
 
 __all__ = ["TopKCompressor", "ErrorFeedback"]
 
 
 class TopKCompressor(Compressor):
     """Keep the ``density`` fraction of largest-magnitude elements."""
+
+    contract = CompressorContract("topk", requires_error_feedback=True)
 
     def compress(self, array: np.ndarray, rng: np.random.Generator,
                  key=None) -> Compressed:
@@ -77,11 +80,25 @@ class ErrorFeedback:
                   key=None) -> np.ndarray:
         return self.decompress(self.compress(array, rng, key=key))
 
+    def adopt_residuals(self, other: "ErrorFeedback") -> None:
+        """Take over another wrapper's residuals.
+
+        Used when the adaptive policy changes a layer's spec without
+        changing the method: residuals are in gradient units, so they
+        carry across parameter changes (density, bits) unscaled.
+        """
+        self._residuals.update(other._residuals)
+
     def residual_norm(self, key) -> float:
         residual = self._residuals.get(key)
         if residual is None:
             return 0.0
         return float(np.linalg.norm(residual))
+
+    def total_residual_norm(self) -> float:
+        """L2 norm over all keyed residuals (collectives key per chunk)."""
+        total = sum(float(np.sum(r * r)) for r in self._residuals.values())
+        return float(np.sqrt(total))
 
     def reset(self) -> None:
         self._residuals.clear()

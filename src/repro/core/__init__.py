@@ -25,6 +25,8 @@ from .serialization import (
     config_to_dict,
     dump_config,
     load_config,
+    measured_wire_bytes,
+    serialize_payload,
     spec_from_dict,
     spec_to_dict,
 )
@@ -44,4 +46,5 @@ __all__ = [
     "synthetic_stats_for_spec",
     "config_to_dict", "config_from_dict", "dump_config", "load_config",
     "spec_to_dict", "spec_from_dict",
+    "serialize_payload", "measured_wire_bytes",
 ]

@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.collectives import allreduce
-from repro.compression import CompressionSpec, make_compressor
+from repro.collectives import ReduceStats, allreduce
+from repro.compression import CompressionSpec, Compressor, make_compressor
 from repro.compression.topk import ErrorFeedback
 
 from .config import CGXConfig
@@ -55,7 +55,7 @@ class ReductionReport:
     payload_bytes: int = 0   # one-copy compressed size of the model gradient
     dense_bytes: int = 0     # one-copy fp32 size of the model gradient
     compress_calls: int = 0
-    per_package: list = field(default_factory=list)
+    per_package: list[tuple[str, ReduceStats]] = field(default_factory=list)
 
     @property
     def compression_ratio(self) -> float:
@@ -74,7 +74,7 @@ class CommunicationEngine:
         self.filter = LayerFilter(self.config.filtered_keywords,
                                   self.config.min_compress_numel)
         self.node_of = node_of  # rank -> node, for the hierarchical scheme
-        self._compressors: dict[str, object] = {}
+        self._compressors: dict[str, Compressor | ErrorFeedback] = {}
 
     # -- planning ----------------------------------------------------------
     def plan(self, layers: list[LayerInfo], mode: str = "cgx") -> list[Package]:
@@ -122,14 +122,26 @@ class CommunicationEngine:
         return packages
 
     # -- data path -----------------------------------------------------------
-    def _compressor_for(self, package: Package):
-        """Per-package compressor, cached so stateful methods keep state."""
+    def _compressor_for(self, package: Package) -> Compressor | ErrorFeedback:
+        """Per-package compressor, cached so stateful methods keep state.
+
+        When the adaptive policy changes a package's spec without
+        changing the method, error-feedback residuals carry over to the
+        rebuilt compressor: they are in gradient units, independent of
+        density/bit-width, and dropping them loses the compression error
+        of the last step (the convergence guarantee assumes the residual
+        is *always* folded back in).
+        """
         comp = self._compressors.get(package.name)
         if comp is None or comp.spec != package.spec:
-            comp = make_compressor(package.spec)
+            fresh: Compressor | ErrorFeedback = make_compressor(package.spec)
             if package.spec.error_feedback:
-                comp = ErrorFeedback(comp)
-            self._compressors[package.name] = comp
+                fresh = ErrorFeedback(fresh)
+                if (isinstance(comp, ErrorFeedback)
+                        and comp.spec.method == package.spec.method):
+                    fresh.adopt_residuals(comp)
+            self._compressors[package.name] = fresh
+            comp = fresh
         return comp
 
     def reduce(
@@ -196,9 +208,19 @@ def _gather_package(grads: dict[str, np.ndarray], package: Package) -> np.ndarra
 
 def _scatter_package(out: dict[str, np.ndarray], flat: np.ndarray,
                      package: Package) -> None:
-    """Split a reduced flat buffer back into named, shaped gradients."""
+    """Split a reduced flat buffer back into named, shaped gradients.
+
+    Multi-layer packages copy each chunk so no two outputs alias the
+    shared flat buffer — an optimizer mutating one layer's gradient
+    in place must not corrupt its neighbours.  A single-layer package's
+    view is the sole owner of the (freshly allocated) buffer, so it is
+    returned without the extra copy.
+    """
+    shared = len(package.layers) > 1
     offset = 0
     for layer in package.layers:
         chunk = flat[offset:offset + layer.numel]
+        if shared:
+            chunk = chunk.copy()
         out[layer.name] = chunk.reshape(layer.shape or (layer.numel,))
         offset += layer.numel

@@ -30,7 +30,7 @@ from repro.cluster.gpu import GPUSpec
 from repro.collectives import time_allreduce
 from repro.compression import CompressionSpec
 from repro.compression.metrics import kernel_seconds
-from repro.core import CGXConfig, CommunicationEngine, LayerInfo
+from repro.core import CGXConfig, CommunicationEngine, LayerInfo, Package
 from repro.core.qnccl import QNCCL_KERNEL_OVERHEAD_FACTOR
 from repro.models import ModelSpec
 
@@ -177,7 +177,7 @@ def simulate_step(
 
     # Per-rank emission times (stragglers emit later); without overlap
     # (GRACE) every package waits for the whole backward pass.
-    def package_ready(package) -> list[float]:
+    def package_ready(package: Package) -> list[float]:
         if not config.overlap:
             base = compute_time
         else:
@@ -224,7 +224,8 @@ def simulate_step(
                       comm_tail, wire_total, kernel_total, items, ideal)
 
 
-def _group_for_transmission(packages, fusion_bytes: int):
+def _group_for_transmission(packages: list[Package],
+                            fusion_bytes: int) -> list[Package]:
     """Fuse consecutive same-spec compressed packages into one collective.
 
     CGX compresses *per layer* (each layer keeps its own buckets and
@@ -234,10 +235,8 @@ def _group_for_transmission(packages, fusion_bytes: int):
     remove extra kernel calls "without notable increase of communication
     costs").  Packages above the fusion threshold travel alone.
     """
-    from repro.core.engine import Package
-
-    grouped: list = []
-    pending: list = []
+    grouped: list[Package] = []
+    pending: list[Package] = []
     pending_bytes = 0
 
     def flush():
@@ -270,7 +269,7 @@ def _group_for_transmission(packages, fusion_bytes: int):
     return grouped
 
 
-def _schedule_powersgd(net: Network, ranks: list[int], package,
+def _schedule_powersgd(net: Network, ranks: list[int], package: Package,
                        pkg_ready: float, config: CGXConfig
                        ) -> tuple[float, int, int]:
     """PowerSGD path: power-iteration kernels + dense allreduce of P, Q.

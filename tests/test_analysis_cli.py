@@ -100,3 +100,59 @@ def test_repro_analyze_subcommand_forwards(capsys):
     report = json.loads(out.getvalue())
     _validate(report, JSON_REPORT_SCHEMA)
     assert report["summary"]["new"] == 0
+
+
+# -- pass selection (contracts / races) ----------------------------------------
+
+def test_contracts_and_races_flags_run_clean():
+    code, out = run_cli(["--contracts", "--races"])
+    assert code == 0
+    assert "clean" in out
+
+
+def test_contracts_flag_skips_lint_paths():
+    # pure semantic pass: nonexistent lint paths must not matter
+    code, out = run_cli(["definitely/missing.py", "--contracts"])
+    assert code == 0
+
+
+def test_schedule_only_rejects_contracts_combination():
+    code, _ = run_cli(["--schedule-only", "--contracts"])
+    assert code == 2
+
+
+def test_no_schedule_rejects_contracts_combination():
+    code, _ = run_cli(["--no-schedule", "--races"])
+    assert code == 2
+
+
+def test_contract_findings_flow_through_baseline(tmp_path):
+    import repro.analysis.cli as cli_mod
+    from repro.analysis.findings import Finding
+
+    injected = [Finding(rule="CON003", path="<contract:qsgd>", line=0,
+                        col=0, message="synthetic drift", source="contract",
+                        scheme="qsgd")]
+    original = cli_mod.__dict__.get("verify_schedules")
+    try:
+        # splice a synthetic contract finding into the schedule hook so
+        # the full report/baseline path exercises the new source kind
+        cli_mod.verify_schedules = lambda: injected
+        baseline = tmp_path / "base.json"
+        code, out = run_cli(["--schedule-only", "--baseline", str(baseline),
+                             "--write-baseline"])
+        assert code == 0
+        code, out = run_cli(["--schedule-only", "--baseline", str(baseline)])
+        assert code == 0 and "(1 baselined)" in out
+        code, out = run_cli(["--schedule-only"])
+        assert code == 1 and "contract[qsgd]: CON003" in out
+    finally:
+        cli_mod.verify_schedules = original
+
+
+def test_json_report_includes_contract_and_race_findings():
+    code, raw = run_cli(["--contracts", "--races", "--format", "json"])
+    assert code == 0
+    report = json.loads(raw)
+    _validate(report, JSON_REPORT_SCHEMA)
+    assert report["summary"]["total"] == 0

@@ -1,0 +1,272 @@
+"""Contract checker: every CON rule fires on a fixture and the real
+registry/engine come back clean."""
+
+import numpy as np
+
+from repro.analysis.abstract import (
+    PROBE_SHAPES,
+    default_registry,
+    execute_behavior,
+    execute_roundtrips,
+    probe_specs,
+    replay_adaptive_respec,
+)
+from repro.analysis.contracts import (
+    CONTRACT_RULES,
+    check_engine_wiring,
+    verify_contracts,
+)
+from repro.compression import (
+    Compressed,
+    CompressionSpec,
+    CompressorContract,
+    ErrorFeedback,
+    IdentityCompressor,
+    make_compressor,
+)
+from repro.core import CGXConfig, CommunicationEngine
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# -- the real codebase is clean ------------------------------------------------
+
+def test_real_registry_and_engine_clean():
+    assert verify_contracts() == []
+
+
+def test_every_registered_method_has_probe_specs():
+    for method in default_registry():
+        assert probe_specs(method), f"no probe specs for {method}"
+
+
+def test_findings_carry_contract_source_and_path():
+    fixture = {"none": type("NoContract", (IdentityCompressor,),
+                            {"contract": None})}
+    findings = verify_contracts(registry=fixture, check_wiring=False)
+    assert findings
+    for f in findings:
+        assert f.source == "contract"
+        assert f.path == "<contract:none>"
+        assert f.scheme == "none"
+        assert f.fingerprint  # stable identity for the baseline ratchet
+
+
+# -- CON001: missing/mismatched declaration -----------------------------------
+
+def test_con001_missing_contract():
+    fixture = {"none": type("NoContract", (IdentityCompressor,),
+                            {"contract": None})}
+    findings = verify_contracts(registry=fixture, check_wiring=False)
+    assert rules_of(findings) == {"CON001"}
+
+
+def test_con001_mismatched_method():
+    fixture = {"none": type("WrongMethod", (IdentityCompressor,),
+                            {"contract": CompressorContract("qsgd")})}
+    findings = verify_contracts(registry=fixture, check_wiring=False)
+    assert rules_of(findings) == {"CON001"}
+
+
+# -- CON002: shape/dtype preservation -----------------------------------------
+
+class FlatteningCompressor(IdentityCompressor):
+    contract = CompressorContract("none", lossless=False)
+
+    def decompress(self, compressed):
+        return compressed.payload["values"].copy()  # loses the shape
+
+
+class Float64Compressor(IdentityCompressor):
+    contract = CompressorContract("none", lossless=False)
+
+    def decompress(self, compressed):
+        return super().decompress(compressed).astype(np.float64)
+
+
+def test_con002_shape_violation():
+    findings = verify_contracts(registry={"none": FlatteningCompressor},
+                                check_wiring=False)
+    assert "CON002" in rules_of(findings)
+
+
+def test_con002_dtype_violation():
+    findings = verify_contracts(registry={"none": Float64Compressor},
+                                check_wiring=False)
+    assert "CON002" in rules_of(findings)
+
+
+# -- CON003: wire-byte drift ---------------------------------------------------
+
+class InflatedClaimCompressor(IdentityCompressor):
+    contract = CompressorContract("none", lossless=True)
+
+    def compress(self, array, rng, key=None):
+        compressed = super().compress(array, rng, key=key)
+        return Compressed(compressed.spec, compressed.numel,
+                          compressed.shape, compressed.payload,
+                          compressed.nbytes + 16)  # lies about the wire
+
+
+def test_con003_wire_drift():
+    findings = verify_contracts(registry={"none": InflatedClaimCompressor},
+                                check_wiring=False)
+    assert rules_of(findings) == {"CON003"}
+    assert any("16" in f.message or "payload declares" in f.message
+               for f in findings)
+
+
+# -- CON004: statefulness mismatch --------------------------------------------
+
+class SecretlyStatefulCompressor(IdentityCompressor):
+    contract = CompressorContract("none", lossless=False)  # claims stateless
+
+    def __init__(self, spec):
+        super().__init__(spec)
+        self._step = 0
+
+    def compress(self, array, rng, key=None):
+        self._step += 1
+        return super().compress(np.asarray(array) + self._step, rng, key=key)
+
+
+class FalselyStatefulCompressor(IdentityCompressor):
+    contract = CompressorContract("none", stateful=True, lossless=True)
+
+
+def test_con004_undeclared_state():
+    findings = verify_contracts(
+        registry={"none": SecretlyStatefulCompressor}, check_wiring=False)
+    assert "CON004" in rules_of(findings)
+
+
+def test_con004_stale_stateful_declaration():
+    findings = verify_contracts(
+        registry={"none": FalselyStatefulCompressor}, check_wiring=False)
+    assert "CON004" in rules_of(findings)
+
+
+# -- CON005: rng mismatch ------------------------------------------------------
+
+class SecretlyStochasticCompressor(IdentityCompressor):
+    contract = CompressorContract("none", lossless=False)  # claims rng-free
+
+    def compress(self, array, rng, key=None):
+        noise = rng.standard_normal(np.shape(array)).astype(np.float32)
+        return super().compress(np.asarray(array) + 0.01 * noise, rng,
+                                key=key)
+
+
+class FalselyStochasticCompressor(IdentityCompressor):
+    contract = CompressorContract("none", uses_rng=True, lossless=True)
+
+
+def test_con005_undeclared_rng_use():
+    findings = verify_contracts(
+        registry={"none": SecretlyStochasticCompressor}, check_wiring=False)
+    assert "CON005" in rules_of(findings)
+
+
+def test_con005_stale_rng_declaration():
+    findings = verify_contracts(
+        registry={"none": FalselyStochasticCompressor}, check_wiring=False)
+    assert "CON005" in rules_of(findings)
+
+
+# -- CON006: error-feedback wiring --------------------------------------------
+
+def test_con006_topk_without_error_feedback():
+    config = CGXConfig(compression=CompressionSpec("topk", density=0.1))
+    findings = check_engine_wiring(configs=[config])
+    assert "CON006" in rules_of(findings)
+    assert any("topk" in f.message for f in findings)
+
+
+def test_con006_dgc_double_wrapped():
+    config = CGXConfig(compression=CompressionSpec(
+        "dgc", density=0.05, error_feedback=True))
+    findings = check_engine_wiring(configs=[config])
+    assert any(f.rule == "CON006" and "own residual" in f.message
+               for f in findings)
+
+
+def test_con006_correctly_wired_configs_clean():
+    configs = [
+        CGXConfig(compression=CompressionSpec("topk", density=0.1,
+                                              error_feedback=True)),
+        CGXConfig(compression=CompressionSpec("dgc", density=0.05)),
+    ]
+    findings = check_engine_wiring(configs=configs)
+    assert "CON006" not in rules_of(findings)
+
+
+# -- CON007: residuals dropped on same-method respec --------------------------
+
+class LegacyEngine(CommunicationEngine):
+    """Pre-fix behaviour: rebuild on any spec change, residuals lost."""
+
+    def _compressor_for(self, package):
+        comp = self._compressors.get(package.name)
+        if comp is None or comp.spec != package.spec:
+            comp = make_compressor(package.spec)
+            if package.spec.error_feedback:
+                comp = ErrorFeedback(comp)
+            self._compressors[package.name] = comp
+        return comp
+
+
+def test_con007_legacy_engine_drops_residuals():
+    findings = check_engine_wiring(engine_cls=LegacyEngine)
+    assert "CON007" in rules_of(findings)
+
+
+def test_con007_current_engine_carries_residuals():
+    respec = replay_adaptive_respec()
+    assert respec["rebuilt"] and respec["carried"]
+    assert "CON007" not in rules_of(check_engine_wiring())
+
+
+# -- CON008: lossless violated -------------------------------------------------
+
+class RoundingCompressor(IdentityCompressor):
+    contract = CompressorContract("none", lossless=True)
+
+    def decompress(self, compressed):
+        return np.round(super().decompress(compressed), 1)
+
+
+def test_con008_lossless_violation():
+    findings = verify_contracts(registry={"none": RoundingCompressor},
+                                check_wiring=False)
+    assert rules_of(findings) == {"CON008"}
+
+
+# -- the abstract executor itself ----------------------------------------------
+
+def test_roundtrip_observations_cover_all_probe_shapes():
+    obs = execute_roundtrips(IdentityCompressor, CompressionSpec("none"))
+    assert [o.shape for o in obs] == list(PROBE_SHAPES)
+    for o in obs:
+        assert o.claimed_bytes == o.declared_bytes == o.measured_bytes
+        assert o.exact  # identity is lossless
+
+
+def test_behavior_probe_detects_qsgd_rng():
+    cls = default_registry()["qsgd"]
+    behavior = execute_behavior(cls, CompressionSpec("qsgd", bits=4,
+                                                     bucket_size=32))
+    assert behavior.rng_sensitive
+    assert not behavior.repeat_differs
+
+
+def test_behavior_probe_detects_powersgd_state():
+    cls = default_registry()["powersgd"]
+    behavior = execute_behavior(cls, CompressionSpec("powersgd", rank=4))
+    assert behavior.repeat_differs  # warm start changes the payload
+    assert not behavior.rng_sensitive
+
+
+def test_contract_rules_table_complete():
+    assert set(CONTRACT_RULES) == {f"CON00{i}" for i in range(1, 9)}

@@ -1,0 +1,229 @@
+"""Race detector: every RACE rule fires on a fixture, message ordering
+suppresses false positives, and all registered schemes are race-free."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.races import (
+    RACE_RULES,
+    analyze_callable,
+    analyze_trace,
+    verify_races,
+)
+from repro.analysis.schedule import SchemeCase, trace_case
+from repro.collectives import (
+    ReduceStats,
+    accumulate_chunk,
+    declare_buffer,
+    store_chunk,
+)
+from repro.collectives.trace import (
+    capture,
+    emit_buffer_read,
+    emit_buffer_write,
+    emit_recv,
+    emit_send,
+    emit_state_use,
+)
+from repro.compression import CompressionSpec
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+def stats_for(buffers, scheme="toy"):
+    return ReduceStats(scheme, len(buffers), buffers[0].size)
+
+
+# -- RACE001: unordered write/write on shared memory --------------------------
+
+def shared_accumulator_allreduce(buffers, compressor, rng, key=""):
+    """The textbook bug: every rank += into one buffer, no ordering."""
+    total = np.zeros_like(buffers[0])
+    for rank in range(len(buffers)):
+        accumulate_chunk(total, buffers[rank], rank=rank, tag="shared-acc")
+    outs = [total.copy() for _ in range(len(buffers))]
+    return outs, stats_for(buffers)
+
+
+def test_race001_shared_accumulator_flagged():
+    findings = analyze_callable(shared_accumulator_allreduce, world=3,
+                                scheme="toy")
+    assert rules_of(findings) == {"RACE001"}
+    # one finding per unordered rank pair: (0,1), (0,2), (1,2)
+    assert len(findings) == 3
+    for f in findings:
+        assert f.source == "race"
+        assert f.path == "<race:toy@world=3>"
+        assert "no happens-before ordering" in f.message
+
+
+def test_race001_message_chain_makes_it_clean():
+    def token_ring(buffers, compressor, rng, key=""):
+        # same shared buffer, but a token message orders every update
+        total = np.zeros_like(buffers[0])
+        world = len(buffers)
+        for rank in range(world):
+            if rank > 0:
+                emit_recv(rank, rank - 1, 8, step=rank - 1, tag="token")
+            accumulate_chunk(total, buffers[rank], rank=rank, tag="acc")
+            if rank + 1 < world:
+                emit_send(rank, rank + 1, 8, step=rank, tag="token")
+        return [total.copy() for _ in range(world)], stats_for(buffers)
+
+    assert analyze_callable(token_ring, world=4, scheme="ok") == []
+
+
+# -- RACE002: unordered read/write --------------------------------------------
+
+def read_write_allreduce(buffers, compressor, rng, key=""):
+    """Rank 1 overwrites a buffer rank 0 is concurrently reading."""
+    scratch = buffers[0].copy()
+    emit_buffer_read(0, scratch, tag="r0-read")
+    store_chunk(scratch, buffers[1], rank=1, tag="r1-write")
+    return [b.copy() for b in buffers], stats_for(buffers)
+
+
+def test_race002_read_write_flagged():
+    findings = analyze_callable(read_write_allreduce, world=2, scheme="rw")
+    assert rules_of(findings) == {"RACE002"}
+
+
+def test_race002_send_recv_ordering_suppresses():
+    def handoff(buffers, compressor, rng, key=""):
+        scratch = buffers[0].copy()
+        emit_buffer_read(0, scratch, tag="r0-read")
+        emit_send(0, 1, scratch.nbytes, step=0, tag="handoff")
+        emit_recv(1, 0, scratch.nbytes, step=0, tag="handoff")
+        store_chunk(scratch, buffers[1], rank=1, tag="r1-write")
+        return [b.copy() for b in buffers], stats_for(buffers)
+
+    assert analyze_callable(handoff, world=2, scheme="ok") == []
+
+
+# -- RACE003: keyed state shared across ranks ---------------------------------
+
+def shared_residual_allreduce(buffers, compressor, rng, key=""):
+    for rank in range(len(buffers)):
+        emit_state_use(rank, ("residual", key), tag="ef")
+    return [b.copy() for b in buffers], stats_for(buffers)
+
+
+def test_race003_shared_state_key_flagged():
+    findings = analyze_callable(shared_residual_allreduce, world=2,
+                                scheme="state")
+    assert rules_of(findings) == {"RACE003"}
+    assert any("state key" in f.message for f in findings)
+
+
+def test_race003_per_rank_keys_clean():
+    def per_rank_state(buffers, compressor, rng, key=""):
+        for rank in range(len(buffers)):
+            emit_state_use(rank, ("residual", key, rank), tag="ef")
+        return [b.copy() for b in buffers], stats_for(buffers)
+
+    assert analyze_callable(per_rank_state, world=3, scheme="ok") == []
+
+
+# -- RACE004: declared rank-local buffers overlap ------------------------------
+
+def test_race004_overlapping_declarations_flagged():
+    def aliased_inputs(buffers, compressor, rng, key=""):
+        n = buffers[0].size
+        big = np.zeros(2 * n, dtype=np.float32)
+        declare_buffer(0, big[: n + 4], name="rank0/input")
+        declare_buffer(1, big[n:], name="rank1/input")
+        return [b.copy() for b in buffers], stats_for(buffers)
+
+    findings = analyze_callable(aliased_inputs, world=2, scheme="alias")
+    assert rules_of(findings) == {"RACE004"}
+    assert "16 bytes" in findings[0].message  # 4 fp32 elements overlap
+
+
+def test_race004_disjoint_declarations_clean():
+    def disjoint_inputs(buffers, compressor, rng, key=""):
+        n = buffers[0].size
+        big = np.zeros(2 * n, dtype=np.float32)
+        declare_buffer(0, big[:n], name="rank0/input")
+        declare_buffer(1, big[n:], name="rank1/input")
+        return [b.copy() for b in buffers], stats_for(buffers)
+
+    assert analyze_callable(disjoint_inputs, world=2, scheme="ok") == []
+
+
+def test_race004_same_rank_overlap_allowed():
+    def same_rank_views(buffers, compressor, rng, key=""):
+        declare_buffer(0, buffers[0], name="rank0/full")
+        declare_buffer(0, buffers[0][:4], name="rank0/head")
+        return [b.copy() for b in buffers], stats_for(buffers)
+
+    assert analyze_callable(same_rank_views, world=2, scheme="ok") == []
+
+
+# -- negative control: deliberately injected aliasing bug ----------------------
+
+def test_injected_aliasing_bug_in_toy_reduction_caught():
+    """A plausible-looking toy scheme with a buried aliasing bug.
+
+    Rank 0 "gathers" everyone's contribution into slices of one arena,
+    but an off-by-one in the slice arithmetic makes rank 1's slice
+    overlap rank 2's, and both write unordered: exactly the class of
+    bug the detector exists for.  The numeric output of the simulated
+    run is still deterministic — no ordinary test would catch it.
+    """
+
+    def buggy_gather_allreduce(buffers, compressor, rng, key=""):
+        world = len(buffers)
+        n = buffers[0].size
+        arena = np.zeros(world * n, dtype=np.float32)
+        for rank in range(world):
+            start = rank * n - (1 if rank == 2 else 0)  # the bug
+            view = arena[start:start + n]
+            store_chunk(view, buffers[rank], rank=rank, tag=f"gather/{rank}")
+        total = sum(arena[r * n:(r + 1) * n] for r in range(world))
+        return [total.copy() for _ in range(world)], stats_for(buffers)
+
+    findings = analyze_callable(buggy_gather_allreduce, world=3,
+                                scheme="buggy-gather")
+    assert rules_of(findings) == {"RACE001"}
+    assert len(findings) == 1  # exactly the ranks the off-by-one aliases
+    assert "rank 1" in findings[0].message
+    assert "rank 2" in findings[0].message
+
+
+# -- registered schemes are race-free ------------------------------------------
+
+def test_all_registered_schemes_race_free():
+    assert verify_races() == []
+
+
+@pytest.mark.parametrize("scheme,world", [("sra", 4), ("ring", 4),
+                                          ("tree", 5), ("ps", 3),
+                                          ("allgather", 3)])
+def test_scheme_timeline_has_accesses(scheme, world):
+    trace, _ = trace_case(SchemeCase(scheme, world))
+    assert trace.accesses, "instrumentation should record buffer accesses"
+    assert trace.declared, "inputs should be declared rank-local"
+    assert analyze_trace(trace, scheme, world) == []
+
+
+def test_stateful_compressor_on_real_scheme_clean():
+    trace, _ = trace_case(SchemeCase("sra", 4),
+                          spec=CompressionSpec("powersgd", rank=4))
+    state_accesses = [a for a in trace.accesses if a.space == "state"]
+    assert state_accesses, "powersgd warm start should appear as state use"
+    assert analyze_trace(trace, "sra", 4) == []
+
+
+def test_race_rules_table_complete():
+    assert set(RACE_RULES) == {f"RACE00{i}" for i in range(1, 5)}
+
+
+def test_capture_isolated_per_trace():
+    with capture() as first:
+        emit_buffer_write(0, np.zeros(4, dtype=np.float32), tag="a")
+    with capture() as second:
+        pass
+    assert len(first.accesses) == 1
+    assert second.accesses == []

@@ -209,3 +209,69 @@ def test_stateful_compressor_cached_across_calls():
     comp = engine._compressors["embed.weight"]
     engine.reduce(grads, np.random.default_rng(1))
     assert engine._compressors["embed.weight"] is comp
+
+
+# -- compressor cache across adaptive respec ----------------------------------
+
+def test_compressor_for_carries_residuals_on_same_method_respec():
+    spec = CompressionSpec("topk", density=0.05, error_feedback=True)
+    config = CGXConfig(compression=spec)
+    engine = CommunicationEngine(config)
+    grads = make_grads(2)
+    engine.reduce(grads, np.random.default_rng(0))
+    before = engine._compressors["embed.weight"]
+    norm_before = before.total_residual_norm()
+    assert norm_before > 0  # topk at 5% leaves most of the gradient behind
+
+    config.per_layer["embed.weight"] = CompressionSpec(
+        "topk", density=0.2, error_feedback=True)
+    layers = [L(name, g.size, tuple(g.shape)) for name, g in grads[0].items()]
+    package = [p for p in engine.plan(layers) if p.name == "embed.weight"][0]
+    after = engine._compressor_for(package)
+    assert after is not before
+    assert after.spec == package.spec
+    assert after.total_residual_norm() == pytest.approx(norm_before)
+
+
+def test_compressor_for_drops_residuals_on_method_change():
+    spec = CompressionSpec("topk", density=0.05, error_feedback=True)
+    config = CGXConfig(compression=spec)
+    engine = CommunicationEngine(config)
+    grads = make_grads(2)
+    engine.reduce(grads, np.random.default_rng(0))
+    assert engine._compressors["embed.weight"].total_residual_norm() > 0
+
+    config.per_layer["embed.weight"] = CompressionSpec(
+        "qsgd", bits=4, bucket_size=128, error_feedback=True)
+    layers = [L(name, g.size, tuple(g.shape)) for name, g in grads[0].items()]
+    package = [p for p in engine.plan(layers) if p.name == "embed.weight"][0]
+    after = engine._compressor_for(package)
+    # residuals are method-specific; a method change must start clean
+    assert after.total_residual_norm() == 0
+
+
+# -- scatter safety ------------------------------------------------------------
+
+def test_scatter_outputs_of_fused_package_do_not_alias():
+    engine = CommunicationEngine(CGXConfig.cgx_default())
+    grads = make_grads(2)
+    reduced, _ = engine.reduce(grads, np.random.default_rng(0))
+    # fc.bias and ln.weight land in the fused "filtered" package and
+    # historically came back as views into one shared flat buffer
+    bias = reduced[0]["fc.bias"]
+    ln = reduced[0]["ln.weight"]
+    assert not np.shares_memory(bias, ln)
+    snapshot = ln.copy()
+    bias[:] = 1e6  # an optimizer mutating one gradient in place
+    np.testing.assert_array_equal(ln, snapshot)
+
+
+def test_scatter_outputs_are_mutation_safe_across_workers():
+    engine = CommunicationEngine(CGXConfig.cgx_default())
+    grads = make_grads(3)
+    reduced, _ = engine.reduce(grads, np.random.default_rng(0))
+    for a in range(3):
+        for b in range(a + 1, 3):
+            for name in reduced[a]:
+                assert not np.shares_memory(reduced[a][name],
+                                            reduced[b][name])
