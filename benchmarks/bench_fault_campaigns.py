@@ -1,0 +1,83 @@
+"""Extension: training resilience under seeded chaos campaigns.
+
+Runs the three named :mod:`repro.faults` campaigns (persistent
+straggler, lossy link, crash/rejoin) against the same MLP recipe and
+compares each faulted run to the fault-free run: final loss must stay
+within tolerance, the retry/fallback counters must show the resilience
+policies actually engaged, and a same-seed re-run must produce a
+byte-identical fault event log (the determinism contract the analysis
+FLT003 rule also enforces).
+"""
+
+from common import emit, format_table, run_once
+
+from repro.compression import CompressionSpec
+from repro.core import CGXConfig
+from repro.faults import CAMPAIGNS, ResiliencePolicy, make_campaign
+from repro.training import train_family
+
+FAMILY = "mlp"
+WORLD = 4
+STEPS = 30
+SEED = 0
+LOSS_TOLERANCE = 0.02   # absolute final-loss drift allowed vs fault-free
+
+# The counters that prove each campaign's resilience machinery engaged.
+EXPECTED_ENGAGEMENT = {
+    "straggler": ("quorum_steps",),
+    "lossy-link": ("retries",),
+    "crash-rejoin": ("crashes", "rejoins", "checkpoint_restores"),
+}
+
+
+def _config() -> CGXConfig:
+    return CGXConfig(compression=CompressionSpec("qsgd", bits=4))
+
+
+def campaign():
+    clean = train_family(FAMILY, world_size=WORLD, config=_config(),
+                         steps=STEPS, seed=SEED)
+    rows = [[FAMILY, "(fault-free)", f"{clean.final_loss:.4f}",
+             f"{clean.final_metric:.3f}", 0, "-"]]
+    results = {}
+    for name in CAMPAIGNS:
+        plan = make_campaign(name, world=WORLD, seed=SEED)
+        policy = ResiliencePolicy()
+        result = train_family(FAMILY, world_size=WORLD, config=_config(),
+                              steps=STEPS, seed=SEED,
+                              fault_plan=plan, policy=policy)
+        counters = result.fault_summary or {}
+        engaged = ",".join(f"{k}={counters[k]}"
+                           for k in EXPECTED_ENGAGEMENT[name]
+                           if counters.get(k))
+        rows.append([FAMILY, name, f"{result.final_loss:.4f}",
+                     f"{result.final_metric:.3f}", result.retries_total,
+                     engaged or "-"])
+        results[name] = (result, clean)
+    return rows, results
+
+
+def test_fault_campaign_resilience(benchmark):
+    rows, results = run_once(benchmark, campaign)
+    table = format_table(
+        f"Chaos campaigns — {FAMILY}, {WORLD} workers, {STEPS} steps, "
+        "qsgd 4-bit",
+        ["family", "campaign", "final loss", "metric", "retries",
+         "engagement"],
+        rows,
+        note="Each campaign's final loss stays within tolerance of the "
+             "fault-free run while the engagement column shows the "
+             "policy layer (retry, quorum demotion, crash recovery) "
+             "doing real work.",
+    )
+    emit("fault_campaigns", table)
+
+    for name, (result, clean) in results.items():
+        counters = result.fault_summary or {}
+        drift = abs(result.final_loss - clean.final_loss)
+        assert drift < LOSS_TOLERANCE, (name, drift)
+        for key in EXPECTED_ENGAGEMENT[name]:
+            assert counters.get(key, 0) > 0, (name, key, counters)
+        # resilience must never silently deliver garbage: every corrupt
+        # payload the channel detects is retransmitted, not passed on.
+        assert counters.get("corrupt_delivered", 0) == 0, (name, counters)

@@ -4,8 +4,10 @@ Runs up to four passes and reports findings as text or JSON:
 
 * **lint** — numerical-safety AST rules (REP) over the given paths;
 * **schedule** — collective-schedule verification (SCH);
-* **contracts** — compressor-contract checking (CON);
-* **races** — happens-before race detection (RACE).
+* **contracts** — compressor-contract checking (CON), plus the fault-
+  runtime contracts (FLT003 determinism, FLT004 CRC detection);
+* **races** — happens-before race detection (RACE), plus the schedule
+  and race batteries re-run under a lossy fault campaign (FLT001/002).
 
 All four run by default.  ``--contracts`` / ``--races`` select *only*
 the named semantic passes (they combine with each other);
@@ -138,13 +140,26 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if "schedule" in passes:
         findings.extend(verify_schedules())
     if "contracts" in passes:
+        from repro.faults.validate import (verify_crc_detection,
+                                           verify_fault_determinism)
+
         from .contracts import verify_contracts
 
         findings.extend(verify_contracts())
+        # fault-runtime contracts: CRC detection (FLT004) and seeded
+        # campaign reproducibility (FLT003)
+        findings.extend(verify_crc_detection())
+        findings.extend(verify_fault_determinism())
     if "races" in passes:
+        from repro.faults.validate import verify_fault_schedules
+
         from .races import verify_races
 
         findings.extend(verify_races())
+        # re-run the schedule + race batteries under a lossy campaign so
+        # injected retransmissions cannot mask (or create) real hazards
+        # (FLT001/FLT002)
+        findings.extend(verify_fault_schedules())
     findings = sort_findings(findings)
 
     if args.write_baseline:

@@ -96,6 +96,27 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--races", action="store_true",
                      help="run only the happens-before race detector "
                           "(combines with --contracts)")
+
+    flt = sub.add_parser("faults",
+                         help="run a named chaos campaign against real "
+                              "compressed training")
+    flt.add_argument("campaign", nargs="?", default=None,
+                     help="campaign name (straggler, lossy-link, "
+                          "crash-rejoin)")
+    flt.add_argument("--list", action="store_true", dest="list_all",
+                     help="list available campaigns")
+    flt.add_argument("--family", default="mlp",
+                     help="model family to train under faults")
+    flt.add_argument("--world", type=int, default=4)
+    flt.add_argument("--steps", type=int, default=30)
+    flt.add_argument("--seed", type=int, default=0)
+    flt.add_argument("--bits", type=int, default=4)
+    flt.add_argument("--no-crc", action="store_true",
+                     help="disable CRC checks (corruptions are delivered)")
+    flt.add_argument("--strict", action="store_true",
+                     help="fail the run when a retry budget is exhausted")
+    flt.add_argument("--log", default=None,
+                     help="write the canonical fault event log (JSON) here")
     return parser
 
 
@@ -256,6 +277,73 @@ def _cmd_analyze(args, out) -> int:
     return analysis_main(argv, out=out)
 
 
+def _cmd_faults(args, out) -> int:
+    from repro.faults import CAMPAIGNS, ResiliencePolicy, make_campaign
+    from repro.training import RECIPES, train_family
+
+    if args.list_all or args.campaign is None:
+        print("available campaigns:", file=out)
+        for name in sorted(CAMPAIGNS):
+            plan = make_campaign(name, world=args.world, seed=args.seed)
+            kinds = sorted({e.kind for e in plan.events})
+            print(f"  {name:14s} {len(plan.events)} event(s): "
+                  f"{', '.join(kinds)}", file=out)
+        return 0
+    if args.campaign not in CAMPAIGNS:
+        print(f"unknown campaign {args.campaign!r}; run with --list",
+              file=sys.stderr)
+        return 2
+    if args.family not in RECIPES:
+        print(f"unknown family {args.family!r}; "
+              f"choose from {sorted(RECIPES)}", file=sys.stderr)
+        return 2
+
+    from repro.training.tasks import make_task
+    from repro.training.trainer import DataParallelTrainer
+
+    plan = make_campaign(args.campaign, world=args.world, seed=args.seed)
+    policy = ResiliencePolicy(crc_check=not args.no_crc, strict=args.strict)
+    recipe = RECIPES[args.family]
+    bucket = recipe.bucket_size
+    config = CGXConfig.cgx_default(bucket)
+    config.compression = CompressionSpec("qsgd", bits=args.bits,
+                                         bucket_size=bucket)
+
+    baseline = train_family(args.family, world_size=args.world, config=config,
+                            steps=args.steps, seed=args.seed,
+                            eval_every=max(1, args.steps))
+    task = make_task(args.family, batch_size=recipe.batch_size,
+                     **recipe.kwargs())
+    trainer = DataParallelTrainer(task, world_size=args.world, config=config,
+                                  recipe=recipe, seed=args.seed,
+                                  fault_plan=plan, policy=policy)
+    faulty = trainer.train(steps=args.steps, eval_every=max(1, args.steps))
+    runtime = trainer.fault_runtime
+    assert runtime is not None
+
+    print(f"campaign   {plan.name} (world={plan.world}, seed={plan.seed}, "
+          f"{len(plan.events)} event(s))", file=out)
+    print(f"training   {args.family} x{args.world}, {args.steps} steps, "
+          f"qsgd {args.bits}-bit", file=out)
+    print(f"loss       fault-free {baseline.final_loss:.4f}  ->  "
+          f"faulty {faulty.final_loss:.4f}", file=out)
+    print(f"{baseline.metric_name:10s} "
+          f"fault-free {baseline.final_metric:.4g}  ->  "
+          f"faulty {faulty.final_metric:.4g}", file=out)
+    summary = faulty.fault_summary or {}
+    for name in ("deliveries", "lost", "corrupt_detected", "retries",
+                 "retransmit_bytes", "forced_deliveries", "quorum_steps",
+                 "crashes", "rejoins", "checkpoint_restores"):
+        if summary.get(name):
+            print(f"  {name:20s} {summary[name]}", file=out)
+    if args.log:
+        with open(args.log, "wb") as handle:
+            handle.write(runtime.log_bytes())
+        print(f"event log  {args.log} ({len(runtime.records)} record(s))",
+              file=out)
+    return 0
+
+
 def _cmd_topology(args, out) -> int:
     machine = get_machine(args.machine)
     topo = machine.topology(args.gpus)
@@ -277,6 +365,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "topology": _cmd_topology,
         "experiment": _cmd_experiment,
         "analyze": _cmd_analyze,
+        "faults": _cmd_faults,
     }
     return commands[args.command](args, out)
 

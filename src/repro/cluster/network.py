@@ -93,10 +93,14 @@ class Network:
     # -- measurements -------------------------------------------------------
     def measure_p2p_bandwidth(self, src: int, dst: int,
                               nbytes: int = 256 * 1024 * 1024) -> float:
-        """Effective point-to-point bandwidth in bytes/s (fresh network)."""
-        self.reset()
-        end = self.transfer(src, dst, nbytes, 0.0)
-        self.reset()
+        """Effective point-to-point bandwidth in bytes/s.
+
+        Probes on a scratch network over the same topology and backend,
+        so measuring never clobbers this network's busy timelines or
+        transfer trace mid-simulation.
+        """
+        probe = Network(self.topology, self.backend)
+        end = probe.transfer(src, dst, nbytes, 0.0)
         return nbytes / end
 
 

@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.compression import Compressor
 
-from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
+from .base import (ReduceStats, check_buffers, compress_chunk,
+                   decompress_chunk, deliver_chunk)
 from .trace import declare_buffer, emit_recv, emit_send
 
 __all__ = ["allgather_allreduce"]
@@ -44,6 +45,9 @@ def allgather_allreduce(
         for dst in range(world):
             if dst != rank:
                 emit_send(rank, dst, wire.nbytes, step=0, tag=f"bcast/{rank}")
+                # per-receiver fault accounting; decoding stays canonical
+                deliver_chunk(wire, stats, rank, dst, step=0,
+                              tag=f"bcast/{rank}")
         decoded.append(decompress_chunk(compressor, wire, stats))
         for dst in range(world):
             if dst != rank:

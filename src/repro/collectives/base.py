@@ -14,7 +14,9 @@ dividing afterwards (in full precision, which adds no error).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -26,7 +28,7 @@ from .trace import (emit_buffer_read, emit_buffer_update, emit_buffer_write,
 
 __all__ = ["ReduceStats", "chunk_bounds", "split_chunks", "check_buffers",
            "compress_chunk", "decompress_chunk", "accumulate_chunk",
-           "store_chunk"]
+           "store_chunk", "wire_faults", "deliver_chunk", "faults_active"]
 
 
 @dataclass
@@ -40,9 +42,62 @@ class ReduceStats:
     compress_calls: int = 0      # compression kernel invocations
     decompress_calls: int = 0
     max_recompressions: int = 0  # worst-case quantize rounds any value saw
+    retries: int = 0             # fault-channel retransmissions
+    retransmit_bytes: int = 0    # extra wire bytes those retries moved
 
     def record_send(self, nbytes: int) -> None:
         self.wire_bytes += nbytes
+
+
+# -- fault-channel hook ------------------------------------------------------
+#
+# The schemes in this package move payloads between ranks at the same
+# sites that emit send/recv trace events.  A fault channel (installed by
+# repro.faults via wire_faults) intercepts those payloads without the
+# collectives importing the faults package — which would be circular,
+# since faults imports this module.  The hook is a single None check per
+# logical message when no campaign is running.
+
+_channel = None
+
+
+def faults_active() -> bool:
+    """Whether a fault channel is currently installed."""
+    return _channel is not None
+
+
+@contextmanager
+def wire_faults(channel) -> Iterator[None]:
+    """Install ``channel`` as the active fault interceptor.
+
+    ``channel`` must expose ``deliver(wire, stats, src, dst, step, tag)``
+    returning the payload the receiver should decode (normally a
+    :class:`~repro.faults.inject.FaultChannel`).  Channels nest like
+    traces: the innermost wins, the previous one is restored on exit.
+    """
+    global _channel
+    previous = _channel
+    _channel = channel
+    try:
+        yield
+    finally:
+        _channel = previous
+
+
+def deliver_chunk(wire, stats: ReduceStats, src: int, dst: int,
+                  step: int = 0, tag: str = ""):
+    """Pass one logical point-to-point payload through the fault channel.
+
+    Schemes call this between the encode (``compress_chunk``/
+    ``emit_send``) and decode (``emit_recv``/``decompress_chunk``) sites
+    of every message.  With no channel installed it returns ``wire``
+    unchanged; under a campaign it may account retransmissions into
+    ``stats`` and, when CRC checking is disabled, hand back a corrupted
+    payload for the receiver to absorb.
+    """
+    if _channel is None:
+        return wire
+    return _channel.deliver(wire, stats, src, dst, step, tag)
 
 
 def chunk_bounds(numel: int, n_chunks: int) -> list[tuple[int, int]]:

@@ -14,7 +14,7 @@ import numpy as np
 from repro.compression import Compressor
 
 from .base import (ReduceStats, accumulate_chunk, check_buffers,
-                   compress_chunk, decompress_chunk)
+                   compress_chunk, decompress_chunk, deliver_chunk)
 from .trace import declare_buffer, emit_recv, emit_send
 
 __all__ = ["ps_allreduce"]
@@ -39,6 +39,7 @@ def ps_allreduce(
                               key=f"{key}/push/{rank}", stats=stats,
                               rank=rank, tag=f"push/{rank}")
         emit_send(rank, 0, wire.nbytes, step=0, tag=f"push/{rank}")
+        wire = deliver_chunk(wire, stats, rank, 0, step=0, tag=f"push/{rank}")
         emit_recv(0, rank, wire.nbytes, step=0, tag=f"push/{rank}")
         accumulate_chunk(total, decompress_chunk(compressor, wire, stats),
                          rank=0, tag="push/agg")
@@ -48,6 +49,8 @@ def ps_allreduce(
     stats.wire_bytes += wire.nbytes * max(0, world - 2)
     for rank in range(1, world):
         emit_send(0, rank, wire.nbytes, step=1, tag="bcast")
+        # per-worker fault accounting; decoding stays canonical
+        deliver_chunk(wire, stats, 0, rank, step=1, tag="bcast")
     result = decompress_chunk(compressor, wire, stats)
     for rank in range(1, world):
         emit_recv(rank, 0, wire.nbytes, step=1, tag="bcast")

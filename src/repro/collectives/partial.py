@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.compression import Compressor
 
-from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
+from .base import (ReduceStats, check_buffers, compress_chunk,
+                   decompress_chunk, deliver_chunk)
 from .sra import sra_allreduce
 from .trace import emit_recv, emit_send, emit_state_use, rank_scope
 
@@ -86,16 +87,27 @@ class PartialAllreduce:
         with rank_scope(participants):
             reduced, stats = sra_allreduce(contributions, compressor, rng,
                                            key=f"{key}/quorum")
+        stats.scheme = "partial"
+        laggards = self.world - len(participants)
+        if laggards == 0:
+            # full participation: the quorum SRA already delivered
+            # identical results to every rank — encoding a late
+            # broadcast here would inflate wire_bytes and add a third
+            # quantization round nobody consumes
+            stats.max_recompressions = 2
+            return reduced, stats
         total = reduced[0]
 
         wire = compress_chunk(compressor, total.ravel(), rng,
                               key=f"{key}/late", stats=stats,
                               rank=participants[0], tag="late")
-        laggards = self.world - len(participants)
-        stats.wire_bytes += wire.nbytes * max(0, laggards - 1)
+        stats.wire_bytes += wire.nbytes * (laggards - 1)
         late_ranks = [r for r in range(self.world) if r not in participants]
         for rank in late_ranks:
             emit_send(participants[0], rank, wire.nbytes, step=2, tag="late")
+            # per-laggard fault accounting; decoding stays canonical
+            deliver_chunk(wire, stats, participants[0], rank, step=2,
+                          tag="late")
         decoded = decompress_chunk(compressor, wire, stats).reshape(
             buffers[0].shape
         )
@@ -103,10 +115,13 @@ class PartialAllreduce:
             emit_recv(rank, participants[0], wire.nbytes, step=2, tag="late")
         # every rank adopts the identical decoded payload
         outputs = [decoded.copy() for _ in range(self.world)]
-        stats.scheme = "partial"
         # quorum SRA quantizes twice; the late broadcast re-encodes once more
         stats.max_recompressions = 3
         return outputs, stats
+
+    def has_carries(self) -> bool:
+        """Whether any rank still holds banked (undelivered) gradient."""
+        return bool(self._carry)
 
     def carry_norm(self, key: str, rank: int) -> float:
         carry = self._carry.get((key, rank))

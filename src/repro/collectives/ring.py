@@ -21,6 +21,7 @@ from .base import (
     check_buffers,
     compress_chunk,
     decompress_chunk,
+    deliver_chunk,
     split_chunks,
     store_chunk,
 )
@@ -64,6 +65,8 @@ def ring_allreduce(
             transfers.append((rank, chunk_id, wire))
         for rank, chunk_id, wire in transfers:
             nxt = (rank + 1) % world
+            wire = deliver_chunk(wire, stats, rank, nxt, step=step,
+                                 tag=f"rs/{step}/{rank}")
             emit_recv(nxt, rank, wire.nbytes, step=step,
                       tag=f"rs/{step}/{rank}")
             accumulate_chunk(work[nxt][chunk_id],
@@ -86,6 +89,10 @@ def ring_allreduce(
             dst = (rank + hop + 1) % world
             emit_send(src, dst, wire.nbytes, step=world - 1 + hop,
                       tag=f"ag/{owned}")
+            # per-hop fault accounting; the forwarded payload every rank
+            # decodes stays the owner's canonical encoding
+            deliver_chunk(wire, stats, src, dst, step=world - 1 + hop,
+                          tag=f"ag/{owned}")
         final_payloads[owned] = decompress_chunk(compressor, wire, stats)
         for hop in range(world - 1):
             src = (rank + hop) % world

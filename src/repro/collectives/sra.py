@@ -25,6 +25,7 @@ from .base import (
     check_buffers,
     compress_chunk,
     decompress_chunk,
+    deliver_chunk,
     split_chunks,
     store_chunk,
 )
@@ -71,6 +72,8 @@ def sra_allreduce(
             )
             emit_send(rank, owner, wire.nbytes, step=0,
                       tag=f"sr/{owner}/{rank}")
+            wire = deliver_chunk(wire, stats, rank, owner, step=0,
+                                 tag=f"sr/{owner}/{rank}")
             emit_recv(owner, rank, wire.nbytes, step=0,
                       tag=f"sr/{owner}/{rank}")
             accumulate_chunk(total, decompress_chunk(compressor, wire, stats),
@@ -90,6 +93,11 @@ def sra_allreduce(
         for dst in range(world):
             if dst != owner:
                 emit_send(owner, dst, wire.nbytes, step=1, tag=f"ag/{owner}")
+                # broadcast payloads are delivered per receiver for fault
+                # accounting; all ranks decode the canonical wire object,
+                # preserving the replicas-stay-identical invariant
+                deliver_chunk(wire, stats, owner, dst, step=1,
+                              tag=f"ag/{owner}")
         decoded = decompress_chunk(compressor, wire, stats)
         for rank in range(world):
             if rank != owner:

@@ -50,6 +50,7 @@ __all__ = [
     "rank_scope",
     "emit_send",
     "emit_recv",
+    "translate_rank",
     "emit_buffer_read",
     "emit_buffer_write",
     "emit_buffer_update",
@@ -170,6 +171,16 @@ def _translate(rank: int) -> int:
     for mapping in reversed(_rank_maps):
         rank = mapping[rank]
     return rank
+
+
+def translate_rank(rank: int) -> int:
+    """Public rank translation through the active :func:`rank_scope` stack.
+
+    The fault channel (:mod:`repro.faults.inject`) matches fault-plan
+    routes on *global* ranks, so it must apply the same translation the
+    trace events get — including inside nested collectives.
+    """
+    return _translate(rank)
 
 
 def emit_send(src: int, dst: int, nbytes: int, step: int,

@@ -15,7 +15,7 @@ import numpy as np
 from repro.compression import Compressor
 
 from .base import (ReduceStats, accumulate_chunk, check_buffers,
-                   compress_chunk, decompress_chunk)
+                   compress_chunk, decompress_chunk, deliver_chunk)
 from .trace import declare_buffer, emit_recv, emit_send
 
 __all__ = ["tree_allreduce"]
@@ -47,6 +47,8 @@ def tree_allreduce(
                                   rank=sender, tag=f"up/{stride}/{sender}")
             emit_send(sender, receiver, wire.nbytes, step=depth,
                       tag=f"up/{stride}/{sender}")
+            wire = deliver_chunk(wire, stats, sender, receiver, step=depth,
+                                 tag=f"up/{stride}/{sender}")
             emit_recv(receiver, sender, wire.nbytes, step=depth,
                       tag=f"up/{stride}/{sender}")
             accumulate_chunk(partial[receiver],
@@ -66,6 +68,10 @@ def tree_allreduce(
     for parent, child, k in reversed(edges):
         emit_send(parent, child, wire.nbytes, step=2 * depth - 1 - k,
                   tag="down")
+        # per-edge fault accounting; every rank decodes the root's
+        # canonical payload
+        deliver_chunk(wire, stats, parent, child, step=2 * depth - 1 - k,
+                      tag="down")
     result = decompress_chunk(compressor, wire, stats)
     for parent, child, k in reversed(edges):
         emit_recv(child, parent, wire.nbytes, step=2 * depth - 1 - k,

@@ -51,11 +51,17 @@ class CGXDistributedDataParallel:
     def world_size(self) -> int:
         return len(self.replicas)
 
-    def synchronize(self) -> ReductionReport:
+    def synchronize(self, participants: list[int] | None = None,
+                    average_over: int | None = None) -> ReductionReport:
         """Average gradients across replicas via the configured engine.
 
         Call after every worker has completed its backward pass.  Missing
         gradients (parameters untouched this step) are treated as zeros.
+
+        ``participants`` restricts the reduction to a quorum (graceful
+        degradation; skipped ranks' gradients ride the engine's carry
+        buffers) and ``average_over`` re-normalizes the mean over the
+        number of actually contributing ranks (elastic membership).
         """
         per_worker = []
         for replica in self.replicas:
@@ -68,7 +74,9 @@ class CGXDistributedDataParallel:
             per_worker.append(grads)
 
         reduced, report = self.engine.reduce(per_worker, self.rng,
-                                             mode=self.mode, average=True)
+                                             mode=self.mode, average=True,
+                                             participants=participants,
+                                             average_over=average_over)
         for worker, replica in enumerate(self.replicas):
             for name, param in replica.named_parameters():
                 param.grad = np.ascontiguousarray(

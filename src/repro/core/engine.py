@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.collectives import ReduceStats, allreduce
+from repro.collectives import PartialAllreduce, ReduceStats, allreduce
 from repro.compression import CompressionSpec, Compressor, make_compressor
 from repro.compression.topk import ErrorFeedback
 
@@ -55,6 +55,9 @@ class ReductionReport:
     payload_bytes: int = 0   # one-copy compressed size of the model gradient
     dense_bytes: int = 0     # one-copy fp32 size of the model gradient
     compress_calls: int = 0
+    retries: int = 0         # fault-channel retransmissions this step
+    retransmit_bytes: int = 0  # extra wire bytes those retries moved
+    quorum_world: int | None = None  # participant count when degraded
     per_package: list[tuple[str, ReduceStats]] = field(default_factory=list)
 
     @property
@@ -75,6 +78,9 @@ class CommunicationEngine:
                                   self.config.min_compress_numel)
         self.node_of = node_of  # rank -> node, for the hierarchical scheme
         self._compressors: dict[str, Compressor | ErrorFeedback] = {}
+        # per-package quorum reducers, created on first degraded step so
+        # carry buffers persist until the skipped mass has drained
+        self._partials: dict[str, PartialAllreduce] = {}
 
     # -- planning ----------------------------------------------------------
     def plan(self, layers: list[LayerInfo], mode: str = "cgx") -> list[Package]:
@@ -150,6 +156,8 @@ class CommunicationEngine:
         rng: np.random.Generator,
         mode: str = "cgx",
         average: bool = True,
+        participants: list[int] | None = None,
+        average_over: int | None = None,
     ) -> tuple[list[dict[str, np.ndarray]], ReductionReport]:
         """Reduce named gradients across workers through the plan.
 
@@ -160,6 +168,15 @@ class CommunicationEngine:
                 on the wire, identically for every receiving worker).
             mode: ``cgx`` or ``fused`` planning.
             average: divide by world size after summation.
+            participants: graceful-degradation quorum.  ``None`` (or all
+                ranks) runs the configured scheme; a strict subset routes
+                every package through a :class:`PartialAllreduce`, whose
+                carry buffers bank the skipped contributions.  Once a
+                package has degraded it stays on the quorum reducer until
+                its carries drain, so no gradient mass is lost.
+            average_over: divisor for the average (default: world size).
+                Elastic membership passes the number of *contributing*
+                ranks so crashed workers do not dilute the mean.
 
         Returns:
             (per-worker reduced gradients, aggregate report).
@@ -176,7 +193,14 @@ class CommunicationEngine:
                       tuple(per_worker_grads[0][name].shape))
             for name in names
         ]
+        quorum = sorted(set(participants)) if participants is not None \
+            else list(range(world))
+        if any(not 0 <= p < world for p in quorum):
+            raise ValueError("participant rank out of range")
+        subset = len(quorum) < world
         report = ReductionReport()
+        if subset:
+            report.quorum_world = len(quorum)
         outputs: list[dict[str, np.ndarray]] = [dict() for _ in range(world)]
 
         for package in self.plan(layers, mode=mode):
@@ -184,16 +208,30 @@ class CommunicationEngine:
                 _gather_package(per_worker_grads[w], package) for w in range(world)
             ]
             compressor = self._compressor_for(package)
-            reduced, stats = allreduce(self.config.scheme, buffers, compressor,
-                                       rng, key=package.name,
-                                       node_of=self.node_of)
-            scale = 1.0 / world if average else 1.0
+            reducer = self._partials.get(package.name)
+            if subset or reducer is not None:
+                if reducer is None or reducer.world != world:
+                    reducer = PartialAllreduce(world)
+                    self._partials[package.name] = reducer
+                reduced, stats = reducer.reduce(buffers, quorum, compressor,
+                                                rng, key=package.name)
+                if not subset and not reducer.has_carries():
+                    # carries drained under full participation: return
+                    # the package to the configured scheme next step
+                    del self._partials[package.name]
+            else:
+                reduced, stats = allreduce(self.config.scheme, buffers,
+                                           compressor, rng, key=package.name,
+                                           node_of=self.node_of)
+            scale = 1.0 / (average_over or world) if average else 1.0
             for w in range(world):
                 _scatter_package(outputs[w], reduced[w] * scale, package)
             report.packages += 1
             report.wire_bytes += stats.wire_bytes
             report.payload_bytes += package.wire_bytes()
             report.compress_calls += stats.compress_calls
+            report.retries += stats.retries
+            report.retransmit_bytes += stats.retransmit_bytes
             report.per_package.append((package.name, stats))
         report.dense_bytes = sum(layer.numel * 4 for layer in layers)
         return outputs, report

@@ -1,0 +1,36 @@
+"""repro.faults: deterministic fault injection + resilience runtime.
+
+The subsystem has four layers, mirroring the paper's separation of
+mechanism and policy:
+
+* :mod:`~repro.faults.plan` — declarative, seeded fault plans (pure
+  data) and the :class:`PlanRuntime` that binds one to a generator and
+  a byte-reproducible event log.  Named chaos campaigns live here.
+* :mod:`~repro.faults.policy` — the recovery knobs
+  (:class:`ResiliencePolicy`), campaign accounting
+  (:class:`FaultCounters`), and the pure decision functions
+  (:func:`select_participants`, :func:`plan_fallback`).
+* :mod:`~repro.faults.inject` — the hooks that make both execution
+  paths observe a plan: :class:`FaultChannel` for the real-numpy
+  collectives and :class:`FaultyNetwork` for the timed makespan model.
+* :mod:`~repro.faults.validate` — analysis rules (FLT001..FLT004)
+  proving injection cannot mask schedule bugs or break reproducibility.
+"""
+
+from .inject import (FaultChannel, FaultyNetwork, corrupt_payload,
+                     inject_data_path, payload_crc)
+from .plan import (CAMPAIGNS, FaultEvent, FaultPlan, FaultRecord, PlanRuntime,
+                   StepFaults, crash, link_outage, link_slowdown,
+                   make_campaign, message_loss, payload_corruption, straggler)
+from .policy import (FaultBudgetExceeded, FaultCounters, LinkDownError,
+                     ResiliencePolicy, plan_fallback, select_participants)
+
+__all__ = [
+    "FaultEvent", "FaultPlan", "StepFaults", "FaultRecord", "PlanRuntime",
+    "link_slowdown", "link_outage", "message_loss", "payload_corruption",
+    "straggler", "crash", "CAMPAIGNS", "make_campaign",
+    "ResiliencePolicy", "FaultCounters", "FaultBudgetExceeded",
+    "LinkDownError", "select_participants", "plan_fallback",
+    "FaultChannel", "FaultyNetwork", "inject_data_path", "payload_crc",
+    "corrupt_payload",
+]

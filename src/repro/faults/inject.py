@@ -1,0 +1,217 @@
+"""Injection hooks: make both execution paths observe a fault plan.
+
+Two injectors, one plan:
+
+* :class:`FaultChannel` intercepts the collectives' *data path*.  It is
+  installed through :func:`repro.collectives.base.wire_faults`; every
+  logical point-to-point message the schemes move (the same sites that
+  emit ``send``/``recv`` trace events) is passed through
+  :meth:`FaultChannel.deliver`, which draws loss/corruption outcomes
+  from the plan's generator, CRC-checks payloads against the byte-exact
+  :func:`repro.core.serialization.serialize_payload` encoding, and
+  performs bounded retransmission with full wire/trace accounting —
+  every retry adds bytes to ``ReduceStats`` *and* a matching send/recv
+  event pair, so the schedule verifier's wire-conservation rule
+  (SCH005) keeps holding under injection.
+
+* :class:`FaultyNetwork` subclasses the timed
+  :class:`~repro.cluster.network.Network`: link slowdowns stretch
+  per-link service times, downed routes raise
+  :class:`~repro.faults.policy.LinkDownError` (callers consult
+  :func:`~repro.faults.policy.plan_fallback` first), lost or corrupted
+  transfers re-traverse their route after a timeout-plus-backoff wait,
+  and straggler scaling stretches per-GPU kernels.
+
+Both injectors log every occurrence into the shared
+:class:`~repro.faults.plan.PlanRuntime`, so the makespan model and the
+real-numpy path report one deterministic campaign.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.cluster.backends import BackendModel
+from repro.cluster.network import Network, TransferRecord
+from repro.cluster.topology import Topology
+from repro.collectives.base import ReduceStats, wire_faults
+from repro.collectives.trace import emit_recv, emit_send, translate_rank
+from repro.compression.base import Compressed
+from repro.core.serialization import serialize_payload
+
+from .plan import PlanRuntime
+from .policy import FaultBudgetExceeded, LinkDownError
+
+__all__ = ["FaultChannel", "FaultyNetwork", "inject_data_path",
+           "payload_crc", "corrupt_payload"]
+
+
+def payload_crc(wire: Compressed) -> int:
+    """CRC32 of the byte-exact wire encoding of ``wire``."""
+    return zlib.crc32(serialize_payload(wire))
+
+
+def corrupt_payload(wire: Compressed, rng) -> Compressed:
+    """A copy of ``wire`` with one payload byte bit-flipped.
+
+    The flipped byte is chosen by ``rng`` over the concatenated payload
+    arrays, mirroring a single-bit wire error.  Returns ``wire``
+    unchanged when the payload is empty (nothing to corrupt).
+    """
+    keys = [k for k in sorted(wire.payload) if wire.payload[k].nbytes > 0]
+    if not keys:
+        return wire
+    corrupted = wire.copy()
+    key = keys[int(rng.integers(len(keys)))]
+    flat = corrupted.payload[key].reshape(-1).view("uint8")
+    offset = int(rng.integers(flat.size))
+    flat[offset] ^= 0xFF
+    return corrupted
+
+
+class FaultChannel:
+    """Data-path interceptor for one campaign (see module docstring)."""
+
+    def __init__(self, runtime: PlanRuntime):
+        self.runtime = runtime
+
+    def deliver(self, wire: Compressed, stats: ReduceStats, src: int,
+                dst: int, step: int, tag: str) -> Compressed:
+        """Deliver one logical message, retrying per the policy.
+
+        ``src``/``dst`` are collective-local ranks (translated through
+        any active :func:`~repro.collectives.trace.rank_scope` for
+        route matching, exactly like the trace events).  Returns the
+        payload the receiver decodes — the intact original unless CRC
+        checking is off and a corruption slipped through.
+        """
+        runtime = self.runtime
+        policy = runtime.policy
+        counters = runtime.counters
+        counters.deliveries += 1
+        gsrc, gdst = translate_rank(src), translate_rank(dst)
+        faults = runtime.faults()
+        p_loss = faults.loss_probability(gsrc, gdst)
+        p_corrupt = faults.corrupt_probability(gsrc, gdst)
+        if p_loss <= 0.0 and p_corrupt <= 0.0:
+            return wire
+
+        crc = payload_crc(wire) if policy.crc_check else None
+        attempt = 0
+        while True:
+            draw = float(runtime.rng.random())
+            if draw >= p_loss + p_corrupt:
+                return wire                      # delivered intact
+            if draw < p_loss:
+                counters.lost += 1
+                runtime.record("message_loss", src=gsrc, dst=gdst, tag=tag,
+                               attempt=attempt)
+            else:
+                corrupted = corrupt_payload(wire, runtime.rng)
+                runtime.record("payload_corrupt", src=gsrc, dst=gdst,
+                               tag=tag, attempt=attempt)
+                if crc is None:
+                    # no CRC: the receiver decodes garbage and training
+                    # absorbs the error (measured, not modeled)
+                    counters.corrupt_delivered += 1
+                    return corrupted
+                if payload_crc(corrupted) == crc:  # pragma: no cover
+                    counters.corrupt_delivered += 1
+                    return corrupted
+                counters.corrupt_detected += 1
+
+            attempt += 1
+            if attempt > policy.max_retries:
+                if policy.strict:
+                    raise FaultBudgetExceeded(
+                        f"{tag}: {gsrc}->{gdst} failed "
+                        f"{attempt} deliveries (budget "
+                        f"{policy.max_retries})")
+                counters.forced_deliveries += 1
+                runtime.record("forced_delivery", src=gsrc, dst=gdst,
+                               tag=tag)
+                return wire
+            # retransmit: real bytes on the wire, visible to the
+            # schedule verifier as a fresh matched send/recv pair
+            counters.retries += 1
+            counters.retransmit_bytes += wire.nbytes
+            stats.retries += 1
+            stats.retransmit_bytes += wire.nbytes
+            stats.wire_bytes += wire.nbytes
+            retry_tag = f"{tag}#retry{attempt}"
+            emit_send(src, dst, wire.nbytes, step=step, tag=retry_tag)
+            emit_recv(dst, src, wire.nbytes, step=step, tag=retry_tag)
+
+
+def inject_data_path(runtime: PlanRuntime):
+    """Context manager installing a :class:`FaultChannel` for ``runtime``.
+
+    Usage::
+
+        with inject_data_path(runtime):
+            outputs, stats = sra_allreduce(buffers, compressor, rng)
+    """
+    return wire_faults(FaultChannel(runtime))
+
+
+class FaultyNetwork(Network):
+    """A timed network that observes a fault plan.
+
+    Drop-in replacement for :class:`~repro.cluster.network.Network`
+    (``simulate_step`` accepts it via its ``network=`` argument); the
+    bound :class:`PlanRuntime`'s step cursor selects which faults bite.
+    """
+
+    def __init__(self, topology: Topology, backend: BackendModel | str,
+                 runtime: PlanRuntime):
+        super().__init__(topology, backend)
+        self.runtime = runtime
+
+    def transfer(self, src: int, dst: int, nbytes: int, ready: float
+                 ) -> float:
+        if src == dst:
+            return ready
+        runtime = self.runtime
+        policy = runtime.policy
+        faults = runtime.faults()
+        if faults.route_down(src, dst):
+            runtime.record("link_down_hit", src=src, dst=dst)
+            raise LinkDownError(
+                f"route {src}->{dst} is down at step {faults.step}")
+        slow = faults.link_slow_factor(src, dst)
+        p_fail = 1.0 - (1.0 - faults.loss_probability(src, dst)) \
+            * (1.0 - faults.corrupt_probability(src, dst))
+
+        attempt = 0
+        t = ready
+        while True:
+            end = self._traverse(src, dst, nbytes, t, slow)
+            if p_fail <= 0.0 or float(runtime.rng.random()) >= p_fail:
+                return end
+            runtime.record("timed_retry", src=src, dst=dst, attempt=attempt)
+            attempt += 1
+            if attempt > policy.max_retries:
+                runtime.counters.forced_deliveries += 1
+                return end
+            runtime.counters.retries += 1
+            runtime.counters.retransmit_bytes += nbytes
+            t = end + policy.timeout + policy.backoff(attempt)
+
+    def _traverse(self, src: int, dst: int, nbytes: int, ready: float,
+                  slow: float) -> float:
+        """One store-and-forward traversal with a slowdown factor."""
+        start_overall = ready + self.backend.alpha
+        t = start_overall
+        scaled = nbytes * self.backend.copy_factor
+        for link in self.topology.path(src, dst):
+            service = slow * (scaled / link.bandwidth + link.latency)
+            _, t = self.pool.get(link.name).schedule(t, service)
+        if self._trace_enabled:
+            self.trace.append(TransferRecord(src, dst, nbytes,
+                                             start_overall, t))
+        return t
+
+    def run_kernel(self, gpu: int, engine: str, duration: float,
+                   ready: float) -> float:
+        scale = self.runtime.faults().compute_scale(gpu)
+        return super().run_kernel(gpu, engine, duration * scale, ready)

@@ -1,0 +1,353 @@
+"""Declarative, seeded fault plans for the simulated cluster.
+
+A :class:`FaultPlan` is a step-indexed schedule of :class:`FaultEvent`
+records — link slowdowns and outages, transient message loss, payload
+corruption, straggler compute scaling, worker crash/rejoin — plus a
+seed.  Plans are pure data: nothing here touches the network or the
+collectives.  A :class:`PlanRuntime` binds a plan to an explicit
+``numpy.random.Generator`` and an append-only :class:`FaultRecord` log,
+so a campaign replayed under the same seed produces a *byte-identical*
+event log (:meth:`PlanRuntime.log_bytes` is the canonical encoding the
+CI determinism check compares).
+
+The injection machinery that makes the timed network and the real-numpy
+data path observe a plan lives in :mod:`repro.faults.inject`; the
+recovery knobs live in :mod:`repro.faults.policy`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .policy import FaultCounters, ResiliencePolicy
+
+__all__ = [
+    "FAULT_KINDS", "FaultEvent", "FaultPlan", "StepFaults", "FaultRecord",
+    "PlanRuntime", "link_slowdown", "link_outage", "message_loss",
+    "payload_corruption", "straggler", "crash",
+    "CAMPAIGNS", "make_campaign",
+]
+
+#: every fault class the engine can inject
+FAULT_KINDS = ("link_slow", "link_down", "message_loss", "payload_corrupt",
+               "straggler", "crash")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled degradation, active on steps ``[start, stop)``.
+
+    ``stop=None`` means the fault persists for the rest of the run.
+    ``src``/``dst`` select a directed route; ``None`` matches any
+    endpoint (so ``src=3, dst=None`` degrades everything rank 3 sends,
+    and ``src=None, dst=None`` degrades every route).  Routes are
+    matched symmetrically for link faults — a cable does not care about
+    direction — and directionally for message-level faults.
+    """
+
+    kind: str
+    start: int
+    stop: int | None = None
+    rank: int | None = None        # straggler / crash subject
+    src: int | None = None         # route endpoints
+    dst: int | None = None
+    factor: float = 1.0            # slowdown multiplier (link_slow, straggler)
+    probability: float = 0.0       # per-message probability (loss, corrupt)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"choose from {FAULT_KINDS}")
+        if self.start < 0:
+            raise ValueError(f"{self.kind}: start step must be >= 0")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError(f"{self.kind}: stop must be > start")
+        if self.kind in ("link_slow", "straggler") and self.factor < 1.0:
+            raise ValueError(f"{self.kind}: factor must be >= 1")
+        if self.kind in ("message_loss", "payload_corrupt") \
+                and not 0.0 <= self.probability < 1.0:
+            raise ValueError(f"{self.kind}: probability must be in [0, 1)")
+        if self.kind in ("straggler", "crash") and self.rank is None:
+            raise ValueError(f"{self.kind}: rank is required")
+
+    def active(self, step: int) -> bool:
+        return step >= self.start and (self.stop is None or step < self.stop)
+
+    def matches_route(self, src: int, dst: int, directed: bool = True) -> bool:
+        """Whether the event applies to a ``src -> dst`` message."""
+        if self._endpoint_match(src, dst):
+            return True
+        return not directed and self._endpoint_match(dst, src)
+
+    def _endpoint_match(self, src: int, dst: int) -> bool:
+        return ((self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst))
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "start": self.start}
+        for name in ("stop", "rank", "src", "dst"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.kind in ("link_slow", "straggler"):
+            out["factor"] = self.factor
+        if self.kind in ("message_loss", "payload_corrupt"):
+            out["probability"] = self.probability
+        return out
+
+
+# -- event constructors ------------------------------------------------------
+
+def link_slowdown(start: int, stop: int | None, factor: float,
+                  src: int | None = None, dst: int | None = None) -> FaultEvent:
+    """Degrade the route(s) by ``factor`` (2.0 = half bandwidth)."""
+    return FaultEvent("link_slow", start, stop, src=src, dst=dst,
+                      factor=factor)
+
+
+def link_outage(start: int, stop: int | None,
+                src: int | None = None, dst: int | None = None) -> FaultEvent:
+    """Take the route(s) down entirely (transfers cannot complete)."""
+    return FaultEvent("link_down", start, stop, src=src, dst=dst)
+
+
+def message_loss(start: int, stop: int | None, probability: float,
+                 src: int | None = None, dst: int | None = None) -> FaultEvent:
+    """Drop each matching message independently with ``probability``."""
+    return FaultEvent("message_loss", start, stop, src=src, dst=dst,
+                      probability=probability)
+
+
+def payload_corruption(start: int, stop: int | None, probability: float,
+                       src: int | None = None,
+                       dst: int | None = None) -> FaultEvent:
+    """Corrupt each matching payload independently with ``probability``."""
+    return FaultEvent("payload_corrupt", start, stop, src=src, dst=dst,
+                      probability=probability)
+
+
+def straggler(start: int, stop: int | None, rank: int,
+              factor: float) -> FaultEvent:
+    """Scale ``rank``'s compute time by ``factor`` (1.5 = 50% slower)."""
+    return FaultEvent("straggler", start, stop, rank=rank, factor=factor)
+
+
+def crash(rank: int, at: int, rejoin: int | None = None) -> FaultEvent:
+    """Kill ``rank`` at step ``at``; it rejoins at ``rejoin`` (or never)."""
+    return FaultEvent("crash", at, rejoin, rank=rank)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded schedule of fault events over ``world`` ranks."""
+
+    name: str
+    world: int
+    seed: int
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self):
+        if self.world < 1:
+            raise ValueError("world must be >= 1")
+        for event in self.events:
+            for attr in ("rank", "src", "dst"):
+                value = getattr(event, attr)
+                if value is not None and not 0 <= value < self.world:
+                    raise ValueError(
+                        f"{event.kind}: {attr}={value} out of range for "
+                        f"world {self.world}")
+
+    def at_step(self, step: int) -> "StepFaults":
+        """The faults active at ``step`` (a queryable view)."""
+        return StepFaults(step, self.world,
+                          tuple(e for e in self.events if e.active(step)))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "world": self.world, "seed": self.seed,
+                "events": [e.to_dict() for e in self.events]}
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultPlan":
+        events = tuple(FaultEvent(**e) for e in data.get("events", []))
+        return FaultPlan(data["name"], data["world"], data["seed"], events)
+
+
+def _combined_probability(events, kind, src, dst) -> float:
+    """1 - prod(1 - p) over matching events (independent hazards)."""
+    keep = 1.0
+    for event in events:
+        if event.kind == kind and event.matches_route(src, dst):
+            keep *= 1.0 - event.probability
+    return 1.0 - keep
+
+
+@dataclass(frozen=True)
+class StepFaults:
+    """Queryable snapshot of the faults active at one step."""
+
+    step: int
+    world: int
+    events: tuple[FaultEvent, ...]
+
+    def compute_scale(self, rank: int) -> float:
+        """Compute-time multiplier for ``rank`` (1.0 = healthy)."""
+        scale = 1.0
+        for event in self.events:
+            if event.kind == "straggler" and event.rank == rank:
+                scale *= event.factor
+        return scale
+
+    def dead_ranks(self) -> set[int]:
+        return {e.rank for e in self.events
+                if e.kind == "crash" and e.rank is not None}
+
+    def live_ranks(self) -> list[int]:
+        dead = self.dead_ranks()
+        return [r for r in range(self.world) if r not in dead]
+
+    def loss_probability(self, src: int, dst: int) -> float:
+        return _combined_probability(self.events, "message_loss", src, dst)
+
+    def corrupt_probability(self, src: int, dst: int) -> float:
+        return _combined_probability(self.events, "payload_corrupt", src, dst)
+
+    def link_slow_factor(self, src: int, dst: int) -> float:
+        factor = 1.0
+        for event in self.events:
+            if event.kind == "link_slow" \
+                    and event.matches_route(src, dst, directed=False):
+                factor *= event.factor
+        return factor
+
+    def route_down(self, src: int, dst: int) -> bool:
+        return any(e.kind == "link_down"
+                   and e.matches_route(src, dst, directed=False)
+                   for e in self.events)
+
+    def any_faults(self) -> bool:
+        return bool(self.events)
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault occurrence (the unit of the determinism log)."""
+
+    step: int
+    kind: str
+    detail: tuple[tuple[str, object], ...]   # sorted key/value pairs
+
+    def to_dict(self) -> dict:
+        out: dict = {"step": self.step, "kind": self.kind}
+        out.update(dict(self.detail))
+        return out
+
+
+class PlanRuntime:
+    """A plan bound to its generator, policy, counters and event log.
+
+    One runtime drives one campaign: :meth:`advance` moves the step
+    cursor (the injectors read :meth:`faults` for the current step), all
+    randomness flows through ``self.rng`` (seeded from the plan), and
+    every injected occurrence is appended to ``self.records`` so two
+    runs under one seed can be compared byte-for-byte.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 policy: ResiliencePolicy | None = None):
+        self.plan = plan
+        self.policy = policy or ResiliencePolicy()
+        self.rng = np.random.default_rng(plan.seed)
+        self.counters = FaultCounters()
+        self.records: list[FaultRecord] = []
+        self.step = 0
+        self._faults = plan.at_step(0)
+        self._dead_prev: set[int] = set()
+
+    def advance(self, step: int | None = None) -> StepFaults:
+        """Move to ``step`` (default: next); logs crash/rejoin edges."""
+        self.step = self.step + 1 if step is None else step
+        self._faults = self.plan.at_step(self.step)
+        dead = self._faults.dead_ranks()
+        for rank in sorted(dead - self._dead_prev):
+            self.record("crash", rank=rank)
+            self.counters.crashes += 1
+        for rank in sorted(self._dead_prev - dead):
+            self.record("rejoin", rank=rank)
+            self.counters.rejoins += 1
+        self._dead_prev = dead
+        if dead:
+            self.counters.crashed_steps += 1
+        return self._faults
+
+    def faults(self) -> StepFaults:
+        """The active faults at the current step cursor."""
+        return self._faults
+
+    def record(self, kind: str, **detail) -> None:
+        """Append one occurrence to the deterministic event log."""
+        self.records.append(
+            FaultRecord(self.step, kind, tuple(sorted(detail.items())))
+        )
+
+    def log_bytes(self) -> bytes:
+        """Canonical byte encoding of the event log (determinism check)."""
+        payload = {
+            "plan": self.plan.to_dict(),
+            "records": [r.to_dict() for r in self.records],
+        }
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+
+# -- named campaigns ---------------------------------------------------------
+
+def _straggler_campaign(world: int, seed: int) -> FaultPlan:
+    """A tolerated 1.6x straggler plus a transient one over budget.
+
+    The persistent straggler stays under the default 2.0x budget (the
+    step just waits); the transient 2.5x one exceeds it, so the policy
+    demotes that rank to carry-buffer quorum mode for those steps.
+    """
+    last = world - 1
+    events = [straggler(2, None, rank=last, factor=1.6)]
+    if world > 2:
+        events.append(straggler(6, 10, rank=0, factor=2.5))
+    return FaultPlan("straggler", world, seed, tuple(events))
+
+
+def _lossy_link_campaign(world: int, seed: int) -> FaultPlan:
+    """Transient loss + corruption on every route, one slow link."""
+    events = (
+        message_loss(1, None, probability=0.12),
+        payload_corruption(1, None, probability=0.08),
+        link_slowdown(3, None, factor=2.0, src=0, dst=1),
+    )
+    return FaultPlan("lossy-link", world, seed, events)
+
+
+def _crash_rejoin_campaign(world: int, seed: int) -> FaultPlan:
+    """The last rank dies mid-run and rejoins a few steps later."""
+    last = world - 1
+    events = [crash(rank=last, at=4, rejoin=9)]
+    if world > 3:
+        events.append(straggler(9, None, rank=0, factor=1.2))
+    return FaultPlan("crash-rejoin", world, seed, tuple(events))
+
+
+#: campaign name -> plan factory (world, seed) -> FaultPlan
+CAMPAIGNS: dict = {
+    "straggler": _straggler_campaign,
+    "lossy-link": _lossy_link_campaign,
+    "crash-rejoin": _crash_rejoin_campaign,
+}
+
+
+def make_campaign(name: str, world: int = 4, seed: int = 0) -> FaultPlan:
+    """Build a named chaos campaign for ``world`` ranks."""
+    if name not in CAMPAIGNS:
+        raise KeyError(f"unknown campaign {name!r}; "
+                       f"choose from {sorted(CAMPAIGNS)}")
+    return CAMPAIGNS[name](world, seed)

@@ -1,0 +1,200 @@
+"""Resilience policies: what training does about injected faults.
+
+A :class:`ResiliencePolicy` bundles the recovery knobs — bounded retry
+with exponential backoff, CRC verification of payloads, the straggler
+budget beyond which a rank is demoted to quorum (carry-buffer) mode,
+and the minimum quorum the engine will accept.  Pure decision logic
+lives here too: :func:`select_participants` (who contributes this step)
+and :func:`plan_fallback` (how the timed collective routes around dead
+links).  The mechanisms that *apply* these decisions are in
+:mod:`repro.faults.inject`, :mod:`repro.core.engine` and
+:mod:`repro.training.trainer`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .plan import StepFaults
+
+__all__ = ["ResiliencePolicy", "FaultCounters", "FaultBudgetExceeded",
+           "LinkDownError", "select_participants", "plan_fallback"]
+
+
+class FaultBudgetExceeded(RuntimeError):
+    """A delivery exhausted its retry budget under a strict policy."""
+
+
+class LinkDownError(RuntimeError):
+    """A timed transfer was scheduled over a downed route."""
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Recovery configuration for one campaign.
+
+    Attributes:
+        max_retries: bounded retransmit attempts per logical message.
+        timeout: seconds a timed sender waits before declaring a loss.
+        backoff_base: first retry delay (seconds, timed path).
+        backoff_factor: multiplier per further retry (exponential).
+        crc_check: verify payload CRCs and retransmit on mismatch; with
+            this off, corrupted payloads are *delivered* and training
+            absorbs the error.
+        straggler_budget: compute-scale factor beyond which a live rank
+            is dropped from the step's quorum (its gradient rides the
+            carry buffer instead of being waited for).
+        min_quorum_fraction: never reduce over fewer than this fraction
+            of the world, even if the budget says to drop more ranks.
+        strict: raise :class:`FaultBudgetExceeded` when retries run out
+            instead of forcing the delivery through.
+    """
+
+    max_retries: int = 4
+    timeout: float = 2e-3
+    backoff_base: float = 1e-3
+    backoff_factor: float = 2.0
+    crc_check: bool = True
+    straggler_budget: float = 2.0
+    min_quorum_fraction: float = 0.5
+    strict: bool = False
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 < self.min_quorum_fraction <= 1.0:
+            raise ValueError("min_quorum_fraction must be in (0, 1]")
+        if self.straggler_budget < 1.0:
+            raise ValueError("straggler_budget must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based), in seconds."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class FaultCounters:
+    """Aggregate accounting of one campaign's faults and recoveries."""
+
+    deliveries: int = 0          # fault-channel messages examined
+    lost: int = 0                # messages dropped in flight
+    corrupt_detected: int = 0    # CRC mismatches caught
+    corrupt_delivered: int = 0   # corruptions passed through (no CRC)
+    retries: int = 0             # retransmissions performed
+    retransmit_bytes: int = 0    # extra wire bytes from retransmission
+    forced_deliveries: int = 0   # retry budget exhausted, non-strict
+    quorum_steps: int = 0        # steps reduced over a strict subset
+    fallbacks: int = 0           # timed-path scheme/route fallbacks
+    crashes: int = 0
+    rejoins: int = 0
+    crashed_steps: int = 0       # steps with at least one dead rank
+    checkpoint_restores: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "FaultCounters") -> None:
+        for name in ("deliveries", "lost", "corrupt_detected",
+                     "corrupt_delivered", "retries", "retransmit_bytes",
+                     "forced_deliveries", "quorum_steps", "fallbacks",
+                     "crashes", "rejoins", "crashed_steps",
+                     "checkpoint_restores"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def to_dict(self) -> dict:
+        out = {name: getattr(self, name) for name in (
+            "deliveries", "lost", "corrupt_detected", "corrupt_delivered",
+            "retries", "retransmit_bytes", "forced_deliveries",
+            "quorum_steps", "fallbacks", "crashes", "rejoins",
+            "crashed_steps", "checkpoint_restores")}
+        out.update(self.extra)
+        return out
+
+
+def select_participants(faults: "StepFaults", policy: ResiliencePolicy
+                        ) -> list[int]:
+    """Which ranks contribute to this step's reduction.
+
+    Dead ranks are always excluded.  Live ranks whose compute scale
+    exceeds ``policy.straggler_budget`` are demoted to carry mode —
+    unless that would shrink the quorum below
+    ``min_quorum_fraction * world``, in which case the least-slow
+    demoted ranks are re-admitted (deterministically) until the quorum
+    is legal.
+    """
+    live = faults.live_ranks()
+    floor = max(1, math.ceil(policy.min_quorum_fraction * faults.world))
+    kept = [r for r in live
+            if faults.compute_scale(r) <= policy.straggler_budget]
+    if len(kept) < floor:
+        demoted = sorted((r for r in live if r not in kept),
+                         key=lambda r: (faults.compute_scale(r), r))
+        kept = sorted(kept + demoted[:floor - len(kept)])
+    return sorted(kept)
+
+
+def plan_fallback(faults: "StepFaults", ranks: list[int]
+                  ) -> tuple[str, list[int]]:
+    """Route-aware fallback decision for one timed collective.
+
+    Returns ``(decision, members)``:
+
+    * ``("ok", ranks)`` — no downed route among the participants; run
+      the configured scheme unchanged.
+    * ``("reroute", order)`` — some pairs are down but every rank is
+      still reachable; ``order`` is a ring ordering that avoids every
+      downed adjacency (ring/tree schedules should follow it).
+    * ``("quorum", live)`` — at least one rank is unreachable from the
+      quorum anchor; reduce over ``live`` with
+      :func:`~repro.collectives.timing.time_partial_allreduce` and let
+      the isolated ranks catch up when their links return.
+    """
+    down = {(a, b) for a in ranks for b in ranks
+            if a != b and faults.route_down(a, b)}
+    if not down:
+        return "ok", list(ranks)
+
+    def healthy(a: int, b: int) -> bool:
+        return (a, b) not in down
+
+    # connected components over healthy pairs; the quorum is the largest
+    # component (smallest member breaks ties, deterministically)
+    components: list[set[int]] = []
+    unseen = set(ranks)
+    while unseen:
+        seed_rank = min(unseen)
+        component = {seed_rank}
+        frontier = [seed_rank]
+        while frontier:
+            node = frontier.pop()
+            for other in ranks:
+                if other in unseen and other not in component \
+                        and healthy(node, other):
+                    component.add(other)
+                    frontier.append(other)
+        unseen -= component
+        components.append(component)
+    if len(components) > 1:
+        largest = max(components, key=lambda c: (len(c), -min(c)))
+        return "quorum", sorted(largest)
+    reachable = components[0]
+
+    # all reachable: find a ring ordering avoiding every downed pair
+    # (deterministic DFS over a Hamiltonian cycle; worlds are small)
+    order = [min(ranks)]
+
+    def extend() -> bool:
+        if len(order) == len(ranks):
+            return healthy(order[-1], order[0])
+        for nxt in sorted(set(ranks) - set(order)):
+            if healthy(order[-1], nxt):
+                order.append(nxt)
+                if extend():
+                    return True
+                order.pop()
+        return False
+
+    if extend():
+        return "reroute", order
+    return "quorum", sorted(reachable)

@@ -1,0 +1,150 @@
+"""Analysis pass: prove the fault machinery cannot mask real bugs.
+
+Injected faults rewrite the message log (retransmitted payloads add
+send/recv pairs) and consume extra randomness, so they could in
+principle hide a schedule asymmetry or a data race behind noise — or
+introduce one of their own.  This pass closes that hole; it is
+registered with the :mod:`repro.analysis` contract and race passes so
+CI runs it alongside SCH/RACE/CON:
+
+``FLT001``  a schedule invariant (SCH001..SCH007) is violated while a
+            lossy campaign is injecting into the data path.
+``FLT002``  the happens-before race detector finds a hazard that only
+            exists under injection.
+``FLT003``  two runs of one campaign under one seed produce different
+            fault event logs — the reproducibility contract is broken.
+``FLT004``  a corrupted payload's CRC collides with the original, so
+            retransmit-on-corrupt would deliver garbage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.races import analyze_trace
+from repro.analysis.schedule import SchemeCase, trace_case, verify_trace
+from repro.compression import CompressionSpec, make_compressor
+
+from .inject import corrupt_payload, inject_data_path, payload_crc
+from .plan import PlanRuntime, make_campaign
+from .policy import ResiliencePolicy
+
+__all__ = ["FAULT_RULES", "verify_fault_schedules", "verify_fault_determinism",
+           "verify_crc_detection", "verify_faults", "fault_path"]
+
+FAULT_RULES = {
+    "FLT001": "schedule invariant violated under fault injection",
+    "FLT002": "data race introduced under fault injection",
+    "FLT003": "fault campaign is not seed-deterministic",
+    "FLT004": "CRC fails to detect payload corruption",
+}
+
+#: the scheme battery the injection sweep runs (one case per schedule
+#: shape; hierarchical is covered through its nested SRA calls)
+_FAULT_CASES = (
+    SchemeCase("sra", 4),
+    SchemeCase("ring", 4),
+    SchemeCase("tree", 5),
+    SchemeCase("allgather", 3),
+    SchemeCase("ps", 4),
+    SchemeCase("partial", 4, participants=(0, 1, 2)),
+)
+
+#: a fault step well inside every campaign's loss/corruption window
+_INJECT_STEP = 4
+
+
+def fault_path(scheme: str, world: int) -> str:
+    return f"<faults:{scheme}@world={world}>"
+
+
+def _campaign_runtime(world: int, seed: int = 0) -> PlanRuntime:
+    runtime = PlanRuntime(make_campaign("lossy-link", world=world, seed=seed),
+                          ResiliencePolicy())
+    runtime.advance(_INJECT_STEP)
+    return runtime
+
+
+def verify_fault_schedules(cases=_FAULT_CASES, seed: int = 0
+                           ) -> list[Finding]:
+    """Re-run the SCH + RACE batteries with a lossy campaign installed."""
+    findings: list[Finding] = []
+    for case in cases:
+        runtime = _campaign_runtime(case.world, seed)
+        with inject_data_path(runtime):
+            trace, stats = trace_case(case, seed=seed)
+        for inner in verify_trace(trace, stats, case):
+            findings.append(Finding(
+                rule="FLT001", path=fault_path(case.scheme, case.world),
+                line=0, col=0, source="faults", scheme=case.scheme,
+                world=case.world,
+                message=f"[{inner.rule}] under lossy-link injection: "
+                        f"{inner.message}"))
+        for inner in analyze_trace(trace, case.scheme, case.world):
+            findings.append(Finding(
+                rule="FLT002", path=fault_path(case.scheme, case.world),
+                line=0, col=0, source="faults", scheme=case.scheme,
+                world=case.world,
+                message=f"[{inner.rule}] under lossy-link injection: "
+                        f"{inner.message}"))
+    return sort_findings(findings)
+
+
+def verify_fault_determinism(world: int = 4, seed: int = 7) -> list[Finding]:
+    """One campaign, one seed, two runs: the event logs must be bytes-equal."""
+    findings: list[Finding] = []
+    for campaign in ("straggler", "lossy-link", "crash-rejoin"):
+        logs = []
+        for _ in range(2):
+            runtime = PlanRuntime(
+                make_campaign(campaign, world=world, seed=seed))
+            for step in range(1, 12):
+                runtime.advance(step)
+                with inject_data_path(runtime):
+                    trace_case(SchemeCase("sra", world), seed=seed)
+            logs.append(runtime.log_bytes())
+        if logs[0] != logs[1]:
+            findings.append(Finding(
+                rule="FLT003", path=fault_path(campaign, world), line=0,
+                col=0, source="faults", scheme=campaign, world=world,
+                message=f"campaign {campaign!r} with seed {seed} produced "
+                        f"two different fault event logs "
+                        f"({len(logs[0])}B vs {len(logs[1])}B)"))
+    return sort_findings(findings)
+
+
+def verify_crc_detection(seed: int = 3) -> list[Finding]:
+    """Corrupt every method's wire payload; the CRC must always change."""
+    findings: list[Finding] = []
+    rng = np.random.default_rng(seed)
+    specs = (
+        CompressionSpec("none"),
+        CompressionSpec("fp16"),
+        CompressionSpec("qsgd", bits=4, bucket_size=32),
+        CompressionSpec("nuq", bits=4, bucket_size=32),
+        CompressionSpec("topk", density=0.25, error_feedback=True),
+        CompressionSpec("onebit", bucket_size=32),
+    )
+    for spec in specs:
+        compressor = make_compressor(spec)
+        array = np.asarray(rng.normal(size=129), dtype=np.float32)
+        wire = compressor.compress(array, rng, key="crc")
+        corrupted = corrupt_payload(wire, rng)
+        if corrupted is wire:  # pragma: no cover - all specs carry payload
+            continue
+        if payload_crc(corrupted) == payload_crc(wire):
+            findings.append(Finding(
+                rule="FLT004", path=f"<faults:crc@{spec.method}>", line=0,
+                col=0, source="faults", scheme=spec.method, world=1,
+                message=f"{spec.method}: single-byte corruption left the "
+                        f"payload CRC unchanged"))
+    return sort_findings(findings)
+
+
+def verify_faults() -> list[Finding]:
+    """The full fault-validation battery; [] means clean."""
+    findings = list(verify_fault_schedules())
+    findings.extend(verify_fault_determinism())
+    findings.extend(verify_crc_detection())
+    return sort_findings(findings)

@@ -33,6 +33,18 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Copyable snapshot of the optimizer's mutable state.
+
+        Used by checkpoint/restore and by elastic membership (a
+        rejoining worker adopts a live peer's state so momentum and
+        bias correction stay consistent across the fleet).
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Adopt a snapshot produced by :meth:`state_dict`."""
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with momentum and weight decay."""
@@ -69,6 +81,14 @@ class SGD(Optimizer):
                 self._velocity[i] = vel
                 grad = grad + self.momentum * vel if self.nesterov else vel
             param.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        return {"velocity": {i: v.copy()
+                             for i, v in self._velocity.items()}}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._velocity = {int(i): np.array(v, copy=True)
+                          for i, v in state["velocity"].items()}
 
 
 class Adam(Optimizer):
@@ -114,6 +134,18 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {"step_count": self._step_count,
+                "m": {i: m.copy() for i, m in self._m.items()},
+                "v": {i: v.copy() for i, v in self._v.items()}}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._step_count = int(state["step_count"])
+        self._m = {int(i): np.array(m, copy=True)
+                   for i, m in state["m"].items()}
+        self._v = {int(i): np.array(v, copy=True)
+                   for i, v in state["v"].items()}
 
 
 def global_grad_norm(params: list[Parameter]) -> float:

@@ -11,12 +11,15 @@ per-layer bit-widths during training (Figure 4 / Table 7 experiments).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core import AdaptiveController, CGXConfig, \
     CGXDistributedDataParallel
+from repro.faults import (FaultPlan, PlanRuntime, ResiliencePolicy,
+                          inject_data_path, select_participants)
 from repro.nn.amp import AmpLevel, apply_grad_precision
 from repro.nn.optim import Adam, SGD, clip_grad_norm
 
@@ -38,6 +41,8 @@ class TrainResult:
     compression_ratio: float = 1.0
     wire_bytes_total: int = 0
     steps: int = 0
+    retries_total: int = 0          # fault-channel retransmissions
+    fault_summary: dict | None = None  # FaultCounters.to_dict() of the run
 
     def metric_trace(self) -> list[tuple[int, float]]:
         return [(h["step"], h["metric"]) for h in self.history]
@@ -56,6 +61,8 @@ class DataParallelTrainer:
         seed: int = 0,
         adaptive: AdaptiveController | None = None,
         amp_level: AmpLevel = AmpLevel.O0,
+        fault_plan: FaultPlan | None = None,
+        policy: ResiliencePolicy | None = None,
     ):
         self.task = task
         self.recipe = recipe or get_recipe(task.name)
@@ -69,6 +76,15 @@ class DataParallelTrainer:
                                               mode=mode, seed=seed)
         self.optimizers = [self._make_optimizer(r) for r in self.replicas]
         self._rng = np.random.default_rng(seed + 1)
+        self.fault_runtime: PlanRuntime | None = None
+        if fault_plan is not None:
+            if fault_plan.world != world_size:
+                raise ValueError(
+                    f"fault plan is for world {fault_plan.world}, "
+                    f"trainer has {world_size} workers")
+            self.fault_runtime = PlanRuntime(fault_plan, policy)
+        self._step_index = 0
+        self._dead_prev: set[int] = set()
 
     def _make_optimizer(self, replica):
         recipe = self.recipe
@@ -80,10 +96,38 @@ class DataParallelTrainer:
                    weight_decay=recipe.weight_decay)
 
     def train_step(self) -> float:
-        """One synchronized step; returns the mean worker loss."""
+        """One synchronized step; returns the mean live-worker loss.
+
+        With a fault plan attached, the step first advances the plan's
+        cursor: crashed ranks skip compute and contribute zeros (their
+        optimizer state freezes until rejoin), ranks over the straggler
+        budget are demoted to the carry-buffer quorum, and the mean is
+        re-normalized over the contributing ranks.  Rejoining ranks
+        adopt a live peer's weights and optimizer state before the step.
+        """
+        self._step_index += 1
+        runtime = self.fault_runtime
+        participants: list[int] | None = None
+        average_over: int | None = None
+        dead: set[int] = set()
+        if runtime is not None:
+            faults = runtime.advance(self._step_index)
+            dead = faults.dead_ranks()
+            for rank in sorted(self._dead_prev - dead):
+                self._adopt_peer_state(rank, dead)
+            self._dead_prev = dead
+            quorum = select_participants(faults, runtime.policy)
+            if len(quorum) < self.world_size:
+                participants = quorum
+                runtime.counters.quorum_steps += 1
+            if dead:
+                average_over = self.world_size - len(dead)
+
         losses = []
-        for replica in self.replicas:
+        for rank, replica in enumerate(self.replicas):
             replica.zero_grad()
+            if rank in dead:
+                continue  # crashed: no compute, zero contribution
             batch = self.task.sample_batch(self._rng)
             logits = replica(batch[0])
             loss, grad = self.task.loss_and_grad(logits, batch)
@@ -94,7 +138,12 @@ class DataParallelTrainer:
                         param.grad = apply_grad_precision(param.grad,
                                                           self.amp_level)
             losses.append(loss)
-        report = self.ddp.synchronize()
+
+        inject = inject_data_path(runtime) if runtime is not None \
+            else nullcontext()
+        with inject:
+            report = self.ddp.synchronize(participants=participants,
+                                          average_over=average_over)
         self._last_report = report
         if self.adaptive is not None:
             grads = {name: param.grad
@@ -106,9 +155,47 @@ class DataParallelTrainer:
             # replica after reduction (identical values on each).
             for replica in self.replicas:
                 clip_grad_norm(replica.parameters(), self.recipe.grad_clip)
-        for optimizer in self.optimizers:
-            optimizer.step()
+        for rank, optimizer in enumerate(self.optimizers):
+            if rank not in dead:
+                optimizer.step()
         return float(np.mean(losses))
+
+    # -- fault recovery ----------------------------------------------------
+    def _adopt_peer_state(self, rank: int, dead: set[int]) -> None:
+        """A rejoining ``rank`` copies weights + optimizer state from a peer."""
+        peers = [r for r in range(self.world_size)
+                 if r != rank and r not in dead and r not in self._dead_prev]
+        if not peers:
+            return  # no healthy source; keep the stale weights
+        source = peers[0]
+        src_params = dict(self.replicas[source].named_parameters())
+        for name, param in self.replicas[rank].named_parameters():
+            param.data[...] = src_params[name].data
+            param.grad = None
+        self.optimizers[rank].load_state_dict(
+            self.optimizers[source].state_dict())
+        if self.fault_runtime is not None:
+            self.fault_runtime.counters.checkpoint_restores += 1
+            self.fault_runtime.record("state_transfer", rank=rank,
+                                      source=source)
+
+    def checkpoint(self) -> dict:
+        """Snapshot replica 0's weights + optimizer state (all in-sync)."""
+        weights = {name: param.data.copy()
+                   for name, param in self.replicas[0].named_parameters()}
+        return {"step": self._step_index, "weights": weights,
+                "optimizer": self.optimizers[0].state_dict()}
+
+    def restore(self, snapshot: dict) -> None:
+        """Reset every replica to a :meth:`checkpoint` snapshot."""
+        for replica, optimizer in zip(self.replicas, self.optimizers):
+            for name, param in replica.named_parameters():
+                param.data[...] = snapshot["weights"][name]
+                param.grad = None
+            optimizer.load_state_dict(snapshot["optimizer"])
+        self._step_index = int(snapshot["step"])
+        if self.fault_runtime is not None:
+            self.fault_runtime.counters.checkpoint_restores += 1
 
     def train(self, steps: int | None = None,
               eval_every: int = 25) -> TrainResult:
@@ -116,10 +203,12 @@ class DataParallelTrainer:
         steps = steps or self.recipe.steps
         history = []
         wire_total = 0
+        retries_total = 0
         loss = float("nan")
         for step in range(1, steps + 1):
             loss = self.train_step()
             wire_total += self._last_report.wire_bytes
+            retries_total += self._last_report.retries
             if step % eval_every == 0 or step == steps:
                 metric = self.task.evaluate(self.replicas[0])
                 history.append({"step": step, "loss": loss, "metric": metric})
@@ -132,6 +221,9 @@ class DataParallelTrainer:
             compression_ratio=self._last_report.compression_ratio,
             wire_bytes_total=wire_total,
             steps=steps,
+            retries_total=retries_total,
+            fault_summary=(self.fault_runtime.counters.to_dict()
+                           if self.fault_runtime is not None else None),
         )
 
     def in_sync(self) -> bool:
@@ -147,6 +239,8 @@ def train_family(
     mode: str = "cgx",
     adaptive_method: str | None = None,
     eval_every: int = 25,
+    fault_plan: FaultPlan | None = None,
+    policy: ResiliencePolicy | None = None,
 ) -> TrainResult:
     """Convenience: build the task from its recipe and train it.
 
@@ -164,5 +258,6 @@ def train_family(
         adaptive = AdaptiveController(config, method=adaptive_method)
     trainer = DataParallelTrainer(task, world_size=world_size, config=config,
                                   recipe=recipe, seed=seed, mode=mode,
-                                  adaptive=adaptive)
+                                  adaptive=adaptive, fault_plan=fault_plan,
+                                  policy=policy)
     return trainer.train(steps=steps, eval_every=eval_every)

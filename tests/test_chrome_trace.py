@@ -1,0 +1,73 @@
+"""Chrome/Perfetto trace export from the timed network (satellite of
+the fault-injection PR: the export path is how chaos campaigns get
+visualised, so it needs real coverage)."""
+
+import json
+
+from repro.cluster import Network, nvlink_mesh
+from repro.cluster.network import TransferRecord, export_chrome_trace
+
+
+def _traced_network(transfers=3):
+    net = Network(nvlink_mesh(4))
+    net.enable_trace()
+    t = 0.0
+    for i in range(transfers):
+        t = net.transfer(i % 4, (i + 1) % 4, 1 << 20, t)
+    return net
+
+
+def test_event_count_matches_trace(tmp_path):
+    net = _traced_network(transfers=5)
+    path = tmp_path / "trace.json"
+    count = export_chrome_trace(net, str(path))
+    assert count == len(net.trace) == 5
+    payload = json.loads(path.read_text())
+    assert len(payload["traceEvents"]) == 5
+
+
+def test_round_trips_through_json_load(tmp_path):
+    net = _traced_network()
+    path = tmp_path / "trace.json"
+    export_chrome_trace(net, str(path))
+    with open(path) as handle:
+        payload = json.load(handle)
+    assert payload["displayTimeUnit"] == "ms"
+    for event in payload["traceEvents"]:
+        assert event["ph"] == "X"
+        assert event["cat"] == "transfer"
+        assert event["pid"] == 0
+        assert set(event["args"]) == {"bytes", "dst"}
+
+
+def test_timestamps_are_microseconds(tmp_path):
+    net = _traced_network()
+    path = tmp_path / "trace.json"
+    export_chrome_trace(net, str(path))
+    payload = json.loads(path.read_text())
+    for event, record in zip(payload["traceEvents"], net.trace):
+        assert event["ts"] == record.start * 1e6
+        assert event["tid"] == record.src
+        expected = (record.end - record.start) * 1e6
+        assert event["dur"] == max(0.01, expected)
+
+
+def test_zero_duration_events_get_visible_floor(tmp_path):
+    net = Network(nvlink_mesh(4))
+    net.enable_trace()
+    # a degenerate record (start == end) must still render: Chrome drops
+    # zero-width complete events, so the exporter floors dur at 0.01 us.
+    net.trace.append(TransferRecord(0, 1, 0, 1.0, 1.0))
+    path = tmp_path / "trace.json"
+    assert export_chrome_trace(net, str(path)) == 1
+    payload = json.loads(path.read_text())
+    assert payload["traceEvents"][0]["dur"] == 0.01
+    assert payload["traceEvents"][0]["ts"] == 1e6
+
+
+def test_trace_disabled_exports_empty(tmp_path):
+    net = Network(nvlink_mesh(4))
+    net.transfer(0, 1, 1 << 20, 0.0)   # tracing off: nothing recorded
+    path = tmp_path / "trace.json"
+    assert export_chrome_trace(net, str(path)) == 0
+    assert json.loads(path.read_text())["traceEvents"] == []

@@ -1,0 +1,442 @@
+"""Unit tests for the repro.faults subsystem: plans, policies, the
+data-path channel, the timed FaultyNetwork, engine/trainer integration,
+and the satellite fixes that rode along with it."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Network, nvlink_mesh
+from repro.collectives import allreduce
+from repro.collectives.partial import PartialAllreduce
+from repro.compression import CompressionSpec, make_compressor
+from repro.core import CGXConfig, CommunicationEngine
+from repro.faults import (
+    CAMPAIGNS,
+    FaultBudgetExceeded,
+    FaultEvent,
+    FaultPlan,
+    FaultyNetwork,
+    LinkDownError,
+    PlanRuntime,
+    ResiliencePolicy,
+    corrupt_payload,
+    crash,
+    inject_data_path,
+    link_outage,
+    link_slowdown,
+    make_campaign,
+    message_loss,
+    payload_corruption,
+    payload_crc,
+    plan_fallback,
+    select_participants,
+    straggler,
+)
+from repro.training import train_family
+from repro.training.recipes import get_recipe
+from repro.training.tasks import make_task
+from repro.training.trainer import DataParallelTrainer
+
+
+def make_buffers(world, numel=257, seed=0):
+    return [np.random.default_rng(seed + i).normal(size=numel)
+            .astype(np.float32) for i in range(world)]
+
+
+def lossy_plan(world=4, seed=0, p_loss=0.3, p_corrupt=0.0):
+    events = []
+    if p_loss:
+        events.append(message_loss(0, None, probability=p_loss))
+    if p_corrupt:
+        events.append(payload_corruption(0, None, probability=p_corrupt))
+    return FaultPlan("test-lossy", world, seed, tuple(events))
+
+
+# -- plans -------------------------------------------------------------------
+
+def test_event_windows():
+    event = straggler(2, 5, rank=0, factor=1.5)
+    assert not event.active(1)
+    assert event.active(2) and event.active(4)
+    assert not event.active(5)
+    persistent = straggler(3, None, rank=0, factor=1.5)
+    assert persistent.active(10_000)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent("melted", 0)
+    with pytest.raises(ValueError):
+        straggler(5, 2, rank=0, factor=1.5)       # stop <= start
+    with pytest.raises(ValueError):
+        straggler(0, None, rank=0, factor=0.5)    # speedup is not a fault
+    with pytest.raises(ValueError):
+        message_loss(0, None, probability=1.0)    # certain loss never ends
+    with pytest.raises(ValueError):
+        FaultEvent("crash", 0)                    # rank required
+
+
+def test_plan_rejects_out_of_range_ranks():
+    with pytest.raises(ValueError):
+        FaultPlan("bad", 4, 0, (straggler(0, None, rank=7, factor=2.0),))
+
+
+def test_plan_round_trips_through_dict():
+    plan = make_campaign("crash-rejoin", world=4, seed=3)
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone == plan
+
+
+def test_step_faults_queries():
+    plan = FaultPlan("q", 4, 0, (
+        straggler(0, None, rank=1, factor=1.5),
+        straggler(0, None, rank=1, factor=2.0),
+        message_loss(0, None, probability=0.5, src=0, dst=1),
+        message_loss(0, None, probability=0.5, src=0, dst=1),
+        link_outage(0, None, src=2, dst=3),
+    ))
+    faults = plan.at_step(0)
+    assert faults.compute_scale(1) == 3.0          # factors multiply
+    assert faults.compute_scale(0) == 1.0
+    assert faults.loss_probability(0, 1) == 0.75   # independent hazards
+    assert faults.loss_probability(1, 0) == 0.0    # message faults directed
+    assert faults.route_down(2, 3) and faults.route_down(3, 2)  # links aren't
+    assert not faults.route_down(0, 3)
+
+
+def test_campaigns_registry():
+    assert set(CAMPAIGNS) == {"straggler", "lossy-link", "crash-rejoin"}
+    with pytest.raises(KeyError):
+        make_campaign("volcano")
+    for name in CAMPAIGNS:
+        plan = make_campaign(name, world=4, seed=1)
+        assert plan.world == 4 and plan.seed == 1
+
+
+def test_runtime_logs_crash_and_rejoin_edges():
+    plan = FaultPlan("edges", 4, 0, (crash(rank=3, at=2, rejoin=4),))
+    runtime = PlanRuntime(plan)
+    for step in range(1, 6):
+        runtime.advance(step)
+    kinds = [r.kind for r in runtime.records]
+    assert kinds == ["crash", "rejoin"]
+    assert runtime.counters.crashes == 1
+    assert runtime.counters.rejoins == 1
+    assert runtime.counters.crashed_steps == 2    # steps 2 and 3
+
+
+# -- policy ------------------------------------------------------------------
+
+def test_backoff_is_exponential():
+    policy = ResiliencePolicy(backoff_base=1e-3, backoff_factor=2.0)
+    assert policy.backoff(1) == 1e-3
+    assert policy.backoff(3) == 4e-3
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        ResiliencePolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(min_quorum_fraction=0.0)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(straggler_budget=0.5)
+
+
+def test_select_participants_excludes_dead_and_demotes_stragglers():
+    plan = FaultPlan("sel", 4, 0, (
+        crash(rank=2, at=0),
+        straggler(0, None, rank=3, factor=3.0),
+    ))
+    kept = select_participants(plan.at_step(0), ResiliencePolicy())
+    assert kept == [0, 1]
+
+
+def test_select_participants_respects_quorum_floor():
+    # every live rank is over budget; the floor re-admits the least slow
+    plan = FaultPlan("floor", 4, 0, tuple(
+        straggler(0, None, rank=r, factor=2.5 + r) for r in range(4)))
+    kept = select_participants(plan.at_step(0), ResiliencePolicy())
+    assert kept == [0, 1]   # ceil(0.5 * 4) = 2, slowest dropped first
+
+
+def test_plan_fallback_ok_without_outages():
+    plan = lossy_plan()
+    assert plan_fallback(plan.at_step(0), [0, 1, 2, 3]) == ("ok", [0, 1, 2, 3])
+
+
+def test_plan_fallback_reroutes_around_single_downed_pair():
+    plan = FaultPlan("pair", 4, 0, (link_outage(0, None, src=0, dst=3),))
+    decision, order = plan_fallback(plan.at_step(0), [0, 1, 2, 3])
+    assert decision == "reroute"
+    assert sorted(order) == [0, 1, 2, 3]
+    faults = plan.at_step(0)
+    for a, b in zip(order, order[1:] + order[:1]):
+        assert not faults.route_down(a, b)
+
+
+def test_plan_fallback_quorum_when_rank_isolated():
+    plan = FaultPlan("isolate", 4, 0, (link_outage(0, None, src=2),))
+    decision, members = plan_fallback(plan.at_step(0), [0, 1, 2, 3])
+    assert (decision, members) == ("quorum", [0, 1, 3])
+
+
+# -- data-path channel -------------------------------------------------------
+
+def test_corrupt_payload_flips_exactly_one_byte():
+    comp = make_compressor(CompressionSpec("qsgd", bits=4))
+    wire = comp.compress(np.ones(64, dtype=np.float32),
+                         np.random.default_rng(0))
+    crc = payload_crc(wire)
+    bad = corrupt_payload(wire, np.random.default_rng(1))
+    assert payload_crc(bad) != crc
+    assert payload_crc(wire) == crc               # original untouched
+
+
+@pytest.mark.parametrize("scheme", ["sra", "ring", "tree", "allgather", "ps"])
+def test_lossy_channel_still_reduces_exactly(scheme):
+    world = 4
+    bufs = make_buffers(world)
+    exact = np.sum(bufs, axis=0, dtype=np.float64)
+    runtime = PlanRuntime(lossy_plan(world, p_loss=0.3, p_corrupt=0.1))
+    with inject_data_path(runtime):
+        outs, stats = allreduce(scheme, bufs,
+                                make_compressor(CompressionSpec()),
+                                np.random.default_rng(0))
+    for out in outs:
+        np.testing.assert_allclose(out, exact, rtol=1e-4, atol=1e-4)
+    assert runtime.counters.lost > 0
+    assert runtime.counters.retries > 0
+    assert runtime.counters.corrupt_delivered == 0
+    assert stats.retries == runtime.counters.retries
+    assert stats.retransmit_bytes == runtime.counters.retransmit_bytes
+
+
+def test_retransmits_add_wire_bytes():
+    world = 4
+    bufs = make_buffers(world)
+    comp = make_compressor(CompressionSpec())
+
+    clean_outs, clean = allreduce("sra", bufs, comp,
+                                  np.random.default_rng(0))
+    runtime = PlanRuntime(lossy_plan(world, p_loss=0.4))
+    with inject_data_path(runtime):
+        outs, faulty = allreduce("sra", bufs, comp,
+                                 np.random.default_rng(0))
+    assert faulty.retransmit_bytes > 0
+    assert faulty.wire_bytes == clean.wire_bytes + faulty.retransmit_bytes
+    for a, b in zip(outs, clean_outs):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_corruption_without_crc_is_delivered():
+    world = 4
+    bufs = make_buffers(world)
+    runtime = PlanRuntime(lossy_plan(world, p_loss=0.0, p_corrupt=0.5),
+                          ResiliencePolicy(crc_check=False))
+    with inject_data_path(runtime):
+        outs, _ = allreduce("sra", bufs,
+                            make_compressor(CompressionSpec("qsgd", bits=4)),
+                            np.random.default_rng(0))
+    assert runtime.counters.corrupt_delivered > 0
+    assert runtime.counters.corrupt_detected == 0
+    # replicas still agree: broadcasts decode one canonical wire copy
+    for out in outs[1:]:
+        np.testing.assert_array_equal(out, outs[0])
+
+
+def test_strict_policy_raises_when_budget_exhausted():
+    world = 4
+    bufs = make_buffers(world)
+    runtime = PlanRuntime(lossy_plan(world, p_loss=0.95),
+                          ResiliencePolicy(max_retries=1, strict=True))
+    with inject_data_path(runtime), pytest.raises(FaultBudgetExceeded):
+        allreduce("sra", bufs, make_compressor(CompressionSpec()),
+                  np.random.default_rng(0))
+
+
+def test_nonstrict_budget_forces_delivery_through():
+    world = 4
+    bufs = make_buffers(world)
+    exact = np.sum(bufs, axis=0, dtype=np.float64)
+    runtime = PlanRuntime(lossy_plan(world, p_loss=0.95),
+                          ResiliencePolicy(max_retries=1, strict=False))
+    with inject_data_path(runtime):
+        outs, _ = allreduce("sra", bufs, make_compressor(CompressionSpec()),
+                            np.random.default_rng(0))
+    assert runtime.counters.forced_deliveries > 0
+    for out in outs:
+        np.testing.assert_allclose(out, exact, rtol=1e-4, atol=1e-4)
+
+
+def test_channel_determinism_byte_identical_logs():
+    logs = []
+    for _ in range(2):
+        runtime = PlanRuntime(lossy_plan(4, seed=7, p_loss=0.3,
+                                         p_corrupt=0.1))
+        bufs = make_buffers(4)
+        with inject_data_path(runtime):
+            for step in range(3):
+                runtime.advance(step)
+                allreduce("sra", bufs, make_compressor(CompressionSpec()),
+                          np.random.default_rng(0))
+        logs.append(runtime.log_bytes())
+    assert logs[0] == logs[1]
+
+
+# -- timed network -----------------------------------------------------------
+
+def test_faulty_network_slowdown_stretches_transfers():
+    topo = nvlink_mesh(4)
+    plan = FaultPlan("slow", 4, 0,
+                     (link_slowdown(0, None, factor=3.0, src=0, dst=1),))
+    healthy = Network(topo)
+    slow = FaultyNetwork(topo, "shm", PlanRuntime(plan))
+    nbytes = 1 << 20
+    assert slow.transfer(0, 1, nbytes, 0.0) > healthy.transfer(0, 1, nbytes,
+                                                               0.0)
+    # unaffected routes keep healthy timing
+    assert slow.transfer(2, 3, nbytes, 0.0) \
+        == healthy.transfer(2, 3, nbytes, 0.0)
+
+
+def test_faulty_network_raises_on_downed_route():
+    plan = FaultPlan("down", 4, 0, (link_outage(0, None, src=0, dst=1),))
+    net = FaultyNetwork(nvlink_mesh(4), "shm", PlanRuntime(plan))
+    with pytest.raises(LinkDownError):
+        net.transfer(0, 1, 1 << 20, 0.0)
+    assert net.transfer(0, 2, 1 << 20, 0.0) > 0.0
+
+
+def test_faulty_network_lossy_route_retries_with_backoff():
+    plan = FaultPlan("retry", 4, 3,
+                     (message_loss(0, None, probability=0.9, src=0, dst=1),))
+    runtime = PlanRuntime(plan)
+    net = FaultyNetwork(nvlink_mesh(4), "shm", runtime)
+    healthy_end = Network(nvlink_mesh(4)).transfer(0, 1, 1 << 20, 0.0)
+    end = net.transfer(0, 1, 1 << 20, 0.0)
+    assert end > healthy_end
+    assert runtime.counters.retries > 0
+
+
+def test_faulty_network_scales_straggler_kernels():
+    plan = FaultPlan("strag", 4, 0,
+                     (straggler(0, None, rank=2, factor=2.0),))
+    net = FaultyNetwork(nvlink_mesh(4), "shm", PlanRuntime(plan))
+    fast = net.run_kernel(0, "compress", 1e-3, 0.0)
+    slowed = net.run_kernel(2, "compress", 1e-3, 0.0)
+    assert slowed == pytest.approx(2.0 * fast)
+
+
+# -- engine + trainer --------------------------------------------------------
+
+def _grads(world, seed=0):
+    rng = np.random.default_rng(seed)
+    shapes = {"w": (8, 8), "b": (8,)}
+    return [{name: rng.normal(size=shape).astype(np.float32)
+             for name, shape in shapes.items()} for _ in range(world)]
+
+
+def test_engine_quorum_reduce_conserves_mass():
+    engine = CommunicationEngine(CGXConfig(compression=CompressionSpec()))
+    world = 4
+    rng = np.random.default_rng(0)
+    grads = _grads(world)
+    total = {name: np.zeros_like(grads[0][name]) for name in grads[0]}
+    # degraded step (rank 3 missing) followed by full steps: carries
+    # drain and the long-run sum matches full synchronization.
+    outs, report = engine.reduce(grads, rng, participants=[0, 1, 2],
+                                 average=False)
+    assert report.quorum_world == 3
+    for name in total:
+        total[name] += outs[0][name]
+    outs, report = engine.reduce(grads, rng, average=False)
+    assert report.quorum_world is None
+    for name in total:
+        total[name] += outs[0][name]
+    expected = {name: 2.0 * np.sum([g[name] for g in grads], axis=0)
+                for name in grads[0]}
+    for name in total:
+        np.testing.assert_allclose(total[name], expected[name],
+                                   rtol=1e-4, atol=1e-4)
+
+
+def test_trainer_rejects_mismatched_plan_world():
+    recipe = get_recipe("mlp")
+    task = make_task("mlp", batch_size=recipe.batch_size, **recipe.kwargs())
+    with pytest.raises(ValueError):
+        DataParallelTrainer(task, world_size=4,
+                            fault_plan=make_campaign("straggler", world=8))
+
+
+def test_trainer_crash_rejoin_counters_and_convergence():
+    config = CGXConfig(compression=CompressionSpec("qsgd", bits=4))
+    clean = train_family("mlp", world_size=4, config=config, steps=20, seed=0)
+    faulty = train_family("mlp", world_size=4, config=config, steps=20,
+                          seed=0, fault_plan=make_campaign("crash-rejoin"))
+    summary = faulty.fault_summary
+    assert summary["crashes"] == 1
+    assert summary["rejoins"] == 1
+    assert summary["checkpoint_restores"] >= 1   # peer state adoption
+    assert abs(faulty.final_loss - clean.final_loss) < 0.02
+
+
+def test_trainer_checkpoint_restore_round_trip():
+    recipe = get_recipe("mlp")
+    task = make_task("mlp", batch_size=recipe.batch_size, **recipe.kwargs())
+    config = CGXConfig(compression=CompressionSpec("qsgd", bits=4))
+    trainer = DataParallelTrainer(task, world_size=2, config=config, seed=0)
+    for _ in range(3):
+        trainer.train_step()
+    snapshot = trainer.checkpoint()
+    before = {name: param.data.copy()
+              for name, param in trainer.replicas[0].named_parameters()}
+    for _ in range(3):
+        trainer.train_step()
+    trainer.restore(snapshot)
+    assert trainer._step_index == snapshot["step"]
+    for replica in trainer.replicas:
+        for name, param in replica.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+
+def test_training_determinism_under_faults():
+    config = CGXConfig(compression=CompressionSpec("qsgd", bits=4))
+    results = [
+        train_family("mlp", world_size=4, config=config, steps=12, seed=0,
+                     fault_plan=make_campaign("lossy-link", seed=5))
+        for _ in range(2)
+    ]
+    assert results[0].final_loss == results[1].final_loss
+    assert results[0].fault_summary == results[1].fault_summary
+
+
+# -- satellite fixes ---------------------------------------------------------
+
+def test_partial_full_participation_skips_late_broadcast():
+    world = 4
+    bufs = make_buffers(world)
+    exact = np.sum(bufs, axis=0, dtype=np.float64)
+    reducer = PartialAllreduce(world)
+    comp = make_compressor(CompressionSpec())
+    outs, stats = reducer.reduce(bufs, list(range(world)), comp,
+                                 np.random.default_rng(0))
+    for out in outs:
+        np.testing.assert_allclose(out, exact, rtol=1e-4, atol=1e-4)
+    # no laggards: no late-broadcast re-encode, so the recompression
+    # depth stays at the plain SRA bound
+    assert stats.max_recompressions == 2
+    assert not reducer.has_carries()
+
+
+def test_measure_p2p_bandwidth_is_side_effect_free():
+    net = Network(nvlink_mesh(4))
+    net.enable_trace()
+    end1 = net.transfer(0, 1, 1 << 20, 0.0)
+    bw = net.measure_p2p_bandwidth(0, 1)
+    assert bw > 0
+    # neither the trace nor the busy timelines were clobbered
+    assert len(net.trace) == 1
+    reference = Network(nvlink_mesh(4))
+    reference.transfer(0, 1, 1 << 20, 0.0)
+    assert net.transfer(0, 1, 1 << 20, end1) \
+        == reference.transfer(0, 1, 1 << 20, end1)
