@@ -1,6 +1,6 @@
 """Domain-aware static analysis for the CGX reproduction.
 
-Four pillars (see ``docs/analysis.md``):
+Six pillars (see ``docs/analysis.md``):
 
 * :mod:`repro.analysis.rules` — an AST linter with repo-specific
   numerical-safety rules (REP001..REP006): float equality, default-dtype
@@ -21,6 +21,18 @@ Four pillars (see ``docs/analysis.md``):
   (RACE001..RACE004) over buffer-access-annotated schedule traces:
   unordered write/write and read/write on aliased memory, cross-rank
   keyed-state sharing, and overlapping rank-local buffer declarations.
+* :mod:`repro.analysis.plans` — a bit-width plan certifier
+  (BWP001..BWP007) that proves, over a seeded instance battery and in
+  exact rational arithmetic, that every adaptive solver respects the
+  ``alpha * E4`` error budget, stays within a ratcheted factor of the
+  brute-force optimum, is monotone in the budget, respecs stably, and
+  only emits bit-widths the compressor contracts can realize.
+* :mod:`repro.analysis.shapes` — a shape/dtype pipeline interpreter
+  (SHP001..SHP005) that abstractly executes layer-filter → package plan
+  → compressor encode → serialization → scheme chunking for every
+  (model spec × compressor × reduction scheme) triple at full model
+  scale, checking coverage, fp32 dtype soundness, wire-size agreement
+  and chunk-partition conservation without touching real data.
 
 Run ``python -m repro.analysis`` (or ``python -m repro analyze``); the
 baseline workflow and output formats live in :mod:`repro.analysis.cli`.
@@ -34,8 +46,16 @@ from .baseline import load_baseline, split_baselined, write_baseline
 from .cli import main
 from .contracts import CONTRACT_RULES, check_engine_wiring, verify_contracts
 from .findings import JSON_REPORT_SCHEMA, Finding, sort_findings
+from .plans import (DEFAULT_ALPHAS, OPTIMALITY_RATCHET, PLAN_RULES,
+                    PlanInstance, certify_controller_stability,
+                    certify_optimality, certify_plan_contracts,
+                    certify_solver, default_instances, verify_plans)
 from .races import RACE_RULES, analyze_callable, analyze_trace, verify_races
 from .rules import HOT_PATH_PARTS, RULES, lint_file, lint_source, run_lint
+from .shapes import (SCHEME_MODELS, SHAPE_RULES, SchemeModel, WireSegment,
+                     battery_specs, calibrate_payload_model,
+                     interpret_pipeline, symbolic_payload,
+                     symbolic_wire_bytes, verify_shapes)
 from .schedule import (SchemeCase, default_cases,
                        expected_recompression_bound, trace_case,
                        verify_callable, verify_case, verify_schedules,
@@ -52,6 +72,13 @@ __all__ = [
     "probe_specs", "execute_roundtrips", "execute_behavior",
     "replay_engine_wiring", "replay_adaptive_respec",
     "RACE_RULES", "analyze_trace", "analyze_callable", "verify_races",
+    "PLAN_RULES", "PlanInstance", "DEFAULT_ALPHAS", "OPTIMALITY_RATCHET",
+    "default_instances", "certify_solver", "certify_optimality",
+    "certify_controller_stability", "certify_plan_contracts",
+    "verify_plans",
+    "SHAPE_RULES", "WireSegment", "SchemeModel", "SCHEME_MODELS",
+    "symbolic_payload", "symbolic_wire_bytes", "battery_specs",
+    "calibrate_payload_model", "interpret_pipeline", "verify_shapes",
     "load_baseline", "write_baseline", "split_baselined",
     "main",
 ]

@@ -44,7 +44,7 @@ from repro.compression import (
     TopKCompressor,
 )
 from repro.compression.topk import ErrorFeedback
-from repro.core import CGXConfig, CommunicationEngine
+from repro.core import CGXConfig, CommunicationEngine, Package
 from repro.core.filters import LayerInfo
 from repro.core.serialization import measured_wire_bytes, serialize_payload
 
@@ -209,9 +209,11 @@ SYNTHETIC_LAYERS = (
 )
 
 
-def replay_engine_wiring(config: CGXConfig,
-                         engine_cls: type[CommunicationEngine] = CommunicationEngine,
-                         mode: str = "cgx"):
+def replay_engine_wiring(
+    config: CGXConfig,
+    engine_cls: type[CommunicationEngine] = CommunicationEngine,
+    mode: str = "cgx",
+) -> list[tuple[Package, Compressor]]:
     """Plan packages for the synthetic model and build each compressor.
 
     Returns ``(package, compressor)`` pairs — exactly what the engine

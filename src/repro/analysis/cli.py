@@ -1,18 +1,24 @@
 """Entry point: ``python -m repro.analysis`` / ``repro analyze``.
 
-Runs up to four passes and reports findings as text or JSON:
+Runs up to six passes and reports findings as text or JSON:
 
 * **lint** — numerical-safety AST rules (REP) over the given paths;
 * **schedule** — collective-schedule verification (SCH);
 * **contracts** — compressor-contract checking (CON), plus the fault-
   runtime contracts (FLT003 determinism, FLT004 CRC detection);
 * **races** — happens-before race detection (RACE), plus the schedule
-  and race batteries re-run under a lossy fault campaign (FLT001/002).
+  and race batteries re-run under a lossy fault campaign (FLT001/002);
+* **plans** — adaptive bit-width plan certification (BWP): exact budget
+  feasibility, optimality-gap ratchet, controller respec stability;
+* **shapes** — the shape/dtype pipeline interpreter (SHP): abstract
+  execution of every (model x compressor x scheme) wire path.
 
-All four run by default.  ``--contracts`` / ``--races`` select *only*
-the named semantic passes (they combine with each other);
-``--schedule-only`` keeps its PR-1 meaning (schedule pass alone) and
-``--no-schedule`` drops the schedule pass from the default set.
+The first four run by default; ``--all`` runs all six (the CI
+configuration).  ``--contracts`` / ``--races`` / ``--plans`` /
+``--shapes`` select *only* the named semantic passes (they combine with
+each other); ``--schedule-only`` keeps its PR-1 meaning (schedule pass
+alone) and ``--no-schedule`` drops the schedule pass from the default
+set.
 
 Exit status: 0 when clean (or all findings baselined), 1 when new
 findings exist, 2 on usage errors.
@@ -24,7 +30,7 @@ import argparse
 import json
 import sys
 from collections import Counter
-from typing import Sequence
+from typing import Sequence, TextIO
 
 from .baseline import (DEFAULT_BASELINE_PATH, load_baseline, split_baselined,
                        write_baseline)
@@ -35,6 +41,7 @@ from .schedule import verify_schedules
 __all__ = ["build_parser", "main", "select_passes"]
 
 PASSES = ("lint", "schedule", "contracts", "races")
+ALL_PASSES = ("lint", "schedule", "contracts", "races", "plans", "shapes")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,7 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.analysis",
         description="Static analysis: numerical-safety lint (REP), "
                     "collective-schedule verification (SCH), compressor "
-                    "contracts (CON), happens-before races (RACE).",
+                    "contracts (CON), happens-before races (RACE), "
+                    "adaptive-plan certification (BWP), shape/dtype "
+                    "pipeline interpretation (SHP).",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to lint (default: src)")
@@ -61,39 +70,52 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run only the collective-schedule verifier")
     parser.add_argument("--contracts", action="store_true",
                         help="run only the compressor-contract checker "
-                             "(combines with --races)")
+                             "(combines with the other pass flags)")
     parser.add_argument("--races", action="store_true",
                         help="run only the happens-before race detector "
-                             "(combines with --contracts)")
+                             "(combines with the other pass flags)")
+    parser.add_argument("--plans", action="store_true",
+                        help="run only the bit-width plan certifier "
+                             "(combines with the other pass flags)")
+    parser.add_argument("--shapes", action="store_true",
+                        help="run only the shape/dtype pipeline "
+                             "interpreter (combines with the other "
+                             "pass flags)")
+    parser.add_argument("--all", dest="all_passes", action="store_true",
+                        help="run every battery (lint, schedule, "
+                             "contracts, races, plans, shapes)")
     return parser
 
 
 def select_passes(args: argparse.Namespace) -> tuple[str, ...]:
     """Which passes a parsed command line asks for (see module doc)."""
+    named = [name for name in ("contracts", "races", "plans", "shapes")
+             if getattr(args, name)]
+    if args.all_passes:
+        if args.schedule_only or args.no_schedule or named:
+            raise SystemExit(
+                "repro.analysis: --all cannot combine with pass-"
+                "selection flags (it already runs every battery)")
+        return ALL_PASSES
     if args.schedule_only:
-        if args.contracts or args.races:
+        if named:
             raise SystemExit(
                 "repro.analysis: --schedule-only cannot combine with "
-                "--contracts/--races")
+                f"--{'/--'.join(named)}")
         return ("schedule",)
-    if args.contracts or args.races:
+    if named:
         if args.no_schedule:
             raise SystemExit(
                 "repro.analysis: --no-schedule is redundant with "
-                "--contracts/--races (schedule is already deselected)")
-        selected = []
-        if args.contracts:
-            selected.append("contracts")
-        if args.races:
-            selected.append("races")
-        return tuple(selected)
+                f"--{'/--'.join(named)} (schedule is already deselected)")
+        return tuple(named)
     if args.no_schedule:
         return ("lint", "contracts", "races")
     return PASSES
 
 
 def _report(new: list[Finding], baselined: list[Finding], fmt: str,
-            out) -> None:
+            out: TextIO) -> None:
     if fmt == "json":
         summary = {
             "total": len(new) + len(baselined),
@@ -118,7 +140,7 @@ def _report(new: list[Finding], baselined: list[Finding], fmt: str,
               file=out)
 
 
-def main(argv: Sequence[str] | None = None, out=None) -> int:
+def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
     try:
@@ -160,6 +182,14 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         # injected retransmissions cannot mask (or create) real hazards
         # (FLT001/FLT002)
         findings.extend(verify_fault_schedules())
+    if "plans" in passes:
+        from .plans import verify_plans
+
+        findings.extend(verify_plans())
+    if "shapes" in passes:
+        from .shapes import verify_shapes
+
+        findings.extend(verify_shapes())
     findings = sort_findings(findings)
 
     if args.write_baseline:

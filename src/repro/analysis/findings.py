@@ -1,9 +1,9 @@
 """Finding model shared by every analysis pass.
 
 A :class:`Finding` is one diagnostic: a rule id, a location (file:line
-for lint findings; a ``<schedule:scheme@world=N>``, ``<contract:method>``
-or ``<race:scheme@world=N>`` pseudo-path for the semantic passes) and a
-message.  Findings carry a stable *fingerprint* so a baseline file can
+for lint findings; a ``<schedule:scheme@world=N>``, ``<contract:method>``,
+``<race:scheme@world=N>``, ``<plan:solver>`` or ``<shape:model>``
+pseudo-path for the semantic passes) and a message.  Findings carry a stable *fingerprint* so a baseline file can
 grandfather existing ones while still failing the build on anything new
 (see :mod:`repro.analysis.baseline`).
 """
@@ -20,15 +20,15 @@ __all__ = ["Finding", "JSON_REPORT_SCHEMA", "sort_findings"]
 class Finding:
     """One diagnostic from the linter or the schedule verifier."""
 
-    rule: str            # e.g. "REP001", "SCH005", "CON003", "RACE001"
+    rule: str            # e.g. "REP001", "SCH005", "CON003", "BWP001"
     path: str            # file path, or a <pass:...> pseudo-path
     line: int            # 1-based; 0 for non-lint findings
     col: int             # 0-based; 0 for non-lint findings
     message: str
-    source: str = "lint"     # "lint" | "schedule" | "contract" | "race"
+    source: str = "lint"     # lint | schedule | contract | race | plan | shape
     snippet: str = ""        # stripped source line (lint findings)
-    scheme: str = ""         # reduction scheme, or compression method
-    world: int = 0           # world size (0 for lint/contract findings)
+    scheme: str = ""         # reduction scheme, compression method, or solver
+    world: int = 0           # world size (0 for lint/contract/plan findings)
     occurrence: int = field(default=0, compare=False)
 
     @property
@@ -67,6 +67,11 @@ class Finding:
             return f"contract[{self.scheme}]: {self.rule} {self.message}"
         if self.source == "race":
             return (f"race[{self.scheme}@world={self.world}]: "
+                    f"{self.rule} {self.message}")
+        if self.source == "plan":
+            return f"plan[{self.scheme}]: {self.rule} {self.message}"
+        if self.source == "shape":
+            return (f"shape[{self.scheme}@world={self.world}]: "
                     f"{self.rule} {self.message}")
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
 

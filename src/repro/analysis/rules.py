@@ -115,7 +115,7 @@ def _target_names(target: ast.AST) -> Iterator[str]:
 
 class _FileChecker:
     def __init__(self, tree: ast.Module, path: str, lines: list[str],
-                 hot_path: bool):
+                 hot_path: bool) -> None:
         self.tree = tree
         self.path = path
         self.lines = lines
@@ -187,7 +187,8 @@ class _FileChecker:
                   f"buffers must pin dtype (the wire format is fp32)")
 
     # -- REP004 ------------------------------------------------------
-    def _check_mutable_defaults(self, node) -> None:
+    def _check_mutable_defaults(
+            self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
         defaults = list(node.args.defaults) + [
             d for d in node.args.kw_defaults if d is not None
         ]

@@ -32,7 +32,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -179,7 +179,7 @@ def verify_trace(trace: ScheduleTrace, stats: ReduceStats,
     return sort_findings(findings)
 
 
-def verify_case(case: SchemeCase, **trace_kwargs) -> list[Finding]:
+def verify_case(case: SchemeCase, **trace_kwargs: Any) -> list[Finding]:
     trace, stats = trace_case(case, **trace_kwargs)
     return verify_trace(trace, stats, case)
 

@@ -1,0 +1,509 @@
+"""Shape/dtype pipeline interpreter: abstract execution of the wire path.
+
+A gradient travels layer-filter → package plan → ravel → compressor
+encode → :func:`~repro.core.serialization.serialize_payload` →
+reduction-scheme chunking before any byte moves.  Each stage has its own
+shape/dtype/byte conventions, and the unit tests only ever exercise the
+composition on tiny tensors — never on the 137M-element embeddings in
+``models/specs.py``, where padding, bucket metadata and chunk boundaries
+actually bite.
+
+This pass propagates *abstract* tensors — (shape, dtype, byte-layout),
+no data — through the full pipeline for every (model spec × compressor
+× reduction scheme) triple, at full model scale, in milliseconds:
+
+``SHP001``  plan coverage: a model tensor is dropped or duplicated by
+            the package plan, a package miscounts its elements, or the
+            method cannot restore the flat buffer the scatter step
+            slices back into layers.
+``SHP002``  dtype soundness: a decode or scheme accumulator narrows the
+            fp32 accumulate path (or drifts to a wider dtype the wire
+            claims don't cover).
+``SHP003``  wire-size agreement: the symbolic serialized size of a
+            chunk disagrees with ``spec.wire_bytes`` — the number the
+            perf model, Fig. 7/10 accounting and the adaptive objective
+            all trust.  The symbolic model itself is grounded by a
+            calibration sweep against real serialized payloads on probe
+            tensors.
+``SHP004``  chunk-partition soundness: a scheme's chunking fails to
+            cover the buffer contiguously without overlap, emits empty
+            chunks, or partitions a phase into more chunks than ranks —
+            per-chunk metadata (bucket scales, packing slack, sparsifier
+            floors) scales with chunk count, so an over-chunking scheme
+            silently inflates the wire.
+``SHP005``  package-accounting agreement: ``Package.wire_bytes()`` (the
+            engine's ``payload_bytes`` report) disagrees with the
+            symbolic serialization of the *raveled* buffer the engine
+            actually hands the operator — e.g. a matrix-shape-aware
+            claim for a data path that only ever sees 1-D buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.compression import CompressionSpec, Compressor
+from repro.core import CGXConfig, CommunicationEngine, Package
+from repro.core.serialization import measured_wire_bytes
+from repro.models import ModelSpec, available_specs, build_spec
+
+from .abstract import PROBE_SHAPES, default_registry, probe_specs
+from .findings import Finding
+
+__all__ = [
+    "SHAPE_RULES",
+    "WireSegment",
+    "SchemeModel",
+    "SCHEME_MODELS",
+    "symbolic_payload",
+    "symbolic_wire_bytes",
+    "battery_specs",
+    "calibrate_payload_model",
+    "interpret_pipeline",
+    "verify_shapes",
+]
+
+SHAPE_RULES = {
+    "SHP001": "package plan drops, duplicates or miscounts tensors",
+    "SHP002": "decode/accumulator dtype breaks the fp32 accumulate path",
+    "SHP003": "symbolic serialized size disagrees with wire_bytes claim",
+    "SHP004": "scheme chunk partition is unsound or inflates metadata",
+    "SHP005": "package accounting disagrees with the raveled data path",
+}
+
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """One field of a serialized payload: name, bytes, element dtype."""
+
+    name: str
+    nbytes: int
+    dtype: str
+
+
+def symbolic_wire_bytes(segments: Sequence[WireSegment]) -> int:
+    return sum(segment.nbytes for segment in segments)
+
+
+def symbolic_payload(spec: CompressionSpec, numel: int,
+                     shape: tuple[int, ...] | None = None,
+                     ) -> tuple[WireSegment, ...]:
+    """Abstract serialized layout of one compressed tensor.
+
+    Mirrors :func:`~repro.core.serialization.serialize_payload` field by
+    field — independently of :meth:`CompressionSpec.wire_bytes`, which
+    is exactly what lets SHP003 compare the two.  The model is grounded
+    against real payloads by :func:`calibrate_payload_model`.
+    """
+    if numel == 0:
+        return ()
+    method = spec.method
+    if method == "none":
+        return (WireSegment("values", numel * 4, "float32"),)
+    if method == "fp16":
+        return (WireSegment("values", numel * 2, "float16"),)
+    if method in ("qsgd", "nuq"):
+        code_bits = spec.wire_dtype_bits or spec.bits
+        if code_bits <= 8:
+            codes = WireSegment("codes", -(-numel * code_bits // 8),
+                                f"packed{code_bits}")
+        else:
+            codes = WireSegment("codes", numel * (code_bits // 8),
+                                f"uint{code_bits}")
+        buckets = -(-numel // spec.bucket_size)
+        return (codes, WireSegment("norms", buckets * 4, "float32"))
+    if method in ("topk", "dgc"):
+        k = max(1, int(numel * spec.density))
+        return (WireSegment("indices", k * 4, "int32"),
+                WireSegment("values", k * 4, "float32"))
+    if method == "onebit":
+        buckets = -(-numel // spec.bucket_size)
+        return (WireSegment("signs", -(-numel // 8), "packed1"),
+                WireSegment("pos_mean", buckets * 4, "float32"),
+                WireSegment("neg_mean", buckets * 4, "float32"))
+    if method == "powersgd":
+        if shape is None or len(shape) < 2:
+            rows, cols = 1, numel
+        else:
+            rows, cols = shape[0], numel // shape[0]
+        if rows == 1 or cols == 1:
+            return (WireSegment("dense", numel * 4, "float32"),)
+        rank = min(spec.rank, rows, cols)
+        return (WireSegment("p", rows * rank * 4, "float32"),
+                WireSegment("q", cols * rank * 4, "float32"))
+    if method == "fake":
+        return (WireSegment("head", max(1, int(numel / spec.ratio)) * 4,
+                            "float32"),)
+    raise ValueError(f"no symbolic layout for method {method!r}")
+
+
+Bounds = "list[tuple[int, int]]"
+PartitionFn = Callable[[int, int, "list[int] | None"],
+                       "list[tuple[str, list[tuple[int, int]]]]"]
+
+
+def _chunk_bounds(numel: int, n_chunks: int) -> "list[tuple[int, int]]":
+    # local mirror of collectives.base.chunk_bounds: the interpreter
+    # must predict the partition, not ask the implementation for it
+    base, extra = divmod(numel, n_chunks)
+    bounds = []
+    start = 0
+    for chunk in range(n_chunks):
+        size = base + (1 if chunk < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _whole(numel: int) -> "list[tuple[int, int]]":
+    return [(0, numel)]
+
+
+def _sra_phases(numel: int, world: int,
+                node_of: "list[int] | None") -> list:
+    scatter = _chunk_bounds(numel, world)
+    return [("reduce-scatter", scatter), ("allgather", scatter)]
+
+
+def _ring_phases(numel: int, world: int,
+                 node_of: "list[int] | None") -> list:
+    return [("ring", _chunk_bounds(numel, world))]
+
+
+def _tree_phases(numel: int, world: int,
+                 node_of: "list[int] | None") -> list:
+    return [("tree", _whole(numel))]
+
+
+def _allgather_phases(numel: int, world: int,
+                      node_of: "list[int] | None") -> list:
+    return [("gather", _whole(numel))]
+
+
+def _ps_phases(numel: int, world: int,
+               node_of: "list[int] | None") -> list:
+    return [("push", _whole(numel)), ("pull", _whole(numel))]
+
+
+def _hier_phases(numel: int, world: int,
+                 node_of: "list[int] | None") -> list:
+    if node_of is None:
+        node_of = [0] * world
+    nodes = sorted(set(node_of))
+    if len(nodes) == 1:
+        return _sra_phases(numel, world, None)
+    phases = []
+    for node in nodes:
+        local = sum(1 for n in node_of if n == node)
+        phases.extend(
+            (f"intra-node{node}-{name}", bounds)
+            for name, bounds in _sra_phases(numel, local, None))
+    phases.extend((f"inter-{name}", bounds)
+                  for name, bounds in _sra_phases(numel, len(nodes), None))
+    phases.append(("broadcast", _whole(numel)))
+    return phases
+
+
+@dataclass(frozen=True)
+class SchemeModel:
+    """Abstract chunking/accumulation behaviour of one reduction scheme."""
+
+    name: str
+    phases: PartitionFn
+    #: dtype of the buffer decoded chunks are summed into; every real
+    #: scheme accumulates in fp32 (``total = chunk.astype(np.float32)``)
+    accumulator_dtype: str = "float32"
+
+
+SCHEME_MODELS: dict[str, SchemeModel] = {
+    "sra": SchemeModel("sra", _sra_phases),
+    "ring": SchemeModel("ring", _ring_phases),
+    "tree": SchemeModel("tree", _tree_phases),
+    "allgather": SchemeModel("allgather", _allgather_phases),
+    "ps": SchemeModel("ps", _ps_phases),
+    "hier": SchemeModel("hier", _hier_phases),
+}
+
+
+def battery_specs() -> list[CompressionSpec]:
+    """One canonical spec per method, plus wire-format variants."""
+    return [
+        CompressionSpec("none"),
+        CompressionSpec("fp16"),
+        CompressionSpec("qsgd", bits=4, bucket_size=128),
+        CompressionSpec("qsgd", bits=2, bucket_size=64),
+        CompressionSpec("qsgd", bits=4, bucket_size=128, wire_dtype_bits=8),
+        CompressionSpec("nuq", bits=4, bucket_size=128),
+        CompressionSpec("topk", density=0.01, error_feedback=True),
+        CompressionSpec("dgc", density=0.01),
+        CompressionSpec("onebit", bucket_size=512, error_feedback=True),
+        CompressionSpec("powersgd", rank=4, error_feedback=True),
+        CompressionSpec("fake", ratio=10.0),
+    ]
+
+
+def _finding(rule: str, model: str, scheme: str, world: int,
+             message: str) -> Finding:
+    return Finding(rule=rule, path=f"<shape:{model}>", line=0, col=0,
+                   message=message, source="shape", scheme=scheme,
+                   world=world)
+
+
+def calibrate_payload_model(
+    registry: "dict[str, type[Compressor]] | None" = None,
+    shapes: Sequence[tuple[int, ...]] = PROBE_SHAPES,
+) -> list[Finding]:
+    """Ground the symbolic layout against real serialized payloads.
+
+    Runs every registered method's probe specs over small real tensors
+    and compares :func:`measured_wire_bytes` (actual serialized length)
+    and the decompressed dtype against the symbolic model.  A mismatch
+    here means the *model* is wrong — every SHP003/SHP005 verdict at
+    full model scale would be built on sand.
+    """
+    registry = registry or default_registry()
+    rng = np.random.default_rng(7)
+    findings: list[Finding] = []
+    for method in sorted(registry):
+        for spec in probe_specs(method):
+            compressor = registry[method](spec)
+            for shape in shapes:
+                array = rng.normal(size=shape).astype(np.float32)
+                compressed = compressor.compress(array, rng,
+                                                 key=("cal", shape))
+                symbolic = symbolic_wire_bytes(
+                    symbolic_payload(spec, array.size, shape))
+                measured = measured_wire_bytes(compressed)
+                if symbolic != measured:
+                    findings.append(_finding(
+                        "SHP003", "calibration", method, 0,
+                        f"symbolic model predicts {symbolic}B for "
+                        f"{method} on shape {shape}, real payload "
+                        f"serializes to {measured}B"))
+                decoded = compressor.decompress(compressed)
+                if str(decoded.dtype) != "float32":
+                    findings.append(_finding(
+                        "SHP002", "calibration", method, 0,
+                        f"{method} decompress returned {decoded.dtype} "
+                        f"on shape {shape}; the accumulate path is fp32"))
+    return findings
+
+
+def _check_plan(model_name: str, model: ModelSpec, packages: list,
+                method: str, registry: "dict[str, type[Compressor]]",
+                ) -> list[Finding]:
+    """SHP001/SHP002/SHP005: per-plan checks, scheme-independent."""
+    findings: list[Finding] = []
+    expected = {t.name: t for t in model.tensors}
+    seen: list[str] = []
+    for package in packages:
+        for layer in package.layers:
+            seen.append(layer.name)
+        if package.numel != sum(l.numel for l in package.layers):
+            findings.append(_finding(
+                "SHP001", model_name, method, 0,
+                f"package {package.name!r} claims {package.numel} "
+                f"elements but its layers sum differently"))
+    dropped = sorted(set(expected) - set(seen))
+    if dropped:
+        findings.append(_finding(
+            "SHP001", model_name, method, 0,
+            f"plan drops {len(dropped)} tensor(s): {dropped[:5]}"))
+    duplicated = sorted({name for name in seen if seen.count(name) > 1})
+    if duplicated:
+        findings.append(_finding(
+            "SHP001", model_name, method, 0,
+            f"plan reduces tensor(s) twice: {duplicated[:5]}"))
+    for layer_name in seen:
+        tensor = expected.get(layer_name)
+        if tensor is None:
+            findings.append(_finding(
+                "SHP001", model_name, method, 0,
+                f"plan invents tensor {layer_name!r}"))
+
+    for package in packages:
+        cls = registry.get(package.spec.method)
+        contract = getattr(cls, "contract", None) if cls else None
+        if contract is None:
+            findings.append(_finding(
+                "SHP001", model_name, method, 0,
+                f"package {package.name!r} uses method "
+                f"{package.spec.method!r} with no registered contract"))
+            continue
+        if not contract.preserves_shape:
+            findings.append(_finding(
+                "SHP001", model_name, method, 0,
+                f"package {package.name!r}: method "
+                f"{package.spec.method!r} does not preserve shape; the "
+                f"scatter step slices the flat buffer back into layers"))
+        if contract.output_dtype != "float32":
+            findings.append(_finding(
+                "SHP002", model_name, method, 0,
+                f"package {package.name!r}: {package.spec.method!r} "
+                f"decodes to {contract.output_dtype}, narrowing the "
+                f"fp32 accumulate path"))
+        # the engine ravels every buffer before compressing (see
+        # _gather_package), so the accounting must match the 1-D view
+        claimed = package.wire_bytes()
+        symbolic = symbolic_wire_bytes(
+            symbolic_payload(package.spec, package.numel,
+                             (package.numel,)))
+        if claimed != symbolic:
+            findings.append(_finding(
+                "SHP005", model_name, method, 0,
+                f"package {package.name!r} ({package.numel} elements) "
+                f"reports {claimed}B but the raveled buffer serializes "
+                f"to {symbolic}B symbolically"))
+    return findings
+
+
+def _check_chunks(model_name: str, package: Package, scheme: SchemeModel,
+                  world: int, method: str,
+                  node_of: "list[int] | None") -> list[Finding]:
+    """SHP003/SHP004: per-scheme chunk checks for one package."""
+    findings: list[Finding] = []
+    numel = package.numel
+    whole_bytes = package.spec.wire_bytes(numel)
+    for phase, bounds in scheme.phases(numel, world, node_of):
+        where = f"package {package.name!r} phase {phase}"
+        cursor = 0
+        sound = True
+        if len(bounds) > world:
+            extra = sum(
+                symbolic_wire_bytes(
+                    symbolic_payload(package.spec, end - start,
+                                     (end - start,)))
+                for start, end in bounds) - whole_bytes
+            findings.append(_finding(
+                "SHP004", model_name, f"{method}/{scheme.name}", world,
+                f"{where}: partitions into {len(bounds)} chunks for "
+                f"{world} ranks; per-chunk metadata inflates the wire "
+                f"by {max(extra, 0)}B over the whole-buffer "
+                f"{whole_bytes}B"))
+            continue
+        for start, end in bounds:
+            if start != cursor or end < start:
+                findings.append(_finding(
+                    "SHP004", model_name, f"{method}/{scheme.name}", world,
+                    f"{where}: chunk [{start}, {end}) breaks contiguous "
+                    f"coverage at offset {cursor}"))
+                sound = False
+                break
+            if end == start and numel >= len(bounds):
+                findings.append(_finding(
+                    "SHP004", model_name, f"{method}/{scheme.name}", world,
+                    f"{where}: empty chunk at offset {start} despite "
+                    f"{numel} elements across {len(bounds)} chunks"))
+                sound = False
+            cursor = end
+        if sound and cursor != numel:
+            findings.append(_finding(
+                "SHP004", model_name, f"{method}/{scheme.name}", world,
+                f"{where}: chunks cover {cursor} of {numel} elements"))
+            sound = False
+        if not sound:
+            continue
+        for start, end in bounds:
+            chunk_numel = end - start
+            claimed = package.spec.wire_bytes(chunk_numel)
+            symbolic = symbolic_wire_bytes(
+                symbolic_payload(package.spec, chunk_numel, (chunk_numel,)))
+            if claimed != symbolic:
+                findings.append(_finding(
+                    "SHP003", model_name, f"{method}/{scheme.name}", world,
+                    f"{where}: chunk [{start}, {end}) claims {claimed}B "
+                    f"on the wire but serializes to {symbolic}B"))
+    return findings
+
+
+def interpret_pipeline(
+    model_name: str,
+    config: CGXConfig,
+    schemes: "Mapping[str, SchemeModel] | None" = None,
+    worlds: Sequence[int] = (4, 5),
+    registry: "dict[str, type[Compressor]] | None" = None,
+    model: ModelSpec | None = None,
+) -> list[Finding]:
+    """Abstractly execute one model through one config, all schemes."""
+    registry = registry or default_registry()
+    schemes = schemes if schemes is not None else SCHEME_MODELS
+    model = model or build_spec(model_name)
+    method = config.compression.method
+    engine = CommunicationEngine(config)
+    packages = engine.plan(model.layer_infos())
+    findings = _check_plan(model_name, model, packages, method, registry)
+
+    for scheme in schemes.values():
+        for world in worlds:
+            node_of = [rank // 2 for rank in range(world)] \
+                if scheme.name == "hier" else None
+            if scheme.accumulator_dtype != "float32":
+                findings.append(_finding(
+                    "SHP002", model_name, f"{method}/{scheme.name}", world,
+                    f"scheme accumulates decoded chunks into "
+                    f"{scheme.accumulator_dtype}; gradients are fp32"))
+            for package in packages:
+                findings.extend(_check_chunks(
+                    model_name, package, scheme, world, method, node_of))
+    return findings
+
+
+def _adaptive_config(base: CompressionSpec) -> CGXConfig:
+    """A config carrying a real adaptive plan in ``per_layer``.
+
+    Ties the two certifiers together: the bit-width plans BWP certifies
+    must also be *executable* — every per-layer spec the controller
+    would write has to flow through the shape interpreter cleanly.
+    """
+    from repro.core.adaptive import (kmeans_assign, resolve_bucket,
+                                     synthetic_stats_for_spec)
+
+    spec = build_spec("transformer_xl")
+    stats = synthetic_stats_for_spec(spec)
+    bits = kmeans_assign(stats, alpha=2.0)
+    per_layer = {name: base.with_bits(width, resolve_bucket(width))
+                 for name, width in bits.items()}
+    return CGXConfig(compression=base, per_layer=per_layer)
+
+
+def verify_shapes(
+    models: Sequence[str] | None = None,
+    specs: Sequence[CompressionSpec] | None = None,
+    schemes: "Mapping[str, SchemeModel] | None" = None,
+    worlds: Sequence[int] = (4, 5),
+    registry: "dict[str, type[Compressor]] | None" = None,
+    calibrate: bool = True,
+    include_adaptive: bool = True,
+) -> list[Finding]:
+    """Run the full SHP battery.
+
+    Defaults sweep every model spec × every battery compressor × every
+    scheme model at full tensor scale, plus the calibration pass and one
+    adaptively-respecced config; tests inject broken specs, registries
+    and scheme models to exercise every rule.
+    """
+    registry = registry or default_registry()
+    findings: list[Finding] = []
+    if calibrate:
+        findings.extend(calibrate_payload_model(registry))
+    names = list(models) if models is not None else available_specs()
+    battery = list(specs) if specs is not None else battery_specs()
+    for name in names:
+        model = build_spec(name)
+        for spec in battery:
+            config = CGXConfig(compression=spec)
+            findings.extend(interpret_pipeline(
+                name, config, schemes=schemes, worlds=worlds,
+                registry=registry, model=model))
+    if include_adaptive:
+        findings.extend(interpret_pipeline(
+            "transformer_xl:adaptive",
+            _adaptive_config(CompressionSpec("qsgd", bits=4,
+                                             bucket_size=128)),
+            schemes=schemes, worlds=worlds, registry=registry,
+            model=build_spec("transformer_xl")))
+    return findings

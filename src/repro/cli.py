@@ -80,7 +80,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     ana = sub.add_parser("analyze",
                          help="run the static-analysis suite (lint + "
-                              "schedule verifier + contracts + races)")
+                              "schedule verifier + contracts + races + "
+                              "plan certifier + shape interpreter)")
     ana.add_argument("paths", nargs="*", default=["src"],
                      help="files/directories to lint (default: src)")
     ana.add_argument("--format", dest="fmt", default="text",
@@ -92,10 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--schedule-only", action="store_true")
     ana.add_argument("--contracts", action="store_true",
                      help="run only the compressor-contract checker "
-                          "(combines with --races)")
+                          "(combines with the other pass flags)")
     ana.add_argument("--races", action="store_true",
                      help="run only the happens-before race detector "
-                          "(combines with --contracts)")
+                          "(combines with the other pass flags)")
+    ana.add_argument("--plans", action="store_true",
+                     help="run only the bit-width plan certifier "
+                          "(combines with the other pass flags)")
+    ana.add_argument("--shapes", action="store_true",
+                     help="run only the shape/dtype pipeline interpreter "
+                          "(combines with the other pass flags)")
+    ana.add_argument("--all", dest="all_passes", action="store_true",
+                     help="run every battery, including plans and shapes")
 
     flt = sub.add_parser("faults",
                          help="run a named chaos campaign against real "
@@ -274,6 +283,12 @@ def _cmd_analyze(args, out) -> int:
         argv.append("--contracts")
     if args.races:
         argv.append("--races")
+    if args.plans:
+        argv.append("--plans")
+    if args.shapes:
+        argv.append("--shapes")
+    if args.all_passes:
+        argv.append("--all")
     return analysis_main(argv, out=out)
 
 

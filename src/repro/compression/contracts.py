@@ -53,6 +53,13 @@ class CompressorContract:
             (DGC's velocity doubles as error feedback), so the engine
             must NOT additionally wrap it.
         lossless: roundtrip is bit-exact for fp32 inputs.
+        supported_bits: bit-widths the operator can realize, for
+            bit-parameterized quantizers; ``None`` for methods whose
+            wire format does not depend on ``spec.bits``.  The plan
+            certifier (rule BWP007) checks every adaptive bit-width
+            plan against this declaration: a plan naming ``b`` bits for
+            a method that cannot encode at ``b`` bits would crash (or
+            silently mis-encode) at the first reduction after respec.
     """
 
     method: str
@@ -64,3 +71,4 @@ class CompressorContract:
     requires_error_feedback: bool = False
     self_error_feedback: bool = False
     lossless: bool = False
+    supported_bits: tuple[int, ...] | None = None

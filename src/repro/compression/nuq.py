@@ -47,7 +47,8 @@ class NUQSGDCompressor(Compressor):
     over unchanged; only the level placement differs.
     """
 
-    contract = CompressorContract("nuq", uses_rng=True)
+    contract = CompressorContract("nuq", uses_rng=True,
+                                  supported_bits=(2, 3, 4, 5, 6, 7, 8))
 
     def __init__(self, spec: CompressionSpec):
         super().__init__(spec)

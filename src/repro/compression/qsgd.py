@@ -49,7 +49,8 @@ def unpack_codes(packed: np.ndarray, bits: int, count: int) -> np.ndarray:
 class QSGDCompressor(Compressor):
     """Stochastic uniform quantizer over fixed-size buckets."""
 
-    contract = CompressorContract("qsgd", uses_rng=True)
+    contract = CompressorContract("qsgd", uses_rng=True,
+                                  supported_bits=(2, 3, 4, 5, 6, 7, 8))
 
     def __init__(self, spec: CompressionSpec):
         super().__init__(spec)

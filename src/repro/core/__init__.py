@@ -4,12 +4,19 @@ from .adaptive import (
     ASSIGNERS,
     AdaptiveController,
     LayerStat,
+    assignment_cost_bits,
     assignment_error,
     assignment_wire_fraction,
     bayes_assign,
+    brute_force_assign,
+    certify_assignment,
     estimate_relative_error,
+    exact_assignment_error_sq,
+    exact_relative_error_sq,
+    exact_uniform_error_sq,
     kmeans_assign,
     linear_assign,
+    resolve_bucket,
     synthetic_stats_for_spec,
     uniform_error,
 )
@@ -43,6 +50,9 @@ __all__ = [
     "kmeans_assign", "linear_assign", "bayes_assign",
     "assignment_error", "assignment_wire_fraction",
     "estimate_relative_error", "uniform_error",
+    "exact_relative_error_sq", "exact_assignment_error_sq",
+    "exact_uniform_error_sq", "certify_assignment",
+    "assignment_cost_bits", "brute_force_assign", "resolve_bucket",
     "synthetic_stats_for_spec",
     "config_to_dict", "config_from_dict", "dump_config", "load_config",
     "spec_to_dict", "spec_from_dict",

@@ -26,6 +26,7 @@ tests/test_adaptive.py which re-validates the constant).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 
 import numpy as np
 
@@ -35,6 +36,13 @@ __all__ = [
     "assignment_error",
     "uniform_error",
     "assignment_wire_fraction",
+    "exact_relative_error_sq",
+    "exact_assignment_error_sq",
+    "exact_uniform_error_sq",
+    "certify_assignment",
+    "assignment_cost_bits",
+    "brute_force_assign",
+    "resolve_bucket",
     "kmeans_assign",
     "linear_assign",
     "bayes_assign",
@@ -94,19 +102,162 @@ def assignment_wire_fraction(stats: list[LayerStat],
     return assigned / reference
 
 
+# -- exact arithmetic --------------------------------------------------------
+#
+# The float error model above is what the solvers *optimize*; certifying
+# that a solution actually satisfies ``error <= alpha * E4`` with float
+# spot-checks would inherit their rounding.  The hooks below evaluate the
+# same calibrated model over exact rationals: every float input (norms,
+# alpha, the calibrated constant) is lifted to its exact binary value via
+# ``Fraction``, and the budget comparison is done on *squared* errors so
+# no irrational square root ever enters.  ``repro.analysis.plans``
+# (rule BWP001) certifies every solver through these hooks.
+
+def exact_relative_error_sq(bits: int) -> Fraction:
+    """Squared relative QSGD error at a bit-width, as an exact rational."""
+    levels = 2 ** (bits - 1) - 1
+    if levels < 1:
+        raise ValueError(f"bits={bits} has no quantization levels")
+    return (Fraction(_QSGD_C) / levels) ** 2
+
+
+def exact_assignment_error_sq(stats: list[LayerStat],
+                              bits: dict[str, int]) -> Fraction:
+    """Exact squared model-wide error under a bit assignment."""
+    total = Fraction(0)
+    for stat in stats:
+        total += Fraction(stat.grad_norm) ** 2 \
+            * exact_relative_error_sq(bits[stat.name])
+    return total
+
+
+def exact_uniform_error_sq(stats: list[LayerStat], bits: int = 4) -> Fraction:
+    """Exact squared ``E_b``: every layer compressed to ``bits`` bits."""
+    return exact_assignment_error_sq(stats, {s.name: bits for s in stats})
+
+
+def certify_assignment(stats: list[LayerStat], bits: dict[str, int],
+                       alpha: float, reference_bits: int = 4) -> bool:
+    """Exact proof that ``assignment_error <= alpha * E_ref`` holds.
+
+    Compares squared errors as rationals, so the answer is not subject
+    to float rounding: ``True`` means the budget constraint *provably*
+    holds under the calibrated error model.
+    """
+    budget_sq = Fraction(alpha) ** 2 \
+        * exact_uniform_error_sq(stats, reference_bits)
+    return exact_assignment_error_sq(stats, bits) <= budget_sq
+
+
+def assignment_cost_bits(stats: list[LayerStat], bits: dict[str, int]) -> int:
+    """Exact transmitted payload bits under an assignment (the objective)."""
+    return sum(bits[s.name] * s.numel for s in stats)
+
+
+def brute_force_assign(
+    stats: list[LayerStat],
+    bitwidths: tuple[int, ...] = DEFAULT_BITWIDTHS,
+    alpha: float = 2.0,
+    max_layers: int = 16,
+) -> dict[str, int]:
+    """Exact optimum of the adaptive compression problem (small instances).
+
+    Branch-and-bound over per-layer bit choices: minimize transmitted
+    bits subject to the exact squared-error budget.  Feasibility is
+    decided in exact rational arithmetic (same model as
+    :func:`certify_assignment`), so the result is the true optimum of
+    the calibrated problem — the reference the heuristics are measured
+    against (rule BWP003).  Exponential in the worst case; refuses
+    instances above ``max_layers``.
+    """
+    if not stats:
+        return {}
+    if len(stats) > max_layers:
+        raise ValueError(
+            f"brute force limited to {max_layers} layers, got {len(stats)}")
+    ladder = sorted(set(bitwidths))
+    budget_sq = Fraction(alpha) ** 2 * exact_uniform_error_sq(stats, 4)
+    # large layers first: their cost dominates, so good bounds come early
+    order = sorted(stats, key=lambda s: -s.numel)
+    err_sq = {  # per layer, per width: exact squared error contribution
+        s.name: [Fraction(s.grad_norm) ** 2 * exact_relative_error_sq(b)
+                 for b in ladder]
+        for s in order
+    }
+    # suffix lower bounds: cheapest possible remaining cost / lowest
+    # possible remaining error, used to prune dominated branches
+    n = len(order)
+    min_cost_suffix = [0] * (n + 1)
+    min_err_suffix = [Fraction(0)] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        min_cost_suffix[i] = min_cost_suffix[i + 1] + ladder[0] * order[i].numel
+        min_err_suffix[i] = min_err_suffix[i + 1] + err_sq[order[i].name][-1]
+
+    best_cost = [assignment_cost_bits(stats, {s.name: ladder[-1]
+                                              for s in stats}) + 1]
+    best_choice: list[list[int]] = [[len(ladder) - 1] * n]
+    choice = [0] * n
+
+    def descend(i: int, cost: int, err: Fraction) -> None:
+        if cost + min_cost_suffix[i] >= best_cost[0]:
+            return
+        if err + min_err_suffix[i] > budget_sq:
+            return
+        if i == n:
+            best_cost[0] = cost
+            best_choice[0] = choice.copy()
+            return
+        layer = order[i]
+        for level, width in enumerate(ladder):
+            choice[i] = level
+            descend(i + 1, cost + width * layer.numel,
+                    err + err_sq[layer.name][level])
+
+    descend(0, 0, Fraction(0))
+    return {layer.name: ladder[best_choice[0][i]]
+            for i, layer in enumerate(order)}
+
+
+def resolve_bucket(bits: int) -> int:
+    """Bucket size paired with a bit-width, with a nearest-defined fallback.
+
+    ``BUCKET_FOR_BITS`` only lists the widths the solvers emit today
+    (2..6, 8); solver extensions can legally produce e.g. 7 bits.  An
+    undefined width falls back to the nearest defined one (ties go to
+    the wider width, matching its coarser bucket).  Widths below 2 have
+    no quantization levels and are rejected outright.
+    """
+    if bits < 2:
+        raise ValueError(
+            f"bits={bits} has no quantization levels (need >= 2)")
+    bucket = BUCKET_FOR_BITS.get(bits)
+    if bucket is not None:
+        return bucket
+    nearest = min(BUCKET_FOR_BITS,
+                  key=lambda known: (abs(known - bits), -known))
+    return BUCKET_FOR_BITS[nearest]
+
+
 def _enforce_constraint(stats: list[LayerStat], bits: dict[str, int],
-                        budget: float,
-                        bitwidths: tuple[int, ...]) -> dict[str, int]:
+                        alpha: float,
+                        bitwidths: tuple[int, ...],
+                        reference_bits: int = 4) -> dict[str, int]:
     """Raise bit-widths until the error budget is met, cheapest first.
 
     Each candidate bump is scored by squared-error reduction per added
     wire bit, so small noisy layers are promoted before paying the huge
-    bandwidth cost of promoting an embedding.
+    bandwidth cost of promoting an embedding.  The stopping test runs in
+    exact rational arithmetic (:func:`exact_assignment_error_sq`), so a
+    returned assignment is certifiably within the budget, never just
+    within float rounding of it.
     """
     ladder = sorted(set(bitwidths))
     bits = dict(bits)
+    budget_sq = Fraction(alpha) ** 2 \
+        * exact_uniform_error_sq(stats, reference_bits)
+    err_sq = exact_assignment_error_sq(stats, bits)
     for _ in range(len(stats) * len(ladder)):
-        if assignment_error(stats, bits) <= budget:
+        if err_sq <= budget_sq:
             break
         best, best_gain = None, 0.0
         for stat in stats:
@@ -120,16 +271,44 @@ def _enforce_constraint(stats: list[LayerStat], bits: dict[str, int],
             if gain > best_gain:
                 best, best_gain = stat, gain
         if best is None:
+            # float gains underflow to 0.0 for denormal norms; redo the
+            # scoring in exact arithmetic before declaring infeasibility
+            best_exact = Fraction(0)
+            for stat in stats:
+                idx = ladder.index(bits[stat.name])
+                if idx == len(ladder) - 1:
+                    continue
+                drop = Fraction(stat.grad_norm) ** 2 * (
+                    exact_relative_error_sq(ladder[idx])
+                    - exact_relative_error_sq(ladder[idx + 1]))
+                exact_gain = drop / ((ladder[idx + 1] - ladder[idx])
+                                     * stat.numel)
+                if exact_gain > best_exact:
+                    best, best_exact = stat, exact_gain
+        if best is None:
             break
-        bits[best.name] = ladder[ladder.index(bits[best.name]) + 1]
+        old = bits[best.name]
+        bits[best.name] = ladder[ladder.index(old) + 1]
+        err_sq += Fraction(best.grad_norm) ** 2 * (
+            exact_relative_error_sq(bits[best.name])
+            - exact_relative_error_sq(old))
     return bits
 
 
-def _finalize(stats: list[LayerStat], bits: dict[str, int], budget: float,
+def _finalize(stats: list[LayerStat], bits: dict[str, int], alpha: float,
               bitwidths: tuple[int, ...],
               reference_bits: int = 4) -> dict[str, int]:
-    """Enforce the error budget; never return worse-than-static size."""
-    bits = _enforce_constraint(stats, bits, budget, bitwidths)
+    """Enforce the error budget; never return worse-than-static size.
+
+    Also guards the solver output structurally: any emitted width below
+    2 bits has no quantization levels and cannot be realized by the
+    quantizers, so it is rejected here rather than at encode time.
+    """
+    bad = sorted({b for b in bits.values() if b < 2})
+    if bad:
+        raise ValueError(
+            f"assignment emits bit-width(s) {bad} below the 2-bit floor")
+    bits = _enforce_constraint(stats, bits, alpha, bitwidths, reference_bits)
     if assignment_wire_fraction(stats, bits, reference_bits) > 1.0:
         return {s.name: reference_bits for s in stats}
     return bits
@@ -208,8 +387,7 @@ def kmeans_assign(
             ladder_for_cluster[cluster] = ladder[idx]
     bits = {stat.name: ladder_for_cluster[label]
             for stat, label in zip(stats, labels)}
-    budget = alpha * uniform_error(stats, 4)
-    return _finalize(stats, bits, budget, bitwidths)
+    return _finalize(stats, bits, alpha, bitwidths)
 
 
 def linear_assign(
@@ -228,8 +406,7 @@ def linear_assign(
         bits[stat.name] = ladder[
             min(int(position * len(ladder)), len(ladder) - 1)
         ]
-    budget = alpha * uniform_error(stats, 4)
-    return _finalize(stats, bits, budget, bitwidths)
+    return _finalize(stats, bits, alpha, bitwidths)
 
 
 def bayes_assign(
@@ -294,7 +471,7 @@ def bayes_assign(
     uniform = {s.name: 4 for s in stats}
     if objective(uniform) < best_cost:
         best_bits = uniform
-    return _finalize(stats, best_bits, budget, bitwidths)
+    return _finalize(stats, best_bits, alpha, bitwidths)
 
 
 ASSIGNERS = {
@@ -374,8 +551,8 @@ class AdaptiveController:
         )
         base = self.config.compression
         for name, bits in self.assignments.items():
-            bucket = BUCKET_FOR_BITS.get(bits, base.bucket_size)
-            self.config.per_layer[name] = base.with_bits(bits, bucket)
+            self.config.per_layer[name] = base.with_bits(bits,
+                                                         resolve_bucket(bits))
         self._accumulated.clear()
         self.reassign_count += 1
         return dict(self.assignments)

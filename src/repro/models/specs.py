@@ -97,6 +97,23 @@ class ModelSpec:
         """Tensors in the order their gradients become available."""
         return sorted(self.tensors, key=lambda t: -t.position)
 
+    def layer_infos(self) -> list:
+        """The engine's view of this model: one ``LayerInfo`` per tensor.
+
+        Bridges the full-size inventories to everything that consumes
+        :class:`~repro.core.filters.LayerInfo` — engine planning, the
+        adaptive controller's filter, and the shape/dtype pipeline
+        interpreter (``repro.analysis.shapes``), which symbolically
+        pushes these layers through plan → encode → serialize → chunk
+        without materializing any gradient.
+        """
+        from repro.core.filters import LayerInfo
+
+        return [
+            LayerInfo(t.name, t.numel, t.shape or (t.numel,), t.kind)
+            for t in self.tensors
+        ]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ModelSpec({self.name}, params={self.num_parameters / 1e6:.1f}M, "

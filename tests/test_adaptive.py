@@ -188,3 +188,127 @@ def test_controller_bucket_sizes_follow_bits():
     for name, bits in controller.assignments.items():
         spec = config.per_layer[name]
         assert spec.bits == bits
+
+
+# -- exact certification hooks (plan-certifier substrate) ---------------------
+
+def test_exact_certification_agrees_with_float_budget():
+    from repro.core import certify_assignment
+
+    stats = txl_like_stats()
+    for method, assign in ASSIGNERS.items():
+        for alpha in (1.5, 2.0, 3.0):
+            bits = assign(stats, alpha=alpha)
+            assert certify_assignment(stats, bits, alpha), (method, alpha)
+
+
+def test_exact_uniform_error_matches_float_model():
+    from fractions import Fraction
+
+    from repro.core import exact_uniform_error_sq
+
+    stats = txl_like_stats()
+    exact = exact_uniform_error_sq(stats, 4)
+    approx = Fraction(uniform_error(stats, 4)) ** 2
+    assert abs(float(exact - approx)) / float(exact) < 1e-9
+
+
+def test_exact_relative_error_rejects_degenerate_bits():
+    from repro.core import exact_relative_error_sq
+
+    with pytest.raises(ValueError):
+        exact_relative_error_sq(1)
+
+
+# -- brute force --------------------------------------------------------------
+
+def test_brute_force_beats_or_matches_every_heuristic():
+    from repro.core import assignment_cost_bits, brute_force_assign
+
+    stats = txl_like_stats()[:10]
+    for alpha in (1.5, 2.0, 3.0):
+        optimum = brute_force_assign(stats, alpha=alpha)
+        opt_cost = assignment_cost_bits(stats, optimum)
+        for method, assign in ASSIGNERS.items():
+            cost = assignment_cost_bits(stats, assign(stats, alpha=alpha))
+            assert opt_cost <= cost, (method, alpha)
+
+
+def test_brute_force_optimum_is_feasible():
+    from repro.core import brute_force_assign, certify_assignment
+
+    stats = txl_like_stats()[:8]
+    optimum = brute_force_assign(stats, alpha=1.5)
+    assert certify_assignment(stats, optimum, 1.5)
+
+
+def test_brute_force_rejects_oversized_instances():
+    from repro.core import brute_force_assign
+
+    stats = [LayerStat(f"l{i}", 100, 1.0) for i in range(17)]
+    with pytest.raises(ValueError):
+        brute_force_assign(stats, max_layers=16)
+
+
+def test_brute_force_matches_exhaustive_enumeration():
+    from itertools import product
+
+    from repro.core import (assignment_cost_bits, brute_force_assign,
+                            certify_assignment)
+
+    rng = np.random.default_rng(11)
+    stats = [LayerStat(f"l{i}", int(rng.integers(100, 100_000)),
+                       float(rng.uniform(0.1, 5.0))) for i in range(5)]
+    widths = (2, 4, 8)
+    best, best_cost = None, None
+    for combo in product(widths, repeat=len(stats)):
+        bits = {s.name: b for s, b in zip(stats, combo)}
+        if not certify_assignment(stats, bits, 2.0):
+            continue
+        cost = assignment_cost_bits(stats, bits)
+        if best_cost is None or cost < best_cost:
+            best, best_cost = bits, cost
+    fast = brute_force_assign(stats, bitwidths=widths, alpha=2.0)
+    assert assignment_cost_bits(stats, fast) == best_cost
+
+
+# -- bits -> bucket resolution ------------------------------------------------
+
+def test_resolve_bucket_known_widths_match_table():
+    from repro.core import resolve_bucket
+    from repro.core.adaptive import BUCKET_FOR_BITS
+
+    for bits, bucket in BUCKET_FOR_BITS.items():
+        assert resolve_bucket(bits) == bucket
+
+
+def test_resolve_bucket_falls_back_to_nearest_defined():
+    from repro.core import resolve_bucket
+
+    assert resolve_bucket(7) == 512   # nearest defined is 8 (ties widen)
+    assert resolve_bucket(10) == 512  # above the table: clamp to widest
+
+
+def test_resolve_bucket_rejects_degenerate_bits():
+    from repro.core import resolve_bucket
+
+    for bits in (0, 1, -3):
+        with pytest.raises(ValueError, match="quantization levels"):
+            resolve_bucket(bits)
+
+
+def test_finalize_rejects_sub_two_bit_assignments():
+    from repro.core.adaptive import _finalize
+
+    stats = txl_like_stats()[:4]
+    with pytest.raises(ValueError, match="2-bit floor"):
+        _finalize(stats, {s.name: 1 for s in stats}, 2.0, (1, 2, 4))
+
+
+def test_controller_buckets_resolve_for_every_default_width():
+    from repro.core import resolve_bucket
+    from repro.core.adaptive import DEFAULT_BITWIDTHS
+
+    for bits in DEFAULT_BITWIDTHS:
+        bucket = resolve_bucket(bits)
+        CompressionSpec("qsgd", bits=bits, bucket_size=bucket)

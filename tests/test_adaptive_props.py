@@ -1,0 +1,69 @@
+"""Property tests for the adaptive solvers (hypothesis).
+
+The plan certifier (``repro.analysis.plans``) proves the budget and
+structural invariants over a *fixed* seeded battery; these properties
+hammer the same invariants over hypothesis-generated instances spanning
+sizes 1..10^7, zero-norm layers, and single-layer models — the corners
+a fixed battery can only sample.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ASSIGNERS, LayerStat, certify_assignment
+from repro.core.adaptive import DEFAULT_BITWIDTHS
+
+
+@st.composite
+def layer_stats(draw):
+    """A random instance: 1..12 layers, sizes 1..10^7, norms >= 0.
+
+    Zero norms (dead layers) are generated explicitly — they are the
+    degenerate corner where greedy error/byte trade-offs divide by zero
+    if implemented carelessly.
+    """
+    count = draw(st.integers(min_value=1, max_value=12))
+    stats = []
+    for i in range(count):
+        exponent = draw(st.floats(min_value=0.0, max_value=7.0))
+        numel = max(1, int(10 ** exponent))
+        norm = draw(st.one_of(
+            st.just(0.0),
+            st.floats(min_value=1e-6, max_value=1e3,
+                      allow_nan=False, allow_infinity=False)))
+        stats.append(LayerStat(f"layer{i}", numel, norm))
+    return stats
+
+
+ALPHAS = st.sampled_from((1.2, 1.5, 2.0, 3.0, 5.0))
+
+
+@pytest.mark.parametrize("method", sorted(ASSIGNERS))
+@given(stats=layer_stats(), alpha=ALPHAS)
+@settings(max_examples=40, deadline=None)
+def test_assigners_respect_exact_budget(method, stats, alpha):
+    bits = ASSIGNERS[method](stats, alpha=alpha)
+    assert certify_assignment(stats, bits, alpha)
+
+
+@pytest.mark.parametrize("method", sorted(ASSIGNERS))
+@given(stats=layer_stats(), alpha=ALPHAS)
+@settings(max_examples=40, deadline=None)
+def test_assigners_cover_layers_with_ladder_widths(method, stats, alpha):
+    bits = ASSIGNERS[method](stats, alpha=alpha)
+    assert set(bits) == {s.name for s in stats}
+    assert set(bits.values()) <= set(DEFAULT_BITWIDTHS)
+
+
+@pytest.mark.parametrize("method", sorted(ASSIGNERS))
+@given(alpha=ALPHAS,
+       numel=st.integers(min_value=1, max_value=10_000_000),
+       norm=st.floats(min_value=0.0, max_value=1e3,
+                      allow_nan=False, allow_infinity=False))
+@settings(max_examples=40, deadline=None)
+def test_single_layer_instances(method, alpha, numel, norm):
+    stats = [LayerStat("only", numel, norm)]
+    bits = ASSIGNERS[method](stats, alpha=alpha)
+    assert set(bits) == {"only"}
+    assert bits["only"] in DEFAULT_BITWIDTHS
+    assert certify_assignment(stats, bits, alpha)

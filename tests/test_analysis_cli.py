@@ -156,3 +156,118 @@ def test_json_report_includes_contract_and_race_findings():
     report = json.loads(raw)
     _validate(report, JSON_REPORT_SCHEMA)
     assert report["summary"]["total"] == 0
+
+
+# -- pass selection (plans / shapes / --all) -----------------------------------
+
+def test_plans_and_shapes_flags_run_clean():
+    code, out = run_cli(["--plans", "--shapes"])
+    assert code == 0
+    assert "clean" in out
+
+
+def test_plans_flag_skips_lint_paths():
+    code, out = run_cli(["definitely/missing.py", "--plans"])
+    assert code == 0
+
+
+def test_all_flag_selects_every_pass():
+    import argparse
+
+    from repro.analysis.cli import ALL_PASSES, build_parser, select_passes
+
+    args = build_parser().parse_args(["--all"])
+    assert select_passes(args) == ALL_PASSES
+    assert set(ALL_PASSES) == {"lint", "schedule", "contracts", "races",
+                               "plans", "shapes"}
+
+
+def test_all_flag_rejects_pass_selection_flags():
+    for conflict in (["--all", "--plans"], ["--all", "--schedule-only"],
+                     ["--all", "--no-schedule"], ["--all", "--shapes"]):
+        code, _ = run_cli(conflict)
+        assert code == 2, conflict
+
+
+def test_schedule_only_rejects_plans_combination():
+    code, _ = run_cli(["--schedule-only", "--plans"])
+    assert code == 2
+
+
+def test_all_flag_runs_every_battery(monkeypatch, tmp_path):
+    """--all invokes all six batteries and merges their exit status."""
+    import repro.analysis.cli as cli_mod
+    import repro.analysis.plans as plans_mod
+    import repro.analysis.shapes as shapes_mod
+    from repro.analysis.findings import Finding
+
+    ran = []
+    planted = [Finding(rule="BWP001", path="<plan:kmeans>", line=0, col=0,
+                       message="synthetic budget breach", source="plan",
+                       scheme="kmeans")]
+    monkeypatch.setattr(cli_mod, "verify_schedules",
+                        lambda: ran.append("schedule") or [])
+    monkeypatch.setattr(plans_mod, "verify_plans",
+                        lambda: ran.append("plans") or planted)
+    monkeypatch.setattr(shapes_mod, "verify_shapes",
+                        lambda: ran.append("shapes") or [])
+    src_file = tmp_path / "clean.py"
+    src_file.write_text("x = 1\n")
+
+    code, out = run_cli([str(src_file), "--all"])
+    assert {"schedule", "plans", "shapes"} <= set(ran)
+    assert code == 1
+    assert "plan[kmeans]: BWP001" in out
+
+
+def test_plan_findings_round_trip_through_json_and_baseline(tmp_path,
+                                                            monkeypatch):
+    import repro.analysis.plans as plans_mod
+    from repro.analysis import JSON_REPORT_SCHEMA
+    from repro.analysis.findings import Finding
+
+    planted = [Finding(rule="BWP003", path="<plan:bayes>", line=0, col=0,
+                       message="synthetic gap regression", source="plan",
+                       scheme="bayes")]
+    monkeypatch.setattr(plans_mod, "verify_plans", lambda: planted)
+
+    code, raw = run_cli(["--plans", "--format", "json"])
+    assert code == 1
+    report = json.loads(raw)
+    _validate(report, JSON_REPORT_SCHEMA)
+    assert report["findings"][0]["source"] == "plan"
+
+    baseline = tmp_path / "base.json"
+    code, _ = run_cli(["--plans", "--baseline", str(baseline),
+                       "--write-baseline"])
+    assert code == 0
+    code, out = run_cli(["--plans", "--baseline", str(baseline)])
+    assert code == 0 and "(1 baselined)" in out
+
+
+def test_shape_findings_render_with_world(monkeypatch):
+    import repro.analysis.shapes as shapes_mod
+    from repro.analysis.findings import Finding
+
+    planted = [Finding(rule="SHP003", path="<shape:vgg16>", line=0, col=0,
+                       message="synthetic wire drift", source="shape",
+                       scheme="qsgd/sra", world=4)]
+    monkeypatch.setattr(shapes_mod, "verify_shapes", lambda: planted)
+    code, out = run_cli(["--shapes"])
+    assert code == 1
+    assert "shape[qsgd/sra@world=4]: SHP003" in out
+
+
+def test_repro_analyze_forwards_plans_shapes_and_all(monkeypatch):
+    import repro.analysis.plans as plans_mod
+    import repro.analysis.shapes as shapes_mod
+
+    ran = []
+    monkeypatch.setattr(plans_mod, "verify_plans",
+                        lambda: ran.append("plans") or [])
+    monkeypatch.setattr(shapes_mod, "verify_shapes",
+                        lambda: ran.append("shapes") or [])
+    out = io.StringIO()
+    code = repro_main(["analyze", "--plans", "--shapes"], out=out)
+    assert code == 0
+    assert ran == ["plans", "shapes"]

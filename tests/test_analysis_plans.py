@@ -1,0 +1,196 @@
+"""Tests for the bit-width plan certifier (BWP001..BWP007)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plans import (
+    DEFAULT_ALPHAS,
+    OPTIMALITY_RATCHET,
+    PLAN_RULES,
+    PlanInstance,
+    certify_controller_stability,
+    certify_optimality,
+    certify_plan_contracts,
+    certify_solver,
+    default_instances,
+    verify_plans,
+)
+from repro.core import ASSIGNERS, LayerStat
+from repro.core.adaptive import AdaptiveController, kmeans_assign
+
+SMALL = PlanInstance("tiny", [
+    LayerStat("embed", 1_000_000, 0.4),
+    LayerStat("fc", 10_000, 1.0),
+    LayerStat("head", 2_048, 2.0),
+])
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# -- the real repo certifies cleanly ------------------------------------------
+
+def test_real_solvers_certify_clean():
+    assert verify_plans() == []
+
+
+def test_battery_covers_every_model_spec_and_degenerate_corners():
+    names = {i.name for i in default_instances()}
+    for spec in ("resnet50", "vgg16", "vit", "transformer_xl",
+                 "bert", "gpt2"):
+        assert f"spec:{spec}" in names
+    assert {"zero-norm", "single-layer", "txl-like"} <= names
+    assert any(i.small for i in default_instances())
+
+
+def test_every_rule_has_a_description():
+    assert sorted(PLAN_RULES) == [f"BWP00{i}" for i in range(1, 8)]
+    assert set(OPTIMALITY_RATCHET) == set(ASSIGNERS)
+
+
+# -- regression: broken solvers must be caught --------------------------------
+
+def budget_buster(stats, alpha=2.0, bitwidths=None):
+    """Assigns 2 bits everywhere: violates any reasonable budget."""
+    return {s.name: 2 for s in stats}
+
+
+def ladder_escaper(stats, alpha=2.0, bitwidths=None):
+    """Emits a width outside the requested ladder (and every bucket map)."""
+    return {s.name: 9 for s in stats}
+
+
+def layer_loser(stats, alpha=2.0, bitwidths=None):
+    bits = kmeans_assign(stats, alpha=alpha)
+    bits.pop(next(iter(bits)))
+    return bits
+
+
+def crasher(stats, alpha=2.0, bitwidths=None):
+    raise RuntimeError("solver exploded")
+
+
+def test_budget_violation_fires_bwp001():
+    _, findings = certify_solver("bad", budget_buster, SMALL, alpha=1.5)
+    assert "BWP001" in rules_of(findings)
+
+
+def test_ladder_escape_fires_bwp002_and_bwp004():
+    _, findings = certify_solver("bad", ladder_escaper, SMALL, alpha=2.0)
+    assert "BWP002" in rules_of(findings)
+    assert "BWP004" in rules_of(findings)
+
+
+def test_lost_layer_fires_bwp002():
+    _, findings = certify_solver("bad", layer_loser, SMALL, alpha=2.0)
+    assert rules_of(findings) == ["BWP002"]
+    assert "covers" in findings[0].message
+
+
+def test_crashing_solver_fires_bwp002_not_an_exception():
+    bits, findings = certify_solver("bad", crasher, SMALL, alpha=2.0)
+    assert bits is None
+    assert rules_of(findings) == ["BWP002"]
+    assert "RuntimeError" in findings[0].message
+
+
+def test_wasteful_solver_fires_bwp003():
+    def wasteful(stats, alpha=2.0, bitwidths=None):
+        return {s.name: 8 for s in stats}  # always feasible, never frugal
+
+    findings = certify_optimality("kmeans", wasteful, [SMALL],
+                                  alphas=(2.0,))
+    assert rules_of(findings) == ["BWP003"]
+
+
+def test_non_monotone_solver_fires_bwp005():
+    def moody(stats, alpha=2.0, bitwidths=None):
+        width = 8 if alpha > 2.0 else 4  # more budget -> more bytes
+        return {s.name: width for s in stats}
+
+    findings = verify_plans(assigners={"moody": moody}, instances=[SMALL],
+                            alphas=(1.5, 3.0), controller_cls=None)
+    assert "BWP005" in rules_of(findings)
+
+
+def test_verify_plans_end_to_end_on_broken_solver():
+    findings = verify_plans(assigners={"bad": budget_buster},
+                            instances=[SMALL], controller_cls=None)
+    assert "BWP001" in rules_of(findings)
+    assert all(f.source == "plan" and f.scheme == "bad" for f in findings)
+    assert all(f.path == "<plan:bad>" for f in findings)
+
+
+# -- BWP006: controller respec stability --------------------------------------
+
+def test_stationary_controller_is_stable():
+    for solver in ASSIGNERS:
+        assert certify_controller_stability(solver) == []
+
+
+def test_flappy_controller_fires_bwp006():
+    class FlappyController(AdaptiveController):
+        """Alternates the embedding width every respec."""
+
+        def reassign(self):
+            super().reassign()
+            self._flip = not getattr(self, "_flip", False)
+            if self._flip and self.assignments:
+                name = next(iter(self.assignments))
+                self.assignments[name] = 8
+
+    findings = certify_controller_stability(
+        "kmeans", controller_cls=FlappyController)
+    assert "BWP006" in rules_of(findings)
+    assert any("flipped" in f.message or "spec" in f.message
+               for f in findings)
+
+
+# -- BWP007: plan/contract agreement ------------------------------------------
+
+def test_plan_bits_match_qsgd_contract():
+    bits = kmeans_assign(SMALL.stats, alpha=2.0)
+    assert certify_plan_contracts("kmeans", bits, SMALL, 2.0) == []
+
+
+def test_undeclared_bits_fire_bwp007():
+    from repro.analysis.abstract import default_registry
+    from repro.compression.contracts import CompressorContract
+    from repro.compression.qsgd import QSGDCompressor
+
+    class SilentQSGD(QSGDCompressor):
+        contract = CompressorContract("qsgd", uses_rng=True)  # no bits
+
+    registry = dict(default_registry())
+    registry["qsgd"] = SilentQSGD
+    findings = certify_plan_contracts(
+        "kmeans", {"embed": 4}, SMALL, 2.0, registry=registry)
+    assert rules_of(findings) == ["BWP007"]
+    assert "supported_bits" in findings[0].message
+
+
+def test_bits_outside_declaration_fire_bwp007():
+    findings = certify_plan_contracts("bad", {"embed": 16}, SMALL, 2.0)
+    assert rules_of(findings) == ["BWP007"]
+
+
+def test_unknown_method_fires_bwp007():
+    findings = certify_plan_contracts("kmeans", {"embed": 4}, SMALL, 2.0,
+                                      method="warpdrive")
+    assert rules_of(findings) == ["BWP007"]
+
+
+# -- determinism --------------------------------------------------------------
+
+def test_verify_plans_is_deterministic():
+    first = verify_plans(assigners={"bad": budget_buster},
+                         instances=[SMALL], controller_cls=None)
+    second = verify_plans(assigners={"bad": budget_buster},
+                          instances=[SMALL], controller_cls=None)
+    assert [f.fingerprint for f in first] == [f.fingerprint for f in second]
+
+
+def test_default_alphas_are_sorted_and_span_the_paper_range():
+    assert list(DEFAULT_ALPHAS) == sorted(DEFAULT_ALPHAS)
+    assert DEFAULT_ALPHAS[0] <= 2.0 <= DEFAULT_ALPHAS[-1]

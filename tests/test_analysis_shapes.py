@@ -1,0 +1,250 @@
+"""Tests for the shape/dtype pipeline interpreter (SHP001..SHP005)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.abstract import default_registry
+from repro.analysis.shapes import (
+    SCHEME_MODELS,
+    SHAPE_RULES,
+    SchemeModel,
+    battery_specs,
+    calibrate_payload_model,
+    interpret_pipeline,
+    symbolic_payload,
+    symbolic_wire_bytes,
+    verify_shapes,
+)
+from repro.compression import CompressionSpec, make_compressor
+from repro.core import CGXConfig
+from repro.core.serialization import measured_wire_bytes
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# -- the real repo interprets cleanly -----------------------------------------
+
+def test_full_battery_is_clean():
+    assert verify_shapes() == []
+
+
+def test_battery_covers_every_registered_method():
+    methods = {spec.method for spec in battery_specs()}
+    assert methods == set(default_registry())
+
+
+def test_scheme_models_cover_every_registered_scheme():
+    from repro.collectives import ALGORITHMS
+
+    assert set(SCHEME_MODELS) == set(ALGORITHMS)
+
+
+def test_every_rule_has_a_description():
+    assert sorted(SHAPE_RULES) == [f"SHP00{i}" for i in range(1, 6)]
+
+
+# -- the symbolic payload model matches reality -------------------------------
+
+@pytest.mark.parametrize("spec", battery_specs(),
+                         ids=lambda s: f"{s.method}-{s.wire_dtype_bits}"
+                         if s.method == "qsgd" else s.method)
+@pytest.mark.parametrize("shape", [(97,), (4, 33), (16, 16)])
+def test_symbolic_bytes_match_real_serialization(spec, shape):
+    rng = np.random.default_rng(3)
+    array = rng.normal(size=shape).astype(np.float32)
+    compressed = make_compressor(spec).compress(array, rng, key="t")
+    assert symbolic_wire_bytes(symbolic_payload(spec, array.size, shape)) \
+        == measured_wire_bytes(compressed)
+
+
+def test_symbolic_payload_zero_elements_is_empty():
+    assert symbolic_payload(CompressionSpec("qsgd"), 0) == ()
+
+
+def test_symbolic_powersgd_dense_fallback_for_flat_buffers():
+    spec = CompressionSpec("powersgd", rank=4)
+    flat = symbolic_payload(spec, 4096, (4096,))
+    assert [s.name for s in flat] == ["dense"]
+    matrix = symbolic_payload(spec, 4096, (64, 64))
+    assert [s.name for s in matrix] == ["p", "q"]
+    assert symbolic_wire_bytes(matrix) < symbolic_wire_bytes(flat)
+
+
+def test_calibration_pass_is_clean():
+    assert calibrate_payload_model() == []
+
+
+def test_calibration_catches_a_lying_compressor():
+    from repro.compression.qsgd import QSGDCompressor
+
+    class Padding(QSGDCompressor):
+        def compress(self, array, rng, key=None):
+            out = super().compress(array, rng, key=key)
+            out.payload["norms"] = np.concatenate(
+                [out.payload["norms"], np.zeros(1, dtype=np.float32)])
+            return out
+
+        def decompress(self, compressed):
+            trimmed = compressed.copy()
+            trimmed.payload["norms"] = trimmed.payload["norms"][:-1]
+            return super().decompress(trimmed)
+
+    registry = dict(default_registry())
+    registry["qsgd"] = Padding
+    findings = calibrate_payload_model(registry)
+    assert "SHP003" in rules_of(findings)
+    assert all(f.path == "<shape:calibration>" for f in findings)
+
+
+# -- regression: broken pipelines must be caught ------------------------------
+
+class OverclaimingSpec(CompressionSpec):
+    """Claims three bytes more than it serializes."""
+
+    def wire_bytes(self, numel, shape=None):
+        return super().wire_bytes(numel, shape) + 3
+
+
+def test_wire_claim_mismatch_fires_shp003_and_shp005():
+    findings = verify_shapes(
+        models=["vgg16"], specs=[OverclaimingSpec("qsgd", bits=4)],
+        worlds=(4,), calibrate=False, include_adaptive=False)
+    assert {"SHP003", "SHP005"} <= set(rules_of(findings))
+
+
+def test_gappy_partition_fires_shp004():
+    def gappy(numel, world, node_of):
+        half = numel // 2
+        return [("gap", [(0, half), (half + 1, numel)])]
+
+    findings = verify_shapes(
+        models=["vgg16"], specs=[CompressionSpec("qsgd")],
+        schemes={"gap": SchemeModel("gap", gappy)},
+        worlds=(4,), calibrate=False, include_adaptive=False)
+    assert rules_of(findings) == ["SHP004"]
+    assert "contiguous" in findings[0].message
+
+
+def test_short_partition_fires_shp004():
+    def short(numel, world, node_of):
+        return [("short", [(0, numel - 1)])]
+
+    findings = verify_shapes(
+        models=["vgg16"], specs=[CompressionSpec("none")],
+        schemes={"short": SchemeModel("short", short)},
+        worlds=(4,), calibrate=False, include_adaptive=False)
+    assert rules_of(findings) == ["SHP004"]
+
+
+def test_shattering_partition_fires_metadata_inflation():
+    # 64-element chunks for 4 ranks: every chunk pays the max(1, ...)
+    # sparsifier floor, and the chunk count is unmoored from the world
+    from types import SimpleNamespace
+
+    from repro.analysis.shapes import _check_chunks
+
+    package = SimpleNamespace(name="fc", numel=100_000,
+                              spec=CompressionSpec("topk", density=0.001))
+
+    def shatter(numel, world, node_of):
+        return [("shatter", [(i, min(i + 64, numel))
+                             for i in range(0, numel, 64)])]
+
+    findings = _check_chunks("tiny", package,
+                             SchemeModel("shatter", shatter),
+                             4, "topk", None)
+    assert "SHP004" in rules_of(findings)
+    assert any("inflates" in f.message for f in findings)
+
+
+def test_fp16_accumulator_fires_shp002():
+    def whole(numel, world, node_of):
+        return [("w", [(0, numel)])]
+
+    narrow = {"half": SchemeModel("half", whole,
+                                  accumulator_dtype="float16")}
+    findings = verify_shapes(
+        models=["vgg16"], specs=[CompressionSpec("qsgd")], schemes=narrow,
+        worlds=(4,), calibrate=False, include_adaptive=False)
+    assert "SHP002" in rules_of(findings)
+
+
+def test_narrowing_contract_fires_shp002():
+    from repro.compression.contracts import CompressorContract
+    from repro.compression.qsgd import QSGDCompressor
+
+    class NarrowQSGD(QSGDCompressor):
+        contract = CompressorContract("qsgd", uses_rng=True,
+                                      output_dtype="float16",
+                                      supported_bits=(2, 3, 4, 5, 6, 7, 8))
+
+    registry = dict(default_registry())
+    registry["qsgd"] = NarrowQSGD
+    findings = verify_shapes(
+        models=["vgg16"], specs=[CompressionSpec("qsgd")],
+        registry=registry, worlds=(4,), calibrate=False,
+        include_adaptive=False)
+    assert "SHP002" in rules_of(findings)
+
+
+def test_dropped_tensor_fires_shp001():
+    import dataclasses
+
+    from repro.analysis.shapes import _check_plan
+    from repro.core import CommunicationEngine
+    from repro.models import build_spec
+
+    model = build_spec("vgg16")
+    truncated = dataclasses.replace(model, tensors=model.tensors[:-1])
+    config = CGXConfig(compression=CompressionSpec("qsgd"))
+    # sanity: the untruncated plan is clean
+    assert interpret_pipeline("vgg16", config, worlds=(4,),
+                              model=model) == []
+    # plan built from the truncated model: the final tensor never gets
+    # a package
+    engine = CommunicationEngine(config)
+    packages = engine.plan(truncated.layer_infos())
+    findings = _check_plan("vgg16", model, packages, "qsgd",
+                           default_registry())
+    assert "SHP001" in rules_of(findings)
+    assert any("drops" in f.message for f in findings)
+
+
+# -- chunk math matches the real collectives ----------------------------------
+
+@pytest.mark.parametrize("scheme", sorted(SCHEME_MODELS))
+@pytest.mark.parametrize("world", [2, 4, 5])
+def test_partitions_match_collectives_chunking(scheme, world):
+    from repro.collectives.base import chunk_bounds
+
+    numel = 100_003
+    node_of = [r // 2 for r in range(world)] if scheme == "hier" else None
+    for phase, bounds in SCHEME_MODELS[scheme].phases(numel, world, node_of):
+        n = len(bounds)
+        if n > 1:  # chunked phases must mirror chunk_bounds exactly
+            assert bounds == chunk_bounds(numel, n), (scheme, phase)
+        assert bounds[0][0] == 0 and bounds[-1][1] == numel
+
+
+def test_hier_degrades_to_sra_on_one_node():
+    flat = SCHEME_MODELS["hier"].phases(1000, 4, None)
+    sra = SCHEME_MODELS["sra"].phases(1000, 4, None)
+    assert flat == sra
+
+
+def test_adaptive_config_battery_is_clean():
+    findings = verify_shapes(models=[], calibrate=False,
+                             include_adaptive=True)
+    assert findings == []
+
+
+def test_findings_carry_shape_source_and_world():
+    findings = verify_shapes(
+        models=["vgg16"], specs=[OverclaimingSpec("qsgd", bits=4)],
+        worlds=(4,), calibrate=False, include_adaptive=False)
+    sample = findings[0]
+    assert sample.source == "shape"
+    assert sample.path == "<shape:vgg16>"
+    assert all(f.world in (0, 4) for f in findings)
