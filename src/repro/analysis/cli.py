@@ -1,6 +1,6 @@
 """Entry point: ``python -m repro.analysis`` / ``repro analyze``.
 
-Runs up to six passes and reports findings as text or JSON:
+Runs up to seven passes and reports findings as text or JSON:
 
 * **lint** — numerical-safety AST rules (REP) over the given paths;
 * **schedule** — collective-schedule verification (SCH);
@@ -11,14 +11,17 @@ Runs up to six passes and reports findings as text or JSON:
 * **plans** — adaptive bit-width plan certification (BWP): exact budget
   feasibility, optimality-gap ratchet, controller respec stability;
 * **shapes** — the shape/dtype pipeline interpreter (SHP): abstract
-  execution of every (model x compressor x scheme) wire path.
+  execution of every (model x compressor x scheme) wire path;
+* **health** — the failure-detection battery (HLT): detector
+  soundness and latency bounds, oracle-free supervised recovery,
+  bit-identical resume, checkpoint-store crash-safety.
 
-The first four run by default; ``--all`` runs all six (the CI
+The first four run by default; ``--all`` runs all seven (the CI
 configuration).  ``--contracts`` / ``--races`` / ``--plans`` /
-``--shapes`` select *only* the named semantic passes (they combine with
-each other); ``--schedule-only`` keeps its PR-1 meaning (schedule pass
-alone) and ``--no-schedule`` drops the schedule pass from the default
-set.
+``--shapes`` / ``--health`` select *only* the named semantic passes
+(they combine with each other); ``--schedule-only`` keeps its PR-1
+meaning (schedule pass alone) and ``--no-schedule`` drops the schedule
+pass from the default set.
 
 Exit status: 0 when clean (or all findings baselined), 1 when new
 findings exist, 2 on usage errors.
@@ -41,7 +44,8 @@ from .schedule import verify_schedules
 __all__ = ["build_parser", "main", "select_passes"]
 
 PASSES = ("lint", "schedule", "contracts", "races")
-ALL_PASSES = ("lint", "schedule", "contracts", "races", "plans", "shapes")
+ALL_PASSES = ("lint", "schedule", "contracts", "races", "plans", "shapes",
+              "health")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,15 +85,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only the shape/dtype pipeline "
                              "interpreter (combines with the other "
                              "pass flags)")
+    parser.add_argument("--health", action="store_true",
+                        help="run only the failure-detection battery "
+                             "(combines with the other pass flags)")
     parser.add_argument("--all", dest="all_passes", action="store_true",
                         help="run every battery (lint, schedule, "
-                             "contracts, races, plans, shapes)")
+                             "contracts, races, plans, shapes, health)")
     return parser
 
 
 def select_passes(args: argparse.Namespace) -> tuple[str, ...]:
     """Which passes a parsed command line asks for (see module doc)."""
-    named = [name for name in ("contracts", "races", "plans", "shapes")
+    named = [name for name in ("contracts", "races", "plans", "shapes",
+                               "health")
              if getattr(args, name)]
     if args.all_passes:
         if args.schedule_only or args.no_schedule or named:
@@ -190,6 +198,10 @@ def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
         from .shapes import verify_shapes
 
         findings.extend(verify_shapes())
+    if "health" in passes:
+        from .health import verify_health
+
+        findings.extend(verify_health())
     findings = sort_findings(findings)
 
     if args.write_baseline:

@@ -25,7 +25,8 @@ class Finding:
     line: int            # 1-based; 0 for non-lint findings
     col: int             # 0-based; 0 for non-lint findings
     message: str
-    source: str = "lint"     # lint | schedule | contract | race | plan | shape
+    source: str = "lint"     # lint | schedule | contract | race | plan |
+                             # shape | health
     snippet: str = ""        # stripped source line (lint findings)
     scheme: str = ""         # reduction scheme, compression method, or solver
     world: int = 0           # world size (0 for lint/contract/plan findings)
@@ -72,6 +73,9 @@ class Finding:
             return f"plan[{self.scheme}]: {self.rule} {self.message}"
         if self.source == "shape":
             return (f"shape[{self.scheme}@world={self.world}]: "
+                    f"{self.rule} {self.message}")
+        if self.source == "health":
+            return (f"health[{self.scheme}@world={self.world}]: "
                     f"{self.rule} {self.message}")
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
 

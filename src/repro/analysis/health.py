@@ -1,0 +1,345 @@
+"""Health-layer certification battery (HLT001..HLT005).
+
+Dynamic-analysis rules certifying the ``repro.health`` surface — the
+phi-accrual failure detector, the observation-driven supervisor, and
+the durable checkpoint store (:mod:`repro.faults.health`,
+:mod:`repro.faults.store`):
+
+* **HLT001** — zero false positives: supervised campaigns that inject
+  no crash and no over-budget straggler (fault-free, and lossy-link
+  with its 12% heartbeat loss) must produce no crash suspicion, no
+  false suspicion and no straggler demotion.
+* **HLT002** — bounded detection latency: on a crash campaign the
+  first ``suspect_crash`` record must land within
+  ``CRASH_LATENCY_BOUND`` steps of the injected crash (and the rejoin
+  admission within ``REJOIN_LATENCY_BOUND`` of the rejoin); on a
+  persistent over-budget straggler campaign the first
+  ``demote_straggler`` within ``STRAGGLER_LATENCY_BOUND`` of onset.
+* **HLT003** — oracle-free recovery parity: supervised training on the
+  stock ``crash-rejoin`` and ``straggler`` campaigns must converge
+  within ``LOSS_TOLERANCE`` of the oracle-driven baseline, with
+  ``counters.oracle_reads == 0`` — the
+  :func:`~repro.faults.plan.oracle_guard` tripwire proves the decision
+  path never touched the plan.
+* **HLT004** — resume determinism: a fresh trainer restored from the
+  durable store must replay the remaining steps bit-identically
+  (losses and final weights), and two same-seed supervised runs must
+  produce byte-identical event logs.
+* **HLT005** — store crash-safety: a truncated checkpoint, a garbled
+  payload byte, and a stray ``.tmp`` from a killed writer must all be
+  detected, with fallback to the newest valid checkpoint and training
+  resuming bit-identically from it.
+
+The certifier reads the fault plan freely — it grades the detector
+against ground truth.  Only the *decision path* is barred from the
+oracle, which is exactly what the guard measures.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.core.config import CGXConfig
+from repro.faults import (CheckpointCorrupt, CheckpointStore, FaultPlan,
+                          make_campaign, straggler)
+from repro.faults.health import HealthPolicy
+from repro.training.recipes import get_recipe
+from repro.training.tasks import make_task
+from repro.training.trainer import DataParallelTrainer
+
+from .findings import Finding
+
+__all__ = ["HLT_RULES", "CRASH_LATENCY_BOUND", "STRAGGLER_LATENCY_BOUND",
+           "REJOIN_LATENCY_BOUND", "LOSS_TOLERANCE", "verify_health",
+           "verify_detector_soundness", "verify_detection_latency",
+           "verify_supervised_recovery", "verify_resume_determinism",
+           "verify_store_crash_safety"]
+
+#: certified bounds (steps) and the convergence tolerance shared with
+#: the oracle-driven PR 3 battery
+CRASH_LATENCY_BOUND = 3
+STRAGGLER_LATENCY_BOUND = 4
+REJOIN_LATENCY_BOUND = 3
+LOSS_TOLERANCE = 0.02
+
+FAMILY = "mlp"
+WORLD = 4
+STEPS = 20
+
+HLT_RULES: dict[str, str] = {
+    "HLT001": "detector raised a false alarm on a crash-free campaign",
+    "HLT002": "failure detection latency exceeded the certified bound",
+    "HLT003": "supervised recovery diverged from the oracle baseline "
+              "or read the fault-plan oracle",
+    "HLT004": "resumed training was not bit-identical",
+    "HLT005": "checkpoint store failed to survive a torn or corrupt file",
+}
+
+
+def _finding(rule: str, campaign: str, message: str) -> Finding:
+    return Finding(rule=rule, path=f"<health:{campaign}@world={WORLD}>",
+                   line=0, col=0, message=message, source="health",
+                   scheme=campaign, world=WORLD)
+
+
+def _trainer(plan: FaultPlan | None, supervised: bool = True,
+             store: CheckpointStore | None = None,
+             health: HealthPolicy | None = None,
+             seed: int = 0) -> DataParallelTrainer:
+    recipe = get_recipe(FAMILY)
+    task = make_task(FAMILY, batch_size=recipe.batch_size, **recipe.kwargs())
+    return DataParallelTrainer(
+        task, world_size=WORLD, config=CGXConfig.cgx_default(128),
+        recipe=recipe, seed=seed, fault_plan=plan, supervised=supervised,
+        health=health, store=store)
+
+
+def _run(trainer: DataParallelTrainer, steps: int) -> list[float]:
+    return [trainer.train_step() for _ in range(steps)]
+
+
+# -- HLT001: zero false positives -------------------------------------------
+
+def verify_detector_soundness() -> list[Finding]:
+    """No alarms on campaigns that inject nothing alarm-worthy."""
+    findings: list[Finding] = []
+    for name, plan in (("fault-free", None),
+                       ("lossy-link", make_campaign("lossy-link", WORLD))):
+        trainer = _trainer(plan)
+        _run(trainer, STEPS)
+        assert trainer.fault_runtime is not None
+        counters = trainer.fault_runtime.counters
+        for counter in ("suspected_crashes", "false_suspicions",
+                        "straggler_demotions", "escalations"):
+            value = getattr(counters, counter)
+            if value:
+                findings.append(_finding(
+                    "HLT001", name,
+                    f"{counter}={value} after {STEPS} supervised steps "
+                    f"with no crash or over-budget straggler injected"))
+    return findings
+
+
+# -- HLT002: bounded detection latency ---------------------------------------
+
+def _first_event(trainer: DataParallelTrainer, kind: str,
+                 rank: int) -> int | None:
+    assert trainer.fault_runtime is not None
+    for record in trainer.fault_runtime.records:
+        if record.kind == kind and dict(record.detail).get("rank") == rank:
+            return record.step
+    return None
+
+
+def verify_detection_latency() -> list[Finding]:
+    """Crash, rejoin and straggler events noticed within the bounds."""
+    findings: list[Finding] = []
+
+    # crash at step 4, rejoin at step 9 (stock campaign, rank 3)
+    plan = make_campaign("crash-rejoin", WORLD)
+    trainer = _trainer(plan)
+    _run(trainer, STEPS)
+    suspected = _first_event(trainer, "suspect_crash", WORLD - 1)
+    if suspected is None:
+        findings.append(_finding(
+            "HLT002", "crash-rejoin",
+            f"rank {WORLD - 1} crash at step 4 never suspected in "
+            f"{STEPS} steps"))
+    elif suspected - 4 > CRASH_LATENCY_BOUND:
+        findings.append(_finding(
+            "HLT002", "crash-rejoin",
+            f"crash at step 4 suspected at step {suspected} "
+            f"(latency {suspected - 4} > bound {CRASH_LATENCY_BOUND})"))
+    admitted = _first_event(trainer, "admit_rejoin", WORLD - 1)
+    if admitted is None:
+        findings.append(_finding(
+            "HLT002", "crash-rejoin",
+            f"rank {WORLD - 1} rejoin at step 9 never admitted in "
+            f"{STEPS} steps"))
+    elif admitted - 9 > REJOIN_LATENCY_BOUND:
+        findings.append(_finding(
+            "HLT002", "crash-rejoin",
+            f"rejoin at step 9 admitted at step {admitted} "
+            f"(latency {admitted - 9} > bound {REJOIN_LATENCY_BOUND})"))
+
+    # persistent over-budget straggler from step 4 on rank 2
+    hard = FaultPlan("straggler-hard", WORLD, 0,
+                     (straggler(4, None, rank=2, factor=2.5),))
+    trainer = _trainer(hard)
+    _run(trainer, STEPS)
+    demoted = _first_event(trainer, "demote_straggler", 2)
+    if demoted is None:
+        findings.append(_finding(
+            "HLT002", "straggler-hard",
+            f"2.5x straggler from step 4 never demoted in {STEPS} steps"))
+    elif demoted - 4 > STRAGGLER_LATENCY_BOUND:
+        findings.append(_finding(
+            "HLT002", "straggler-hard",
+            f"straggler onset at step 4 demoted at step {demoted} "
+            f"(latency {demoted - 4} > bound {STRAGGLER_LATENCY_BOUND})"))
+    return findings
+
+
+# -- HLT003: oracle-free recovery parity -------------------------------------
+
+def verify_supervised_recovery() -> list[Finding]:
+    """Supervised convergence matches the oracle path, without the oracle."""
+    findings: list[Finding] = []
+    for name in ("crash-rejoin", "straggler"):
+        plan = make_campaign(name, WORLD)
+        sup = _trainer(plan)
+        sup_losses = _run(sup, STEPS)
+        oracle = _trainer(plan, supervised=False)
+        oracle_losses = _run(oracle, STEPS)
+        assert sup.fault_runtime is not None
+        reads = sup.fault_runtime.counters.oracle_reads
+        if reads:
+            findings.append(_finding(
+                "HLT003", name,
+                f"supervised decision path issued {reads} StepFaults "
+                f"oracle read(s); recovery must use observations only"))
+        drift = abs(sup_losses[-1] - oracle_losses[-1])
+        if not np.isfinite(sup_losses[-1]) or drift > LOSS_TOLERANCE:
+            findings.append(_finding(
+                "HLT003", name,
+                f"supervised final loss {sup_losses[-1]:.6f} vs oracle "
+                f"{oracle_losses[-1]:.6f} (drift {drift:.6f} > "
+                f"tolerance {LOSS_TOLERANCE})"))
+    return findings
+
+
+# -- HLT004: resume determinism ----------------------------------------------
+
+def verify_resume_determinism() -> list[Finding]:
+    """A store-restored fresh trainer replays training bit-identically."""
+    findings: list[Finding] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(tmp, keep=3)
+        ref = _trainer(None, store=store)
+        ref_losses = _run(ref, 14)
+
+        loaded = store.load_latest()
+        if loaded is None:
+            return [_finding("HLT004", "fault-free",
+                             "supervised run with a store attached "
+                             "published no checkpoints")]
+        step, state = loaded
+        resumed = _trainer(None)
+        resumed.restore_state(state)
+        resumed_losses = _run(resumed, 14 - step)
+        if resumed_losses != ref_losses[step:]:
+            findings.append(_finding(
+                "HLT004", "fault-free",
+                f"losses after restoring step {step} differ from the "
+                f"uninterrupted run (resume is not bit-identical)"))
+        for (name, a), b in zip(
+                ref.replicas[0].named_parameters(),
+                (p for _, p in resumed.replicas[0].named_parameters())):
+            if not np.array_equal(a.data, b.data):
+                findings.append(_finding(
+                    "HLT004", "fault-free",
+                    f"parameter {name} differs after resumed training"))
+                break
+
+    # two same-seed supervised chaos runs: byte-identical event logs
+    logs = []
+    for _ in range(2):
+        trainer = _trainer(make_campaign("crash-rejoin", WORLD))
+        _run(trainer, STEPS)
+        assert trainer.fault_runtime is not None
+        logs.append(trainer.fault_runtime.log_bytes())
+    if logs[0] != logs[1]:
+        findings.append(_finding(
+            "HLT004", "crash-rejoin",
+            "two same-seed supervised runs produced different event logs"))
+    return findings
+
+
+# -- HLT005: store crash-safety ----------------------------------------------
+
+def verify_store_crash_safety() -> list[Finding]:
+    """Torn and corrupt checkpoint files are detected and survived."""
+    findings: list[Finding] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(tmp, keep=3)
+        ref = _trainer(None, store=store)
+        _run(ref, 10)   # checkpoints at steps 5 and 10
+        steps = store.steps()
+        if len(steps) < 2:
+            return [_finding("HLT005", "fault-free",
+                             f"expected >= 2 checkpoints, store has "
+                             f"{steps}")]
+        older, newest = steps[-2], steps[-1]
+
+        # the reference continuation from the older checkpoint
+        base = _trainer(None)
+        base.restore_state(store.load(older))
+        base_losses = _run(base, 4)
+
+        # 1) torn write: truncate the newest published checkpoint
+        path = store.path_for(newest)
+        size = os.path.getsize(path)
+        with open(path, "rb+") as fh:
+            fh.truncate(size // 2)
+        detected: list[int] = []
+        loaded = store.load_latest(
+            on_corrupt=lambda step, exc: detected.append(step))
+        if loaded is None or loaded[0] != older or detected != [newest]:
+            findings.append(_finding(
+                "HLT005", "fault-free",
+                f"truncated checkpoint {newest} not detected with "
+                f"fallback to {older} (got {loaded and loaded[0]}, "
+                f"detected={detected})"))
+        else:
+            resumed = _trainer(None)
+            resumed.restore_state(loaded[1])
+            if _run(resumed, 4) != base_losses:
+                findings.append(_finding(
+                    "HLT005", "fault-free",
+                    f"training resumed from fallback checkpoint {older} "
+                    f"was not bit-identical to a direct restore"))
+
+        # 2) garbled payload byte in the (intact) older checkpoint
+        path = store.path_for(older)
+        raw = bytearray(open(path, "rb").read())
+        raw[-20] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(raw)
+        try:
+            store.load(older)
+            findings.append(_finding(
+                "HLT005", "fault-free",
+                f"garbled payload byte in checkpoint {older} not "
+                f"detected by CRC validation"))
+        except CheckpointCorrupt:
+            pass
+
+        # 3) a stray .tmp from a killed writer must never be loaded and
+        #    must be swept by the next save
+        stray = os.path.join(tmp, "ckpt-99999999.ckpt.tmp")
+        with open(stray, "wb") as fh:
+            fh.write(b"half-written garbage")
+        if 99999999 in store.steps():
+            findings.append(_finding(
+                "HLT005", "fault-free",
+                "a .tmp staging file is visible as a checkpoint"))
+        store.save({"x": np.zeros(4, dtype=np.float32)}, 12)
+        if os.path.exists(stray):
+            findings.append(_finding(
+                "HLT005", "fault-free",
+                "stray .tmp from a killed writer survived the next save"))
+    return findings
+
+
+def verify_health() -> list[Finding]:
+    """Run the full HLT battery."""
+    findings: list[Finding] = []
+    findings.extend(verify_detector_soundness())
+    findings.extend(verify_detection_latency())
+    findings.extend(verify_supervised_recovery())
+    findings.extend(verify_resume_determinism())
+    findings.extend(verify_store_crash_safety())
+    return findings

@@ -103,8 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--shapes", action="store_true",
                      help="run only the shape/dtype pipeline interpreter "
                           "(combines with the other pass flags)")
+    ana.add_argument("--health", action="store_true",
+                     help="run only the failure-detection battery "
+                          "(combines with the other pass flags)")
     ana.add_argument("--all", dest="all_passes", action="store_true",
-                     help="run every battery, including plans and shapes")
+                     help="run every battery, including plans, shapes "
+                          "and health")
 
     flt = sub.add_parser("faults",
                          help="run a named chaos campaign against real "
@@ -126,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fail the run when a retry budget is exhausted")
     flt.add_argument("--log", default=None,
                      help="write the canonical fault event log (JSON) here")
+    flt.add_argument("--supervised", action="store_true",
+                     help="recover via the heartbeat-driven supervisor "
+                          "(observations only) instead of the plan oracle")
+    flt.add_argument("--checkpoint-dir", default=None,
+                     help="durable checkpoint store directory "
+                          "(supervised mode; enables escalation restore)")
+    flt.add_argument("--keep", type=int, default=3,
+                     help="checkpoints retained in the store (default 3)")
     return parser
 
 
@@ -287,6 +299,8 @@ def _cmd_analyze(args, out) -> int:
         argv.append("--plans")
     if args.shapes:
         argv.append("--shapes")
+    if args.health:
+        argv.append("--health")
     if args.all_passes:
         argv.append("--all")
     return analysis_main(argv, out=out)
@@ -329,15 +343,23 @@ def _cmd_faults(args, out) -> int:
                             eval_every=max(1, args.steps))
     task = make_task(args.family, batch_size=recipe.batch_size,
                      **recipe.kwargs())
+    store = None
+    if args.checkpoint_dir:
+        from repro.faults import CheckpointStore
+
+        store = CheckpointStore(args.checkpoint_dir, keep=args.keep)
     trainer = DataParallelTrainer(task, world_size=args.world, config=config,
                                   recipe=recipe, seed=args.seed,
-                                  fault_plan=plan, policy=policy)
+                                  fault_plan=plan, policy=policy,
+                                  supervised=args.supervised, store=store)
     faulty = trainer.train(steps=args.steps, eval_every=max(1, args.steps))
     runtime = trainer.fault_runtime
     assert runtime is not None
 
+    recovery = "supervised (heartbeat detector)" if args.supervised \
+        else "oracle-driven"
     print(f"campaign   {plan.name} (world={plan.world}, seed={plan.seed}, "
-          f"{len(plan.events)} event(s))", file=out)
+          f"{len(plan.events)} event(s)), recovery {recovery}", file=out)
     print(f"training   {args.family} x{args.world}, {args.steps} steps, "
           f"qsgd {args.bits}-bit", file=out)
     print(f"loss       fault-free {baseline.final_loss:.4f}  ->  "
@@ -348,9 +370,13 @@ def _cmd_faults(args, out) -> int:
     summary = faulty.fault_summary or {}
     for name in ("deliveries", "lost", "corrupt_detected", "retries",
                  "retransmit_bytes", "forced_deliveries", "quorum_steps",
-                 "crashes", "rejoins", "checkpoint_restores"):
+                 "crashes", "rejoins", "checkpoint_restores",
+                 "heartbeats", "heartbeat_misses", "suspected_crashes",
+                 "false_suspicions", "rejoin_admissions",
+                 "straggler_demotions", "escalations", "oracle_reads",
+                 "store_writes", "store_corrupt_detected"):
         if summary.get(name):
-            print(f"  {name:20s} {summary[name]}", file=out)
+            print(f"  {name:22s} {summary[name]}", file=out)
     if args.log:
         with open(args.log, "wb") as handle:
             handle.write(runtime.log_bytes())

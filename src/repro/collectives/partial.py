@@ -15,6 +15,8 @@ Data path here; the timed schedule lives in
 
 from __future__ import annotations
 
+import ast
+
 import numpy as np
 
 from repro.compression import Compressor
@@ -122,6 +124,19 @@ class PartialAllreduce:
     def has_carries(self) -> bool:
         """Whether any rank still holds banked (undelivered) gradient."""
         return bool(self._carry)
+
+    def carry_state(self) -> dict[str, np.ndarray]:
+        """Checkpointable snapshot of the carry buffers.
+
+        Keys are ``repr()``-encoded so the mapping survives a JSON
+        manifest round-trip; :meth:`load_carry_state` decodes them.
+        """
+        return {repr(k): v.copy() for k, v in self._carry.items()}
+
+    def load_carry_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore carry buffers captured by :meth:`carry_state`."""
+        self._carry = {ast.literal_eval(k): np.asarray(v, dtype=np.float32).copy()
+                       for k, v in state.items()}
 
     def carry_norm(self, key: str, rank: int) -> float:
         carry = self._carry.get((key, rank))

@@ -10,6 +10,8 @@ model and training stalls, which our tests verify.
 
 from __future__ import annotations
 
+import ast
+
 import numpy as np
 
 from .base import Compressed, CompressionSpec, Compressor
@@ -88,6 +90,22 @@ class ErrorFeedback:
         carry across parameter changes (density, bits) unscaled.
         """
         self._residuals.update(other._residuals)
+
+    def residual_state(self) -> dict:
+        """Checkpointable snapshot of the residuals.
+
+        Keys are ``repr()``-encoded (they are tuples of strings/ints in
+        practice) so the mapping survives a JSON manifest round-trip;
+        :meth:`load_residual_state` decodes them.
+        """
+        return {repr(k): v.copy() for k, v in self._residuals.items()}
+
+    def load_residual_state(self, state: dict) -> None:
+        """Restore residuals captured by :meth:`residual_state`."""
+        self._residuals = {
+            ast.literal_eval(k): np.asarray(v, dtype=np.float32).copy()
+            for k, v in state.items()
+        }
 
     def residual_norm(self, key) -> float:
         residual = self._residuals.get(key)

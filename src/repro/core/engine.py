@@ -81,6 +81,9 @@ class CommunicationEngine:
         # per-package quorum reducers, created on first degraded step so
         # carry buffers persist until the skipped mass has drained
         self._partials: dict[str, PartialAllreduce] = {}
+        # residuals restored from a checkpoint before their package's
+        # compressor exists; consumed lazily by _compressor_for
+        self._pending_residuals: dict[str, dict] = {}
 
     # -- planning ----------------------------------------------------------
     def plan(self, layers: list[LayerInfo], mode: str = "cgx") -> list[Package]:
@@ -148,7 +151,43 @@ class CommunicationEngine:
                     fresh.adopt_residuals(comp)
             self._compressors[package.name] = fresh
             comp = fresh
+        if isinstance(comp, ErrorFeedback) \
+                and package.name in self._pending_residuals:
+            comp.load_residual_state(
+                self._pending_residuals.pop(package.name))
         return comp
+
+    # -- checkpointable state ------------------------------------------------
+    def state_dict(self) -> dict:
+        """Stateful pieces of the engine: EF residuals, quorum carries.
+
+        Everything else the engine holds (plans, compressor caches) is
+        a pure function of the config and layer list, so this plus the
+        config is enough for bit-identical resume.
+        """
+        residuals = {name: comp.residual_state()
+                     for name, comp in sorted(self._compressors.items())
+                     if isinstance(comp, ErrorFeedback)}
+        for name, pending in self._pending_residuals.items():
+            residuals.setdefault(name, dict(pending))
+        partials = {name: {"world": reducer.world,
+                           "carries": reducer.carry_state()}
+                    for name, reducer in sorted(self._partials.items())}
+        return {"error_feedback": residuals, "partials": partials}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (fresh or live engine)."""
+        self._partials = {}
+        for name, entry in state.get("partials", {}).items():
+            reducer = PartialAllreduce(int(entry["world"]))
+            reducer.load_carry_state(entry["carries"])
+            self._partials[name] = reducer
+        self._pending_residuals = {name: dict(res) for name, res
+                                   in state.get("error_feedback", {}).items()}
+        for name, comp in self._compressors.items():
+            if isinstance(comp, ErrorFeedback) \
+                    and name in self._pending_residuals:
+                comp.load_residual_state(self._pending_residuals.pop(name))
 
     def reduce(
         self,

@@ -1,11 +1,13 @@
 """repro.faults: deterministic fault injection + resilience runtime.
 
-The subsystem has four layers, mirroring the paper's separation of
+The subsystem has six layers, mirroring the paper's separation of
 mechanism and policy:
 
 * :mod:`~repro.faults.plan` — declarative, seeded fault plans (pure
   data) and the :class:`PlanRuntime` that binds one to a generator and
-  a byte-reproducible event log.  Named chaos campaigns live here.
+  a byte-reproducible event log.  Named chaos campaigns live here, as
+  does the :func:`oracle_guard` tripwire separating simulation physics
+  from recovery decisions.
 * :mod:`~repro.faults.policy` — the recovery knobs
   (:class:`ResiliencePolicy`), campaign accounting
   (:class:`FaultCounters`), and the pure decision functions
@@ -13,24 +15,41 @@ mechanism and policy:
 * :mod:`~repro.faults.inject` — the hooks that make both execution
   paths observe a plan: :class:`FaultChannel` for the real-numpy
   collectives and :class:`FaultyNetwork` for the timed makespan model.
+* :mod:`~repro.faults.health` — the ``repro.health`` surface:
+  heartbeat transport, per-rank phi-accrual failure detection, and the
+  observation-driven :class:`Supervisor` (crash suspicion, straggler
+  demotion, rejoin admission, checkpoint-restore escalation).
+* :mod:`~repro.faults.store` — crash-consistent durable checkpoints
+  (atomic rename, per-blob CRC32, retention, corruption fallback).
 * :mod:`~repro.faults.validate` — analysis rules (FLT001..FLT004)
-  proving injection cannot mask schedule bugs or break reproducibility.
+  proving injection cannot mask schedule bugs or break reproducibility;
+  the health battery (HLT001..HLT005) lives in
+  :mod:`repro.analysis.health`.
 """
 
+from .health import (VERDICTS, HealthMonitor, HealthPolicy,
+                     HeartbeatTransport, PhiAccrualDetector, RankHealth,
+                     Supervisor, SupervisorDecision)
 from .inject import (FaultChannel, FaultyNetwork, corrupt_payload,
                      inject_data_path, payload_crc)
 from .plan import (CAMPAIGNS, FaultEvent, FaultPlan, FaultRecord, PlanRuntime,
                    StepFaults, crash, link_outage, link_slowdown,
-                   make_campaign, message_loss, payload_corruption, straggler)
+                   make_campaign, message_loss, oracle_guard,
+                   payload_corruption, straggler)
 from .policy import (FaultBudgetExceeded, FaultCounters, LinkDownError,
                      ResiliencePolicy, plan_fallback, select_participants)
+from .store import CheckpointCorrupt, CheckpointStore
 
 __all__ = [
     "FaultEvent", "FaultPlan", "StepFaults", "FaultRecord", "PlanRuntime",
     "link_slowdown", "link_outage", "message_loss", "payload_corruption",
-    "straggler", "crash", "CAMPAIGNS", "make_campaign",
+    "straggler", "crash", "CAMPAIGNS", "make_campaign", "oracle_guard",
     "ResiliencePolicy", "FaultCounters", "FaultBudgetExceeded",
     "LinkDownError", "select_participants", "plan_fallback",
     "FaultChannel", "FaultyNetwork", "inject_data_path", "payload_crc",
     "corrupt_payload",
+    "VERDICTS", "HealthPolicy", "PhiAccrualDetector", "RankHealth",
+    "HealthMonitor", "HeartbeatTransport", "Supervisor",
+    "SupervisorDecision",
+    "CheckpointStore", "CheckpointCorrupt",
 ]

@@ -197,6 +197,30 @@ class FaultyNetwork(Network):
             runtime.counters.retransmit_bytes += nbytes
             t = end + policy.timeout + policy.backoff(attempt)
 
+    def transfer_unreliable(self, src: int, dst: int, nbytes: int,
+                            ready: float) -> float | None:
+        """One-shot datagram delivery: the arrival time, or ``None``.
+
+        Unlike :meth:`transfer` (which retries until delivery, stream
+        semantics), this makes a single attempt — a downed route or a
+        loss/corruption draw simply drops the message.  Heartbeats use
+        this: silence is the failure signal, so a transport that never
+        gives up would hide exactly what the detector listens for.
+        """
+        if src == dst:
+            return ready
+        runtime = self.runtime
+        faults = runtime.faults()
+        if faults.route_down(src, dst):
+            return None
+        slow = faults.link_slow_factor(src, dst)
+        p_fail = 1.0 - (1.0 - faults.loss_probability(src, dst)) \
+            * (1.0 - faults.corrupt_probability(src, dst))
+        end = self._traverse(src, dst, nbytes, ready, slow)
+        if p_fail > 0.0 and float(runtime.rng.random()) < p_fail:
+            return None
+        return end
+
     def _traverse(self, src: int, dst: int, nbytes: int, ready: float,
                   slow: float) -> float:
         """One store-and-forward traversal with a slowdown factor."""

@@ -17,8 +17,10 @@ recovery knobs live in :mod:`repro.faults.policy`.
 
 from __future__ import annotations
 
+import contextlib
 import json
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -28,7 +30,7 @@ __all__ = [
     "FAULT_KINDS", "FaultEvent", "FaultPlan", "StepFaults", "FaultRecord",
     "PlanRuntime", "link_slowdown", "link_outage", "message_loss",
     "payload_corruption", "straggler", "crash",
-    "CAMPAIGNS", "make_campaign",
+    "CAMPAIGNS", "make_campaign", "oracle_guard",
 ]
 
 #: every fault class the engine can inject
@@ -175,6 +177,36 @@ class FaultPlan:
         return FaultPlan(data["name"], data["world"], data["seed"], events)
 
 
+# -- oracle tripwire ---------------------------------------------------------
+#
+# The fault plan is the simulation's *physics*: injectors and transports
+# legitimately read it to decide what actually happens.  Recovery
+# *decisions* in supervised mode must not — they may only see observed
+# heartbeats.  The guard makes that auditable: code wrapped in
+# ``oracle_guard()`` collects the name of every StepFaults query issued
+# while it is active, and the HLT battery asserts the list stays empty.
+
+_ORACLE_GUARD: list[str] | None = None
+
+
+@contextlib.contextmanager
+def oracle_guard() -> Iterator[list[str]]:
+    """Record every :class:`StepFaults` oracle query made inside."""
+    global _ORACLE_GUARD
+    prev = _ORACLE_GUARD
+    reads: list[str] = []
+    _ORACLE_GUARD = reads
+    try:
+        yield reads
+    finally:
+        _ORACLE_GUARD = prev
+
+
+def _oracle_note(name: str) -> None:
+    if _ORACLE_GUARD is not None:
+        _ORACLE_GUARD.append(name)
+
+
 def _combined_probability(events, kind, src, dst) -> float:
     """1 - prod(1 - p) over matching events (independent hazards)."""
     keep = 1.0
@@ -194,6 +226,7 @@ class StepFaults:
 
     def compute_scale(self, rank: int) -> float:
         """Compute-time multiplier for ``rank`` (1.0 = healthy)."""
+        _oracle_note("compute_scale")
         scale = 1.0
         for event in self.events:
             if event.kind == "straggler" and event.rank == rank:
@@ -201,20 +234,25 @@ class StepFaults:
         return scale
 
     def dead_ranks(self) -> set[int]:
+        _oracle_note("dead_ranks")
         return {e.rank for e in self.events
                 if e.kind == "crash" and e.rank is not None}
 
     def live_ranks(self) -> list[int]:
+        _oracle_note("live_ranks")
         dead = self.dead_ranks()
         return [r for r in range(self.world) if r not in dead]
 
     def loss_probability(self, src: int, dst: int) -> float:
+        _oracle_note("loss_probability")
         return _combined_probability(self.events, "message_loss", src, dst)
 
     def corrupt_probability(self, src: int, dst: int) -> float:
+        _oracle_note("corrupt_probability")
         return _combined_probability(self.events, "payload_corrupt", src, dst)
 
     def link_slow_factor(self, src: int, dst: int) -> float:
+        _oracle_note("link_slow_factor")
         factor = 1.0
         for event in self.events:
             if event.kind == "link_slow" \
@@ -223,11 +261,13 @@ class StepFaults:
         return factor
 
     def route_down(self, src: int, dst: int) -> bool:
+        _oracle_note("route_down")
         return any(e.kind == "link_down"
                    and e.matches_route(src, dst, directed=False)
                    for e in self.events)
 
     def any_faults(self) -> bool:
+        _oracle_note("any_faults")
         return bool(self.events)
 
 

@@ -14,7 +14,7 @@ links).  The mechanisms that *apply* these decisions are in
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,6 +41,9 @@ class ResiliencePolicy:
         timeout: seconds a timed sender waits before declaring a loss.
         backoff_base: first retry delay (seconds, timed path).
         backoff_factor: multiplier per further retry (exponential).
+        backoff_max: cap on any single retry delay — exponential growth
+            is unbounded otherwise, and a mistuned ``backoff_factor``
+            must degrade to steady retries, not multi-second stalls.
         crc_check: verify payload CRCs and retransmit on mismatch; with
             this off, corrupted payloads are *delivered* and training
             absorbs the error.
@@ -57,6 +60,7 @@ class ResiliencePolicy:
     timeout: float = 2e-3
     backoff_base: float = 1e-3
     backoff_factor: float = 2.0
+    backoff_max: float = 0.25
     crc_check: bool = True
     straggler_budget: float = 2.0
     min_quorum_fraction: float = 0.5
@@ -65,14 +69,24 @@ class ResiliencePolicy:
     def __post_init__(self):
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        for name in ("timeout", "backoff_base", "backoff_factor",
+                     "backoff_max"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.backoff_max < self.backoff_base:
+            raise ValueError("backoff_max must be >= backoff_base")
         if not 0.0 < self.min_quorum_fraction <= 1.0:
             raise ValueError("min_quorum_fraction must be in (0, 1]")
         if self.straggler_budget < 1.0:
             raise ValueError("straggler_budget must be >= 1")
 
     def backoff(self, attempt: int) -> float:
-        """Delay before retry ``attempt`` (1-based), in seconds."""
-        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+        """Delay before retry ``attempt`` (1-based), in seconds.
+
+        Exponential in ``attempt`` but capped at ``backoff_max``.
+        """
+        return min(self.backoff_base * self.backoff_factor ** (attempt - 1),
+                   self.backoff_max)
 
 
 @dataclass
@@ -92,22 +106,31 @@ class FaultCounters:
     rejoins: int = 0
     crashed_steps: int = 0       # steps with at least one dead rank
     checkpoint_restores: int = 0
+    # health-layer accounting (supervised mode)
+    heartbeats: int = 0          # beats that reached the monitor
+    heartbeat_misses: int = 0    # beats lost in flight
+    suspected_crashes: int = 0   # detector-driven crash verdicts acted on
+    false_suspicions: int = 0    # suspected crashed while actually alive
+    rejoin_admissions: int = 0   # ranks re-admitted by the supervisor
+    straggler_demotions: int = 0
+    escalations: int = 0         # checkpoint-restore escalations taken
+    oracle_reads: int = 0        # StepFaults reads on the decision path
+    store_writes: int = 0        # durable checkpoints published
+    store_corrupt_detected: int = 0
     extra: dict = field(default_factory=dict)
 
+    # counter fields are everything except the free-form ``extra`` dict;
+    # derived from the dataclass itself so a new counter cannot be
+    # silently dropped from merge()/to_dict()
+    def _counter_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in fields(self) if f.name != "extra")
+
     def merge(self, other: "FaultCounters") -> None:
-        for name in ("deliveries", "lost", "corrupt_detected",
-                     "corrupt_delivered", "retries", "retransmit_bytes",
-                     "forced_deliveries", "quorum_steps", "fallbacks",
-                     "crashes", "rejoins", "crashed_steps",
-                     "checkpoint_restores"):
+        for name in self._counter_names():
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def to_dict(self) -> dict:
-        out = {name: getattr(self, name) for name in (
-            "deliveries", "lost", "corrupt_detected", "corrupt_delivered",
-            "retries", "retransmit_bytes", "forced_deliveries",
-            "quorum_steps", "fallbacks", "crashes", "rejoins",
-            "crashed_steps", "checkpoint_restores")}
+        out = {name: getattr(self, name) for name in self._counter_names()}
         out.update(self.extra)
         return out
 

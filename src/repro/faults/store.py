@@ -1,0 +1,216 @@
+"""Crash-consistent durable checkpoint store.
+
+A checkpoint that dies with the process it was meant to protect is
+worthless, so every write here is torn-write-safe: the file is staged
+as ``<name>.tmp``, flushed and fsync'd, then published with an atomic
+:func:`os.replace`.  A reader can never observe a half-written
+checkpoint under its final name; a crash mid-write leaves only a stray
+``.tmp`` that the next save sweeps away.
+
+On-disk format (single self-validating file per checkpoint)::
+
+    magic    4 bytes   b"RPH1"
+    mlen     8 bytes   little-endian manifest length
+    manifest mlen      JSON: schema version, step, object skeleton,
+                       per-blob name/dtype/shape/offset/nbytes/crc32
+    mcrc     4 bytes   little-endian CRC32 of the manifest bytes
+    payload  variable  all array blobs, concatenated
+
+Every array's bytes carry their own CRC32 and the manifest carries its
+own, so truncation, bit-rot, and garbled regions are all detected at
+load time (:class:`CheckpointCorrupt`).  :meth:`CheckpointStore.load_latest`
+walks checkpoints newest-first and falls back to the newest *valid*
+one, which is the recovery contract the supervisor's escalation path
+relies on.  The store retains the last ``keep`` checkpoints.
+
+State capture is a JSON-compatible skeleton in which every
+:class:`numpy.ndarray` is swapped for a blob reference; everything the
+trainer needs for bit-identical resume (weights, optimizer state, step
+index, RNG stream states, data-order cursor, engine residual/carry
+state) fits this shape.  JSON round-trips dict keys as strings and
+tuples as lists; callers that need richer keys encode them themselves
+(the optimizer and engine state dicts already do).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any
+
+import numpy as np
+
+__all__ = ["MAGIC", "SCHEMA_VERSION", "CheckpointCorrupt", "CheckpointStore"]
+
+MAGIC = b"RPH1"
+SCHEMA_VERSION = 1
+_BLOB_KEY = "__blob__"
+
+
+class CheckpointCorrupt(RuntimeError):
+    """A checkpoint file failed validation (torn write, bit-rot, ...)."""
+
+
+def _flatten(node: Any, blobs: list[np.ndarray]) -> Any:
+    """Replace every ndarray in a nested structure by a blob reference."""
+    if isinstance(node, np.ndarray):
+        blobs.append(np.ascontiguousarray(node))
+        return {_BLOB_KEY: len(blobs) - 1}
+    if isinstance(node, np.generic):
+        return node.item()
+    if isinstance(node, dict):
+        if _BLOB_KEY in node:
+            raise ValueError(f"state may not contain the key {_BLOB_KEY!r}")
+        return {str(k): _flatten(v, blobs) for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_flatten(v, blobs) for v in node]
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    raise TypeError(f"unsupported state type: {type(node).__name__}")
+
+
+def _unflatten(node: Any, blobs: list[np.ndarray]) -> Any:
+    """Inverse of :func:`_flatten` given the decoded blob list."""
+    if isinstance(node, dict):
+        if set(node) == {_BLOB_KEY}:
+            return blobs[node[_BLOB_KEY]]
+        return {k: _unflatten(v, blobs) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_unflatten(v, blobs) for v in node]
+    return node
+
+
+class CheckpointStore:
+    """Durable, self-validating checkpoints under one directory."""
+
+    def __init__(self, root: str, keep: int = 3):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.root = root
+        self.keep = keep
+        os.makedirs(root, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------
+
+    def path_for(self, step: int) -> str:
+        return os.path.join(self.root, f"ckpt-{step:08d}.ckpt")
+
+    def steps(self) -> list[int]:
+        """Steps with a published checkpoint file, ascending."""
+        out = []
+        for name in os.listdir(self.root):
+            if name.startswith("ckpt-") and name.endswith(".ckpt"):
+                try:
+                    out.append(int(name[5:-5]))
+                except ValueError:
+                    continue
+        return sorted(out)
+
+    # -- write ---------------------------------------------------------
+
+    def save(self, state: Any, step: int) -> str:
+        """Atomically persist ``state`` for ``step``; returns the path."""
+        blobs: list[np.ndarray] = []
+        skeleton = _flatten(state, blobs)
+        offset = 0
+        entries = []
+        for i, arr in enumerate(blobs):
+            raw = arr.tobytes()
+            entries.append({
+                "name": f"blob{i}",
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+                "nbytes": len(raw),
+                "crc32": zlib.crc32(raw),
+            })
+            offset += len(raw)
+        manifest = json.dumps({
+            "schema": SCHEMA_VERSION,
+            "step": step,
+            "state": skeleton,
+            "blobs": entries,
+            "payload_nbytes": offset,
+        }, sort_keys=True).encode()
+
+        final = self.path_for(step)
+        tmp = final + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(len(manifest).to_bytes(8, "little"))
+            fh.write(manifest)
+            fh.write(zlib.crc32(manifest).to_bytes(4, "little"))
+            for arr in blobs:
+                fh.write(arr.tobytes())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        steps = self.steps()
+        for step in steps[:-self.keep] if len(steps) > self.keep else []:
+            os.remove(self.path_for(step))
+        for name in os.listdir(self.root):
+            if name.endswith(".ckpt.tmp"):   # stray torn write
+                os.remove(os.path.join(self.root, name))
+
+    # -- read ----------------------------------------------------------
+
+    def load(self, step: int) -> Any:
+        """Load and fully validate the checkpoint for ``step``."""
+        path = self.path_for(step)
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError as exc:
+            raise CheckpointCorrupt(f"{path}: unreadable: {exc}") from exc
+        if len(data) < 16 or data[:4] != MAGIC:
+            raise CheckpointCorrupt(f"{path}: bad magic")
+        mlen = int.from_bytes(data[4:12], "little")
+        head = 12 + mlen + 4
+        if len(data) < head:
+            raise CheckpointCorrupt(f"{path}: truncated manifest")
+        manifest_raw = data[12:12 + mlen]
+        mcrc = int.from_bytes(data[12 + mlen:head], "little")
+        if zlib.crc32(manifest_raw) != mcrc:
+            raise CheckpointCorrupt(f"{path}: manifest CRC mismatch")
+        manifest = json.loads(manifest_raw)
+        if manifest.get("schema") != SCHEMA_VERSION:
+            raise CheckpointCorrupt(
+                f"{path}: schema {manifest.get('schema')!r} != "
+                f"{SCHEMA_VERSION}")
+        payload = data[head:]
+        if len(payload) != manifest["payload_nbytes"]:
+            raise CheckpointCorrupt(
+                f"{path}: payload is {len(payload)} bytes, manifest "
+                f"says {manifest['payload_nbytes']}")
+        blobs: list[np.ndarray] = []
+        for entry in manifest["blobs"]:
+            raw = payload[entry["offset"]:entry["offset"] + entry["nbytes"]]
+            if len(raw) != entry["nbytes"]:
+                raise CheckpointCorrupt(
+                    f"{path}: blob {entry['name']} truncated")
+            if zlib.crc32(raw) != entry["crc32"]:
+                raise CheckpointCorrupt(
+                    f"{path}: blob {entry['name']} CRC mismatch")
+            arr = np.frombuffer(raw, dtype=np.dtype(entry["dtype"]))
+            blobs.append(arr.reshape(entry["shape"]).copy())
+        return _unflatten(manifest["state"], blobs)
+
+    def load_latest(self, on_corrupt: Any = None) -> tuple[int, Any] | None:
+        """Newest *valid* checkpoint as ``(step, state)``, or ``None``.
+
+        Corrupt files are skipped (newest-first) rather than fatal;
+        ``on_corrupt(step, exc)`` is invoked for each one so callers
+        can count or log the detection.
+        """
+        for step in reversed(self.steps()):
+            try:
+                return step, self.load(step)
+            except CheckpointCorrupt as exc:
+                if on_corrupt is not None:
+                    on_corrupt(step, exc)
+        return None

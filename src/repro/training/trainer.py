@@ -18,8 +18,10 @@ import numpy as np
 
 from repro.core import AdaptiveController, CGXConfig, \
     CGXDistributedDataParallel
-from repro.faults import (FaultPlan, PlanRuntime, ResiliencePolicy,
-                          inject_data_path, select_participants)
+from repro.faults import (CheckpointStore, FaultPlan, HealthMonitor,
+                          HealthPolicy, HeartbeatTransport, PlanRuntime,
+                          ResiliencePolicy, Supervisor, inject_data_path,
+                          oracle_guard, select_participants)
 from repro.nn.amp import AmpLevel, apply_grad_precision
 from repro.nn.optim import Adam, SGD, clip_grad_norm
 
@@ -27,6 +29,17 @@ from .recipes import Recipe, get_recipe
 from .tasks import Task, make_task
 
 __all__ = ["TrainResult", "DataParallelTrainer", "train_family"]
+
+
+def _clone_tree(node):
+    """Deep-copy every ndarray in a nested snapshot structure."""
+    if isinstance(node, np.ndarray):
+        return node.copy()
+    if isinstance(node, dict):
+        return {k: _clone_tree(v) for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_clone_tree(v) for v in node]
+    return node
 
 
 @dataclass
@@ -63,6 +76,9 @@ class DataParallelTrainer:
         amp_level: AmpLevel = AmpLevel.O0,
         fault_plan: FaultPlan | None = None,
         policy: ResiliencePolicy | None = None,
+        supervised: bool = False,
+        health: HealthPolicy | None = None,
+        store: CheckpointStore | None = None,
     ):
         self.task = task
         self.recipe = recipe or get_recipe(task.name)
@@ -77,13 +93,33 @@ class DataParallelTrainer:
         self.optimizers = [self._make_optimizer(r) for r in self.replicas]
         self._rng = np.random.default_rng(seed + 1)
         self.fault_runtime: PlanRuntime | None = None
+        if supervised and fault_plan is None:
+            # supervised mode always runs the health loop, even with
+            # nothing injected (the zero-false-positive baseline)
+            fault_plan = FaultPlan("fault-free", world_size, seed)
         if fault_plan is not None:
             if fault_plan.world != world_size:
                 raise ValueError(
                     f"fault plan is for world {fault_plan.world}, "
                     f"trainer has {world_size} workers")
             self.fault_runtime = PlanRuntime(fault_plan, policy)
+        self.supervised = supervised
+        self.health = health or HealthPolicy()
+        self.store = store
+        self.heartbeat: HeartbeatTransport | None = None
+        self.monitor: HealthMonitor | None = None
+        self.supervisor: Supervisor | None = None
+        if supervised:
+            assert self.fault_runtime is not None
+            self.heartbeat = HeartbeatTransport(self.fault_runtime,
+                                                world_size, self.health)
+            self.monitor = HealthMonitor(world_size, self.health)
+            self.supervisor = Supervisor(world_size,
+                                         self.fault_runtime.policy,
+                                         self.health, self.fault_runtime)
+        self._pending_escalation = False
         self._step_index = 0
+        self._batches_drawn = 0
         self._dead_prev: set[int] = set()
 
     def _make_optimizer(self, replica):
@@ -104,7 +140,18 @@ class DataParallelTrainer:
         budget are demoted to the carry-buffer quorum, and the mean is
         re-normalized over the contributing ranks.  Rejoining ranks
         adopt a live peer's weights and optimizer state before the step.
+
+        In ``supervised`` mode the recovery decisions above come from
+        the heartbeat-fed :class:`~repro.faults.health.Supervisor`
+        instead of the plan oracle: the plan still *causes* crashes and
+        slowdowns (it is the physics), but membership, demotion, rejoin
+        admission and escalation are driven purely by observed beats —
+        an :func:`~repro.faults.plan.oracle_guard` tripwire counts any
+        plan query made on the decision path into
+        ``counters.oracle_reads`` (certified zero by HLT003).
         """
+        if self._pending_escalation:
+            self._restore_from_store()
         self._step_index += 1
         runtime = self.fault_runtime
         participants: list[int] | None = None
@@ -113,6 +160,32 @@ class DataParallelTrainer:
         if runtime is not None:
             faults = runtime.advance(self._step_index)
             dead = faults.dead_ranks()
+        if self.supervised:
+            assert runtime is not None and self.heartbeat is not None \
+                and self.monitor is not None and self.supervisor is not None
+            arrivals = self.heartbeat.beats(self._step_index)
+            with oracle_guard() as reads:
+                cards = self.monitor.observe(self._step_index, arrivals)
+                decision = self.supervisor.decide(self._step_index, cards)
+            runtime.counters.oracle_reads += len(reads)
+            # accounting (not a decision): a fresh suspicion of a rank
+            # that is actually alive is a false positive
+            for rank in decision.newly_suspected:
+                if rank not in dead:
+                    runtime.counters.false_suspicions += 1
+            for rank in decision.admitted:
+                self._adopt_peer_state(rank, set(decision.believed_dead))
+            self._dead_prev = set(decision.believed_dead)
+            if len(decision.participants) < self.world_size:
+                participants = list(decision.participants)
+                runtime.counters.quorum_steps += 1
+            if decision.believed_dead:
+                average_over = self.world_size - len(decision.believed_dead)
+            if decision.escalate:
+                runtime.counters.escalations += 1
+                if self.store is not None:
+                    self._pending_escalation = True
+        elif runtime is not None:
             for rank in sorted(self._dead_prev - dead):
                 self._adopt_peer_state(rank, dead)
             self._dead_prev = dead
@@ -129,6 +202,7 @@ class DataParallelTrainer:
             if rank in dead:
                 continue  # crashed: no compute, zero contribution
             batch = self.task.sample_batch(self._rng)
+            self._batches_drawn += 1
             logits = replica(batch[0])
             loss, grad = self.task.loss_and_grad(logits, batch)
             replica.backward(grad)
@@ -158,6 +232,12 @@ class DataParallelTrainer:
         for rank, optimizer in enumerate(self.optimizers):
             if rank not in dead:
                 optimizer.step()
+        if self.supervised and self.store is not None \
+                and self._step_index % self.health.checkpoint_every == 0:
+            self.store.save(self.capture_state(), self._step_index)
+            if runtime is not None:
+                runtime.counters.store_writes += 1
+                runtime.record("store_write")
         return float(np.mean(losses))
 
     # -- fault recovery ----------------------------------------------------
@@ -180,11 +260,16 @@ class DataParallelTrainer:
                                       source=source)
 
     def checkpoint(self) -> dict:
-        """Snapshot replica 0's weights + optimizer state (all in-sync)."""
+        """Snapshot replica 0's weights + optimizer state (all in-sync).
+
+        Every array in the snapshot is deep-copied: an optimizer whose
+        ``state_dict`` hands back live buffers must not let later
+        training mutate a checkpoint taken earlier.
+        """
         weights = {name: param.data.copy()
                    for name, param in self.replicas[0].named_parameters()}
         return {"step": self._step_index, "weights": weights,
-                "optimizer": self.optimizers[0].state_dict()}
+                "optimizer": _clone_tree(self.optimizers[0].state_dict())}
 
     def restore(self, snapshot: dict) -> None:
         """Reset every replica to a :meth:`checkpoint` snapshot."""
@@ -196,6 +281,72 @@ class DataParallelTrainer:
         self._step_index = int(snapshot["step"])
         if self.fault_runtime is not None:
             self.fault_runtime.counters.checkpoint_restores += 1
+
+    # -- durable full-state checkpoints ------------------------------------
+    def capture_state(self) -> dict:
+        """Everything bit-identical resume needs, in store-compatible form.
+
+        Per-rank weights and optimizer state (crashed ranks' state is
+        legitimately stale), the step index, the data-order cursor, both
+        RNG stream states, and the engine's stateful pieces (error-
+        feedback residuals, quorum carry buffers).
+        """
+        return {
+            "schema": 1,
+            "step": self._step_index,
+            "batches_drawn": self._batches_drawn,
+            "weights": [
+                {name: param.data.copy()
+                 for name, param in replica.named_parameters()}
+                for replica in self.replicas
+            ],
+            "optimizers": [_clone_tree(opt.state_dict())
+                           for opt in self.optimizers],
+            "trainer_rng": self._rng.bit_generator.state,
+            "ddp_rng": self.ddp.rng.bit_generator.state,
+            "engine": self.ddp.engine.state_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`capture_state` (works on a fresh trainer)."""
+        for rank, (replica, optimizer) in enumerate(
+                zip(self.replicas, self.optimizers)):
+            weights = state["weights"][rank]
+            for name, param in replica.named_parameters():
+                param.data[...] = weights[name]
+                param.grad = None
+            optimizer.load_state_dict(state["optimizers"][rank])
+        self._step_index = int(state["step"])
+        self._batches_drawn = int(state["batches_drawn"])
+        self._rng.bit_generator.state = state["trainer_rng"]
+        self.ddp.rng.bit_generator.state = state["ddp_rng"]
+        self.ddp.engine.load_state_dict(state["engine"])
+
+    def _restore_from_store(self) -> None:
+        """Deferred escalation: rewind to the newest valid checkpoint."""
+        self._pending_escalation = False
+        runtime = self.fault_runtime
+        if self.store is None:
+            return
+
+        def note_corrupt(step: int, exc: Exception) -> None:
+            if runtime is not None:
+                runtime.counters.store_corrupt_detected += 1
+                runtime.record("store_corrupt", restore_step=step)
+
+        loaded = self.store.load_latest(on_corrupt=note_corrupt)
+        if loaded is None:
+            return
+        step, state = loaded
+        self.restore_state(state)
+        if self.monitor is not None:
+            self.monitor.reset()
+        if self.supervisor is not None:
+            self.supervisor.reset()
+        self._dead_prev = set()
+        if runtime is not None:
+            runtime.counters.checkpoint_restores += 1
+            runtime.record("escalation_restore", restore_step=step)
 
     def train(self, steps: int | None = None,
               eval_every: int = 25) -> TrainResult:
@@ -241,6 +392,9 @@ def train_family(
     eval_every: int = 25,
     fault_plan: FaultPlan | None = None,
     policy: ResiliencePolicy | None = None,
+    supervised: bool = False,
+    health: HealthPolicy | None = None,
+    store: CheckpointStore | None = None,
 ) -> TrainResult:
     """Convenience: build the task from its recipe and train it.
 
@@ -259,5 +413,6 @@ def train_family(
     trainer = DataParallelTrainer(task, world_size=world_size, config=config,
                                   recipe=recipe, seed=seed, mode=mode,
                                   adaptive=adaptive, fault_plan=fault_plan,
-                                  policy=policy)
+                                  policy=policy, supervised=supervised,
+                                  health=health, store=store)
     return trainer.train(steps=steps, eval_every=eval_every)

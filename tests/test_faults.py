@@ -440,3 +440,120 @@ def test_measure_p2p_bandwidth_is_side_effect_free():
     reference.transfer(0, 1, 1 << 20, 0.0)
     assert net.transfer(0, 1, 1 << 20, end1) \
         == reference.transfer(0, 1, 1 << 20, end1)
+
+
+# -- PR 5 satellites: policy hardening + counters ----------------------------
+
+def test_backoff_is_capped():
+    policy = ResiliencePolicy(backoff_base=1e-3, backoff_factor=2.0,
+                              backoff_max=5e-3)
+    # exponential until the cap, then flat
+    assert policy.backoff(3) == 4e-3
+    assert policy.backoff(4) == 5e-3
+    assert policy.backoff(50) == 5e-3
+    # the default cap never kicks in for the first few attempts
+    assert ResiliencePolicy().backoff(3) == 4e-3
+
+
+def test_policy_validates_timing_knobs():
+    for kwargs in ({"timeout": 0.0}, {"timeout": -1.0},
+                   {"backoff_base": 0.0}, {"backoff_factor": -2.0},
+                   {"backoff_max": 0.0},
+                   {"backoff_base": 1e-2, "backoff_max": 1e-3}):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(**kwargs)
+
+
+def test_fault_counters_round_trip_every_field():
+    import dataclasses
+
+    from repro.faults import FaultCounters
+
+    names = [f.name for f in dataclasses.fields(FaultCounters)
+             if f.name != "extra"]
+    # give every counter a distinct value; merge and to_dict must see all
+    a = FaultCounters(**{name: i + 1 for i, name in enumerate(names)})
+    b = FaultCounters(**{name: 100 for name in names})
+    exported = a.to_dict()
+    assert set(exported) == set(names)
+    assert all(exported[name] == i + 1 for i, name in enumerate(names))
+    a.merge(b)
+    assert all(getattr(a, name) == i + 101 for i, name in enumerate(names))
+
+
+# -- PR 5 satellites: rejoin edge coverage -----------------------------------
+
+def _mlp_trainer(plan, world=4, supervised=False, seed=0):
+    recipe = get_recipe("mlp")
+    task = make_task("mlp", batch_size=recipe.batch_size, **recipe.kwargs())
+    config = CGXConfig(compression=CompressionSpec("qsgd", bits=4))
+    return DataParallelTrainer(task, world_size=world, config=config,
+                               recipe=recipe, seed=seed, fault_plan=plan,
+                               supervised=supervised)
+
+
+def test_adopt_peer_state_with_no_healthy_peer_keeps_stale_weights():
+    # rank 1 rejoins while every other rank is dead: there is no
+    # adoption source, so the stale weights must survive untouched
+    plan = FaultPlan("lonely-rejoin", 2, 0, (crash(rank=1, at=2, rejoin=4),))
+    trainer = _mlp_trainer(plan, world=2)
+    for _ in range(3):
+        trainer.train_step()
+    stale = {name: param.data.copy()
+             for name, param in trainer.replicas[1].named_parameters()}
+    stale_opt = trainer.optimizers[1].state_dict()
+    before = len(trainer.fault_runtime.records)
+    trainer._adopt_peer_state(1, dead={0})   # sole peer is dead
+    for name, param in trainer.replicas[1].named_parameters():
+        np.testing.assert_array_equal(param.data, stale[name])
+    for key, vel in stale_opt["velocity"].items():
+        np.testing.assert_array_equal(
+            trainer.optimizers[1].state_dict()["velocity"][key], vel)
+    # no state transfer happened (stale-weights path)
+    kinds = [r.kind for r in trainer.fault_runtime.records[before:]]
+    assert "state_transfer" not in kinds
+
+
+def test_rank_crashed_from_step_zero_rejoins_later():
+    plan = FaultPlan("born-dead", 4, 0, (crash(rank=2, at=0, rejoin=6),))
+    trainer = _mlp_trainer(plan)
+    losses = [trainer.train_step() for _ in range(10)]
+    assert all(np.isfinite(losses))
+    # on rejoin the newborn rank adopted a trained peer's state
+    records = [r for r in trainer.fault_runtime.records
+               if r.kind == "state_transfer"]
+    assert len(records) == 1 and dict(records[0].detail)["rank"] == 2
+    params2 = dict(trainer.replicas[2].named_parameters())
+    for name, param in trainer.replicas[0].named_parameters():
+        np.testing.assert_array_equal(param.data, params2[name].data)
+
+
+# -- PR 5 satellite: checkpoint snapshots are aliasing-safe ------------------
+
+def test_checkpoint_snapshot_survives_live_state_dict_refs(monkeypatch):
+    """Even an optimizer whose state_dict leaks live buffers must not let
+    later training mutate an earlier checkpoint."""
+    trainer = _mlp_trainer(None, world=2)
+    for _ in range(3):
+        trainer.train_step()
+
+    leaky = trainer.optimizers[0]
+    real_state = leaky.state_dict()
+
+    def live_refs():
+        # hand back the *live* arrays, not copies
+        return {"velocity": leaky._velocity}
+
+    monkeypatch.setattr(leaky, "state_dict", live_refs)
+    snapshot = trainer.checkpoint()
+    monkeypatch.undo()
+    frozen = {k: v.copy() for k, v in snapshot["optimizer"]["velocity"].items()}
+
+    for _ in range(4):
+        trainer.train_step()
+    # training moved the optimizer on; the snapshot must not have moved
+    assert any(not np.array_equal(leaky._velocity[k], frozen[k])
+               for k in frozen)
+    for k, v in frozen.items():
+        np.testing.assert_array_equal(snapshot["optimizer"]["velocity"][k], v)
+    del real_state
