@@ -1,6 +1,6 @@
 """Domain-aware static analysis for the CGX reproduction.
 
-Six pillars (see ``docs/analysis.md``):
+Eight pillars (see ``docs/analysis.md``):
 
 * :mod:`repro.analysis.rules` — an AST linter with repo-specific
   numerical-safety rules (REP001..REP006): float equality, default-dtype
@@ -33,6 +33,17 @@ Six pillars (see ``docs/analysis.md``):
   (model spec × compressor × reduction scheme) triple at full model
   scale, checking coverage, fp32 dtype soundness, wire-size agreement
   and chunk-partition conservation without touching real data.
+* :mod:`repro.analysis.health` — the failure-detection battery
+  (HLT001..HLT005): detector soundness and latency bounds, oracle-free
+  supervised recovery, bit-identical resume, checkpoint crash-safety.
+* :mod:`repro.analysis.liveness` — the deadlock & progress certifier
+  (DLV001..DLV006) over :mod:`repro.analysis.explore`, a small-world
+  DPOR interleaving explorer: per-phase wait-for graphs, orphan
+  endpoints, excluded-rank traffic, termination/conservation under
+  every interleaving at world 2..4, bounded wait under a fair
+  scheduler, and an AST pass for blocking calls that bypass the
+  ``deliver_chunk``/trace hooks — all across fault campaigns
+  (:mod:`repro.faults.cases`).
 
 Run ``python -m repro.analysis`` (or ``python -m repro analyze``); the
 baseline workflow and output formats live in :mod:`repro.analysis.cli`.
@@ -45,7 +56,12 @@ from .abstract import (BehaviorObservation, RoundtripObservation,
 from .baseline import load_baseline, split_baselined, write_baseline
 from .cli import main
 from .contracts import CONTRACT_RULES, check_engine_wiring, verify_contracts
+from .explore import (ExploreResult, FairRunResult, GreedyResult, Op,
+                      build_programs, explore, fair_schedule, greedy_run,
+                      interleaving_bound, phase_segments)
 from .findings import JSON_REPORT_SCHEMA, Finding, sort_findings
+from .liveness import (DLV_RULES, analyze_trace_liveness, lint_blocking,
+                       verify_liveness)
 from .plans import (DEFAULT_ALPHAS, OPTIMALITY_RATCHET, PLAN_RULES,
                     PlanInstance, certify_controller_stability,
                     certify_optimality, certify_plan_contracts,
@@ -79,6 +95,11 @@ __all__ = [
     "SHAPE_RULES", "WireSegment", "SchemeModel", "SCHEME_MODELS",
     "symbolic_payload", "symbolic_wire_bytes", "battery_specs",
     "calibrate_payload_model", "interpret_pipeline", "verify_shapes",
+    "DLV_RULES", "analyze_trace_liveness", "lint_blocking",
+    "verify_liveness",
+    "Op", "GreedyResult", "ExploreResult", "FairRunResult",
+    "build_programs", "phase_segments", "greedy_run", "explore",
+    "fair_schedule", "interleaving_bound",
     "load_baseline", "write_baseline", "split_baselined",
     "main",
 ]

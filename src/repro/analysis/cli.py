@@ -1,6 +1,6 @@
 """Entry point: ``python -m repro.analysis`` / ``repro analyze``.
 
-Runs up to seven passes and reports findings as text or JSON:
+Runs up to eight passes and reports findings as text or JSON:
 
 * **lint** — numerical-safety AST rules (REP) over the given paths;
 * **schedule** — collective-schedule verification (SCH);
@@ -14,11 +14,16 @@ Runs up to seven passes and reports findings as text or JSON:
   execution of every (model x compressor x scheme) wire path;
 * **health** — the failure-detection battery (HLT): detector
   soundness and latency bounds, oracle-free supervised recovery,
-  bit-identical resume, checkpoint-store crash-safety.
+  bit-identical resume, checkpoint-store crash-safety;
+* **liveness** — the deadlock & progress certifier (DLV): wait-for
+  cycles, orphan endpoints and excluded-rank traffic per barrier
+  phase, small-world DPOR interleaving exploration, bounded wait
+  under a fair scheduler, and the blocking-call AST pass.
 
-The first four run by default; ``--all`` runs all seven (the CI
+The first four run by default; ``--all`` runs all eight (the CI
 configuration).  ``--contracts`` / ``--races`` / ``--plans`` /
-``--shapes`` / ``--health`` select *only* the named semantic passes
+``--shapes`` / ``--health`` / ``--liveness`` select *only* the named
+semantic passes
 (they combine with each other); ``--schedule-only`` keeps its PR-1
 meaning (schedule pass alone) and ``--no-schedule`` drops the schedule
 pass from the default set.
@@ -45,7 +50,7 @@ __all__ = ["build_parser", "main", "select_passes"]
 
 PASSES = ("lint", "schedule", "contracts", "races")
 ALL_PASSES = ("lint", "schedule", "contracts", "races", "plans", "shapes",
-              "health")
+              "health", "liveness")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,7 +60,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "collective-schedule verification (SCH), compressor "
                     "contracts (CON), happens-before races (RACE), "
                     "adaptive-plan certification (BWP), shape/dtype "
-                    "pipeline interpretation (SHP).",
+                    "pipeline interpretation (SHP), deadlock/progress "
+                    "certification (DLV).",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to lint (default: src)")
@@ -88,16 +94,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--health", action="store_true",
                         help="run only the failure-detection battery "
                              "(combines with the other pass flags)")
+    parser.add_argument("--liveness", action="store_true",
+                        help="run only the deadlock & progress "
+                             "certifier (combines with the other pass "
+                             "flags)")
     parser.add_argument("--all", dest="all_passes", action="store_true",
                         help="run every battery (lint, schedule, "
-                             "contracts, races, plans, shapes, health)")
+                             "contracts, races, plans, shapes, health, "
+                             "liveness)")
     return parser
 
 
 def select_passes(args: argparse.Namespace) -> tuple[str, ...]:
     """Which passes a parsed command line asks for (see module doc)."""
     named = [name for name in ("contracts", "races", "plans", "shapes",
-                               "health")
+                               "health", "liveness")
              if getattr(args, name)]
     if args.all_passes:
         if args.schedule_only or args.no_schedule or named:
@@ -202,6 +213,10 @@ def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
         from .health import verify_health
 
         findings.extend(verify_health())
+    if "liveness" in passes:
+        from .liveness import verify_liveness
+
+        findings.extend(verify_liveness())
     findings = sort_findings(findings)
 
     if args.write_baseline:

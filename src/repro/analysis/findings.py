@@ -2,8 +2,9 @@
 
 A :class:`Finding` is one diagnostic: a rule id, a location (file:line
 for lint findings; a ``<schedule:scheme@world=N>``, ``<contract:method>``,
-``<race:scheme@world=N>``, ``<plan:solver>`` or ``<shape:model>``
-pseudo-path for the semantic passes) and a message.  Findings carry a stable *fingerprint* so a baseline file can
+``<race:scheme@world=N>``, ``<plan:solver>``, ``<shape:model>`` or
+``<liveness:scheme@world=N/campaign>`` pseudo-path for the semantic
+passes) and a message.  Findings carry a stable *fingerprint* so a baseline file can
 grandfather existing ones while still failing the build on anything new
 (see :mod:`repro.analysis.baseline`).
 """
@@ -36,12 +37,18 @@ class Finding:
     def fingerprint(self) -> str:
         """Location-tolerant identity: survives unrelated line shifts.
 
-        Lint findings hash (rule, path, stripped line text, occurrence
-        index among identical lines); semantic findings (schedule,
-        contract, race) hash (rule, scheme, world, message).
+        Lint findings — and any finding carrying a source snippet, such
+        as the liveness pass's DLV006 file diagnostics — hash (rule,
+        path, stripped line text, occurrence index among identical
+        lines); semantic findings (schedule, contract, race, liveness
+        battery) hash (rule, scheme, world, message).
         """
-        if self.source == "lint":
+        if self.source == "lint" or self.snippet:
             raw = f"{self.rule}|{self.path}|{self.snippet}|{self.occurrence}"
+        elif self.source == "liveness":
+            # the pseudo-path carries the campaign axis, which
+            # scheme/world alone cannot distinguish
+            raw = f"{self.rule}|{self.path}|{self.message}"
         else:
             raw = f"{self.rule}|{self.scheme}|{self.world}|{self.message}"
         return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
@@ -76,6 +83,9 @@ class Finding:
                     f"{self.rule} {self.message}")
         if self.source == "health":
             return (f"health[{self.scheme}@world={self.world}]: "
+                    f"{self.rule} {self.message}")
+        if self.source == "liveness" and not self.snippet:
+            return (f"liveness[{self.scheme}@world={self.world}]: "
                     f"{self.rule} {self.message}")
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
 

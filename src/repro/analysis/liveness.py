@@ -1,0 +1,393 @@
+"""Deadlock & progress certifier (Pillar 8, rules DLV001..DLV006).
+
+The schedule verifier (SCH) proves each scheme's send/recv log is
+*symmetric*; this pass proves the schedules cannot *stop making
+progress* — under fault campaigns that reshape them (retransmits,
+quorum demotion, carry drains, rejoin) and under any rank interleaving
+a real transport's scheduler might pick.
+
+``DLV001``  wait-for cycle among blocked ranks — a potential deadlock.
+``DLV002``  a blocking endpoint that can never match inside its barrier
+            phase: a recv whose send does not exist, or a send no rank
+            ever consumes (a rendezvous sender would block forever).
+``DLV003``  an event names a quorum-excluded (crashed) rank: the
+            degraded-mode schedule still routes traffic to or from a
+            rank the supervisor removed.
+``DLV004``  the small-world interleaving exploration could not certify
+            the segment: a deadlocking interleaving exists, final
+            message residues disagree across interleavings, or the
+            exploration budget was exhausted (soundness not
+            established).
+``DLV005``  bounded wait violated: under a fair round-robin scheduler a
+            blocked recv waited more rounds than
+            :meth:`~repro.analysis.explore.FairRunResult.bound` allows
+            for its matching send — or a partial-allreduce drain phase
+            left carries banked (a gradient stranded forever).
+``DLV006``  a blocking-call pattern in ``collectives``/``faults``
+            bypasses the ``deliver_chunk``/trace hooks, so the fault
+            channel and this certifier cannot see it.
+
+The execution model (eager sends, blocking recvs, barrier between
+:func:`~repro.collectives.trace.phase_scope` spans) matches the
+simulated data path; the battery of (scheme x world x campaign) cases
+lives in :mod:`repro.faults.cases`, the exploration machinery in
+:mod:`repro.analysis.explore`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from repro.collectives.trace import ScheduleTrace, TraceEvent
+
+from .explore import (build_programs, explore, fair_schedule, greedy_run,
+                      phase_segments)
+from .findings import Finding, sort_findings
+
+__all__ = ["DLV_RULES", "DEFAULT_EXPLORE_BUDGET", "analyze_segment",
+           "analyze_trace_liveness", "lint_blocking", "verify_liveness",
+           "blocking_default_roots"]
+
+DLV_RULES = {
+    "DLV001": "wait-for cycle among blocked ranks (potential deadlock)",
+    "DLV002": "blocking endpoint that can never match in its phase",
+    "DLV003": "event names a quorum-excluded rank",
+    "DLV004": "interleaving exploration failed to certify the segment",
+    "DLV005": "bounded wait violated or carries left undrained",
+    "DLV006": "blocking call bypasses the deliver_chunk/trace hooks",
+}
+
+#: transition budget per explored segment; clean segments are linear in
+#: their event count, so hitting this means something is very wrong —
+#: and it is reported as DLV004, never swallowed
+DEFAULT_EXPLORE_BUDGET = 200_000
+
+
+def _finding(rule: str, path: str, message: str, scheme: str = "",
+             world: int = 0) -> Finding:
+    return Finding(rule=rule, path=path, line=0, col=0, message=message,
+                   source="liveness", scheme=scheme, world=world)
+
+
+# -- wait-for graph over one barrier phase ------------------------------------
+
+def _find_cycle(edges: dict[int, list[int]]) -> list[int]:
+    """Any cycle in a graph where every node has an out-edge."""
+    for start in sorted(edges):
+        seen: dict[int, int] = {}
+        path: list[int] = []
+        node = start
+        while node in edges and node not in seen:
+            seen[node] = len(path)
+            path.append(node)
+            node = min(edges[node])  # deterministic walk
+        if node in seen:
+            return path[seen[node]:]
+    return []
+
+
+def analyze_segment(label: str, events: Sequence[TraceEvent], path: str,
+                    scheme: str = "", world: int = 0,
+                    excluded: Iterable[int] = ()) -> list[Finding]:
+    """DLV001/002/003 over one barrier phase of a trace."""
+    findings: list[Finding] = []
+    excluded_set = set(excluded)
+
+    if excluded_set:
+        flagged: set = set()
+        for event in events:
+            bad = {event.src, event.dst} & excluded_set
+            if bad and (event.kind, event.match_key()) not in flagged:
+                flagged.add((event.kind, event.match_key()))
+                findings.append(_finding(
+                    "DLV003", path,
+                    f"phase {label!r}: {event.kind} {event.src}->"
+                    f"{event.dst} (tag {event.tag!r}) names excluded "
+                    f"rank(s) {sorted(bad)} — traffic routed to a rank "
+                    f"the quorum removed", scheme, world))
+
+    programs = build_programs(events)
+
+    # DLV002 (static): per-key count mismatch inside the phase.  A recv
+    # beyond the phase's sends waits on a message that cannot arrive
+    # before the barrier; a send beyond its recvs is never consumed.
+    sends = Counter(e.match_key() for e in events if e.kind == "send")
+    recvs = Counter(e.match_key() for e in events if e.kind == "recv")
+    for key in sorted(set(sends) | set(recvs)):
+        src, dst, step, nbytes, tag = key
+        if recvs[key] > sends[key]:
+            findings.append(_finding(
+                "DLV002", path,
+                f"phase {label!r}: rank {dst} blocks on "
+                f"{recvs[key] - sends[key]} recv(s) {src}->{dst} "
+                f"(tag {tag!r}, step {step}) with no matching send in "
+                f"the phase", scheme, world))
+        elif sends[key] > recvs[key]:
+            findings.append(_finding(
+                "DLV002", path,
+                f"phase {label!r}: {sends[key] - recvs[key]} send(s) "
+                f"{src}->{dst} (tag {tag!r}, step {step}) are never "
+                f"received in the phase", scheme, world))
+
+    # DLV001: run to the (unique) maximal-progress fixpoint; a stuck
+    # rank whose sender exists is waiting on another stuck rank, so the
+    # blocked set carries a wait-for cycle.
+    greedy = greedy_run(programs)
+    if not greedy.completed:
+        edges: dict[int, list[int]] = {}
+        for rank, op in sorted(greedy.blocked.items()):
+            senders = sorted(
+                other for other, ops in greedy.remaining.items()
+                if any(o.kind == "send" and o.key == op.key for o in ops))
+            if senders:
+                edges[rank] = senders
+        cycle = _find_cycle(edges)
+        if cycle:
+            chain = " -> ".join(str(r) for r in cycle + [cycle[0]])
+            waits = "; ".join(
+                f"rank {r} blocked on {greedy.blocked[r].describe()}"
+                for r in cycle)
+            findings.append(_finding(
+                "DLV001", path,
+                f"phase {label!r}: wait-for cycle {chain} ({waits})",
+                scheme, world))
+        elif not any(f.rule == "DLV002" for f in findings):
+            # defensive: stuck without a cycle or an orphan should be
+            # impossible; surface it rather than certifying
+            blocked = ", ".join(
+                f"rank {r} on {op.describe()}"
+                for r, op in sorted(greedy.blocked.items()))
+            findings.append(_finding(
+                "DLV001", path,
+                f"phase {label!r}: execution stuck without a wait-for "
+                f"cycle ({blocked})", scheme, world))
+    return findings
+
+
+def explore_segment(label: str, events: Sequence[TraceEvent], path: str,
+                    scheme: str = "", world: int = 0,
+                    budget: int = DEFAULT_EXPLORE_BUDGET) -> list[Finding]:
+    """DLV004: certify every interleaving of one phase terminates."""
+    findings: list[Finding] = []
+    programs = build_programs(events)
+    result = explore(programs, budget=budget)
+    if result.budget_exhausted:
+        findings.append(_finding(
+            "DLV004", path,
+            f"phase {label!r}: exploration budget of {budget} "
+            f"transitions exhausted after {result.interleavings} "
+            f"complete interleaving(s) — termination not certified",
+            scheme, world))
+        return findings
+    for blocked in result.deadlocks:
+        detail = ", ".join(f"rank {r} on {op.describe()}"
+                           for r, op in sorted(blocked.items()))
+        findings.append(_finding(
+            "DLV004", path,
+            f"phase {label!r}: a reachable interleaving deadlocks "
+            f"({detail})", scheme, world))
+    if len(result.residues) > 1:
+        findings.append(_finding(
+            "DLV004", path,
+            f"phase {label!r}: {len(result.residues)} distinct final "
+            f"message residues across interleavings — message counts "
+            f"are not conserved", scheme, world))
+    return findings
+
+
+def fair_segment(label: str, events: Sequence[TraceEvent], path: str,
+                 scheme: str = "", world: int = 0) -> list[Finding]:
+    """DLV005: bounded wait under a fair round-robin scheduler."""
+    programs = build_programs(events)
+    result = fair_schedule(programs)
+    if not result.completed:
+        # the wait-for analysis reports the deadlock itself (DLV001/2)
+        return []
+    bound = result.bound(world or (max(programs) + 1 if programs else 1))
+    if result.max_wait > bound:
+        return [_finding(
+            "DLV005", path,
+            f"phase {label!r}: a blocked recv waited {result.max_wait} "
+            f"fair scheduler rounds (bound {bound} for longest program "
+            f"{result.longest}) for its matching send", scheme, world)]
+    return []
+
+
+def analyze_trace_liveness(trace: ScheduleTrace, path: str,
+                           scheme: str = "", world: int = 0,
+                           excluded_by_phase:
+                           Mapping[str, Iterable[int]] | None = None,
+                           undrained_carries: bool = False,
+                           budget: int = DEFAULT_EXPLORE_BUDGET,
+                           ) -> list[Finding]:
+    """All dynamic DLV rules over one captured multi-phase trace.
+
+    ``excluded_by_phase`` maps a phase label to the ranks dead *while
+    that phase ran* — exclusion is a property of the moment in the
+    campaign, not of the whole trace (a crashed rank participates
+    legitimately before its crash and after its rejoin).
+    """
+    findings: list[Finding] = []
+    excluded_by_phase = excluded_by_phase or {}
+    for label, events in phase_segments(trace):
+        findings.extend(analyze_segment(
+            label, events, path, scheme, world,
+            excluded_by_phase.get(label, ())))
+        findings.extend(explore_segment(label, events, path, scheme,
+                                        world, budget))
+        findings.extend(fair_segment(label, events, path, scheme, world))
+    if undrained_carries:
+        findings.append(_finding(
+            "DLV005", path,
+            "carries remain banked after the drain phase — a skipped "
+            "gradient is stranded forever", scheme, world))
+    return sort_findings(findings)
+
+
+# -- DLV006: static AST pass over collectives/ and faults/ --------------------
+
+#: module-level calls that block outside the audited message path
+_BLOCKING_MODULE_CALLS = {
+    ("time", "sleep"), ("select", "select"), ("select", "poll"),
+    ("select", "epoll"), ("signal", "pause"), ("signal", "sigwait"),
+    ("os", "wait"), ("os", "waitpid"),
+}
+
+#: method names that block regardless of the receiver object
+_BLOCKING_METHODS = {"acquire", "wait", "wait_for"}
+
+#: functions allowed to emit send/recv endpoints without deliver_chunk:
+#: the trace module defines the hooks, and fault channels *are* the
+#: delivery path
+_EMIT_EXEMPT_MODULES = {"trace.py"}
+_EMIT_EXEMPT_FUNCTIONS = {"deliver"}
+
+
+def blocking_default_roots() -> tuple[str, ...]:
+    """The packages the DLV006 pass audits, located via their imports."""
+    import repro.collectives
+    import repro.faults
+
+    return (os.path.dirname(os.path.abspath(repro.collectives.__file__)),
+            os.path.dirname(os.path.abspath(repro.faults.__file__)))
+
+
+def _own_calls(func: ast.AST) -> Iterable[ast.Call]:
+    """Call nodes in ``func``'s body, excluding nested function defs."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _call_name(call: ast.Call) -> tuple[str | None, str]:
+    """(qualifier, name) of a call: ``time.sleep`` -> ("time", "sleep")."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return None, func.id
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name):
+            return func.value.id, func.attr
+        return "", func.attr
+    return None, ""
+
+
+def lint_blocking_source(source: str, path: str) -> list[Finding]:
+    """DLV006 over one file's source text."""
+    findings: list[Finding] = []
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=path)
+    basename = os.path.basename(path)
+
+    def snippet(lineno: int) -> str:
+        return lines[lineno - 1].strip() if 0 < lineno <= len(lines) else ""
+
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        calls = list(_own_calls(node))
+        names = {_call_name(call) for call in calls}
+        bare = {name for _, name in names}
+
+        emits = bare & {"emit_send", "emit_recv"}
+        if emits and "deliver_chunk" not in bare \
+                and basename not in _EMIT_EXEMPT_MODULES \
+                and node.name not in _EMIT_EXEMPT_FUNCTIONS \
+                and not node.name.startswith("emit_"):
+            findings.append(Finding(
+                rule="DLV006", path=path, line=node.lineno,
+                col=node.col_offset,
+                message=f"function {node.name!r} emits "
+                        f"{'/'.join(sorted(emits))} without routing the "
+                        f"payload through deliver_chunk — the transfer "
+                        f"blocks invisibly to fault injection",
+                source="liveness", snippet=snippet(node.lineno)))
+
+        for call in calls:
+            qualifier, name = _call_name(call)
+            blocking = (qualifier, name) in _BLOCKING_MODULE_CALLS or (
+                qualifier is not None and name in _BLOCKING_METHODS)
+            if blocking:
+                label = f"{qualifier}.{name}" if qualifier else name
+                findings.append(Finding(
+                    rule="DLV006", path=path, line=call.lineno,
+                    col=call.col_offset,
+                    message=f"raw blocking primitive {label!r} in "
+                            f"{node.name!r} bypasses the deliver_chunk/"
+                            f"trace hooks — unauditable blocking",
+                    source="liveness", snippet=snippet(call.lineno)))
+    return findings
+
+
+def lint_blocking(roots: Sequence[str] | None = None) -> list[Finding]:
+    """DLV006 over every python file under ``roots`` (default: the
+    collectives and faults packages), occurrence-numbered for stable
+    baseline fingerprints."""
+    from .rules import iter_python_files
+
+    roots = tuple(roots) if roots is not None else blocking_default_roots()
+    findings: list[Finding] = []
+    for path in iter_python_files(roots):
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        rel = os.path.relpath(path)
+        findings.extend(lint_blocking_source(source, rel))
+    findings = sort_findings(findings)
+    seen: dict[tuple, int] = {}
+    numbered: list[Finding] = []
+    for finding in findings:
+        ident = (finding.rule, finding.path, finding.snippet)
+        numbered.append(Finding(
+            rule=finding.rule, path=finding.path, line=finding.line,
+            col=finding.col, message=finding.message, source=finding.source,
+            snippet=finding.snippet, occurrence=seen.get(ident, 0)))
+        seen[ident] = seen.get(ident, 0) + 1
+    return numbered
+
+
+# -- the full battery ---------------------------------------------------------
+
+def verify_liveness(worlds: tuple[int, ...] = (2, 3, 4),
+                    budget: int = DEFAULT_EXPLORE_BUDGET,
+                    with_blocking_lint: bool = True) -> list[Finding]:
+    """Certify every (scheme x world x campaign) cell; [] means clean."""
+    from repro.faults.cases import liveness_cases, trace_liveness_case
+
+    findings: list[Finding] = []
+    for case in liveness_cases(worlds):
+        trace, aux = trace_liveness_case(case)
+        findings.extend(analyze_trace_liveness(
+            trace, case.path, scheme=case.scheme, world=case.world,
+            excluded_by_phase=aux.phase_excluded,
+            undrained_carries=aux.undrained_carries, budget=budget))
+    if with_blocking_lint:
+        findings.extend(lint_blocking())
+    return sort_findings(findings)

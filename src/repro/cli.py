@@ -106,9 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--health", action="store_true",
                      help="run only the failure-detection battery "
                           "(combines with the other pass flags)")
+    ana.add_argument("--liveness", action="store_true",
+                     help="run only the deadlock & progress certifier "
+                          "(combines with the other pass flags)")
     ana.add_argument("--all", dest="all_passes", action="store_true",
-                     help="run every battery, including plans, shapes "
-                          "and health")
+                     help="run every battery, including plans, shapes, "
+                          "health and liveness")
 
     flt = sub.add_parser("faults",
                          help="run a named chaos campaign against real "
@@ -301,6 +304,8 @@ def _cmd_analyze(args, out) -> int:
         argv.append("--shapes")
     if args.health:
         argv.append("--health")
+    if args.liveness:
+        argv.append("--liveness")
     if args.all_passes:
         argv.append("--all")
     return analysis_main(argv, out=out)

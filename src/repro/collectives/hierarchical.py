@@ -21,9 +21,10 @@ import numpy as np
 
 from repro.compression import Compressor
 
-from .base import ReduceStats, check_buffers, compress_chunk, decompress_chunk
+from .base import (ReduceStats, check_buffers, compress_chunk,
+                   decompress_chunk, deliver_chunk)
 from .sra import sra_allreduce
-from .trace import emit_recv, emit_send, rank_scope
+from .trace import emit_recv, emit_send, phase_scope, rank_scope
 
 __all__ = ["hierarchical_allreduce"]
 
@@ -59,7 +60,7 @@ def hierarchical_allreduce(
     node_sum: dict[int, np.ndarray] = {}
     for node in nodes:
         local = [buffers[r] for r in members[node]]
-        with rank_scope(members[node]):
+        with phase_scope(f"hier/intra{node}"), rank_scope(members[node]):
             reduced, sub = sra_allreduce(local, compressor, rng,
                                          key=f"{key}/intra{node}")
         stats.wire_bytes += sub.wire_bytes
@@ -70,7 +71,7 @@ def hierarchical_allreduce(
     # Stage 2: inter-node allreduce among the leaders.
     leaders = [members[node][0] for node in nodes]
     leader_buffers = [node_sum[node] for node in nodes]
-    with rank_scope(leaders):
+    with phase_scope("hier/inter"), rank_scope(leaders):
         reduced, sub = sra_allreduce(leader_buffers, compressor, rng,
                                      key=f"{key}/inter")
     stats.wire_bytes += sub.wire_bytes
@@ -82,22 +83,27 @@ def hierarchical_allreduce(
     # leaders hold identical inputs and share the quantization seed), so
     # every rank on every node decodes bit-identical values — replicas
     # must not diverge across nodes.
-    wire = compress_chunk(compressor, reduced[0].ravel(), rng,
-                          key=f"{key}/bcast", stats=stats,
-                          rank=leaders[0], tag="bcast")
-    follower_count = sum(len(members[node]) - 1 for node in nodes)
-    stats.wire_bytes += wire.nbytes * max(0, follower_count - 1)
-    for node in nodes:
-        leader = members[node][0]
-        for peer in members[node][1:]:
-            emit_send(leader, peer, wire.nbytes, step=2, tag="bcast")
-    decoded = decompress_chunk(compressor, wire, stats).reshape(
-        buffers[0].shape
-    )
-    for node in nodes:
-        leader = members[node][0]
-        for peer in members[node][1:]:
-            emit_recv(peer, leader, wire.nbytes, step=2, tag="bcast")
+    with phase_scope("hier/bcast"):
+        wire = compress_chunk(compressor, reduced[0].ravel(), rng,
+                              key=f"{key}/bcast", stats=stats,
+                              rank=leaders[0], tag="bcast")
+        follower_count = sum(len(members[node]) - 1 for node in nodes)
+        stats.wire_bytes += wire.nbytes * max(0, follower_count - 1)
+        for node in nodes:
+            leader = members[node][0]
+            for peer in members[node][1:]:
+                emit_send(leader, peer, wire.nbytes, step=2, tag="bcast")
+                # per-peer fault accounting, like every other broadcast
+                # site; decoding stays canonical so replicas cannot
+                # diverge across nodes
+                deliver_chunk(wire, stats, leader, peer, step=2, tag="bcast")
+        decoded = decompress_chunk(compressor, wire, stats).reshape(
+            buffers[0].shape
+        )
+        for node in nodes:
+            leader = members[node][0]
+            for peer in members[node][1:]:
+                emit_recv(peer, leader, wire.nbytes, step=2, tag="bcast")
     outputs = [decoded.copy() for _ in range(world)]
     stats.max_recompressions = 5
     return outputs, stats

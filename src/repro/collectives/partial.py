@@ -24,7 +24,8 @@ from repro.compression import Compressor
 from .base import (ReduceStats, check_buffers, compress_chunk,
                    decompress_chunk, deliver_chunk)
 from .sra import sra_allreduce
-from .trace import emit_recv, emit_send, emit_state_use, rank_scope
+from .trace import (emit_recv, emit_send, emit_state_use, phase_scope,
+                    rank_scope)
 
 __all__ = ["PartialAllreduce"]
 
@@ -86,7 +87,7 @@ class PartialAllreduce:
                 else carry + grad
 
         # reduce among the quorum, then one broadcast payload for everyone
-        with rank_scope(participants):
+        with phase_scope("partial/quorum"), rank_scope(participants):
             reduced, stats = sra_allreduce(contributions, compressor, rng,
                                            key=f"{key}/quorum")
         stats.scheme = "partial"
@@ -100,21 +101,25 @@ class PartialAllreduce:
             return reduced, stats
         total = reduced[0]
 
-        wire = compress_chunk(compressor, total.ravel(), rng,
-                              key=f"{key}/late", stats=stats,
-                              rank=participants[0], tag="late")
-        stats.wire_bytes += wire.nbytes * (laggards - 1)
-        late_ranks = [r for r in range(self.world) if r not in participants]
-        for rank in late_ranks:
-            emit_send(participants[0], rank, wire.nbytes, step=2, tag="late")
-            # per-laggard fault accounting; decoding stays canonical
-            deliver_chunk(wire, stats, participants[0], rank, step=2,
+        with phase_scope("partial/late"):
+            wire = compress_chunk(compressor, total.ravel(), rng,
+                                  key=f"{key}/late", stats=stats,
+                                  rank=participants[0], tag="late")
+            stats.wire_bytes += wire.nbytes * (laggards - 1)
+            late_ranks = [r for r in range(self.world)
+                          if r not in participants]
+            for rank in late_ranks:
+                emit_send(participants[0], rank, wire.nbytes, step=2,
                           tag="late")
-        decoded = decompress_chunk(compressor, wire, stats).reshape(
-            buffers[0].shape
-        )
-        for rank in late_ranks:
-            emit_recv(rank, participants[0], wire.nbytes, step=2, tag="late")
+                # per-laggard fault accounting; decoding stays canonical
+                deliver_chunk(wire, stats, participants[0], rank, step=2,
+                              tag="late")
+            decoded = decompress_chunk(compressor, wire, stats).reshape(
+                buffers[0].shape
+            )
+            for rank in late_ranks:
+                emit_recv(rank, participants[0], wire.nbytes, step=2,
+                          tag="late")
         # every rank adopts the identical decoded payload
         outputs = [decoded.copy() for _ in range(self.world)]
         # quorum SRA quantizes twice; the late broadcast re-encodes once more

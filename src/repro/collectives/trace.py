@@ -48,6 +48,7 @@ __all__ = [
     "ScheduleTrace",
     "capture",
     "rank_scope",
+    "phase_scope",
     "emit_send",
     "emit_recv",
     "translate_rank",
@@ -67,6 +68,12 @@ class TraceEvent:
     ``kind`` is ``"send"`` (emitted where the payload is encoded) or
     ``"recv"`` (emitted where it is decoded).  A send and its matching
     recv share ``(src, dst, step, nbytes, tag)``.
+
+    ``blocking`` records the synchronization semantics the liveness
+    certifier (:mod:`repro.analysis.liveness`) assumes: sends are eager
+    (buffered, never block) while recvs block until a matching payload
+    is available — the execution model of both the in-process data path
+    and the rendezvous-free transports CGX targets.
     """
 
     kind: str
@@ -75,6 +82,7 @@ class TraceEvent:
     dst: int
     nbytes: int
     tag: str
+    blocking: bool = False
 
     def match_key(self) -> tuple:
         return (self.src, self.dst, self.step, self.nbytes, self.tag)
@@ -128,6 +136,13 @@ class ScheduleTrace:
         self.timeline: list[Union[TraceEvent, BufferAccess]] = []
         #: (rank, name, start, end) of each declared rank-local buffer
         self.declared: list[tuple[int, str, int, int]] = []
+        #: (label, first event index, one-past-last event index) for each
+        #: completed :func:`phase_scope` block, in completion order.
+        #: Phases model the global barrier between sequential collective
+        #: calls: the liveness certifier analyzes each span separately so
+        #: tag reuse across calls cannot alias messages from different
+        #: phases.
+        self.phase_spans: list[tuple[str, int, int]] = []
         # recorded arrays are pinned so freed storage cannot be reused
         # by a later allocation at the same address mid-capture
         self._keepalive: list = []
@@ -167,9 +182,25 @@ def tracing_active() -> bool:
 
 
 def _translate(rank: int) -> int:
-    """Map a collective-local rank through the nested scopes."""
-    for mapping in reversed(_rank_maps):
-        rank = mapping[rank]
+    """Map a collective-local rank through the nested scopes.
+
+    Scopes compose innermost-first: each mapping resolves a local rank
+    into its *enclosing* scope's numbering, so after the outermost
+    mapping the result is a global rank.  Ranks are validated at every
+    level — a negative rank must not silently wrap through python's
+    negative indexing (it would translate to a legal-looking global
+    rank and hide the schedule bug from SCH007), and an out-of-range
+    rank gets a diagnosis instead of a bare ``IndexError`` from deep
+    inside a nested collective.
+    """
+    rank = int(rank)
+    for depth, mapping in enumerate(reversed(_rank_maps)):
+        if not 0 <= rank < len(mapping):
+            raise IndexError(
+                f"rank {rank} out of range for rank_scope mapping of "
+                f"{len(mapping)} rank(s) at nesting depth "
+                f"{depth + 1} (innermost=1): {tuple(mapping)!r}")
+        rank = int(mapping[rank])
     return rank
 
 
@@ -194,11 +225,16 @@ def emit_send(src: int, dst: int, nbytes: int, step: int,
 
 def emit_recv(dst: int, src: int, nbytes: int, step: int,
               tag: str = "") -> None:
-    """Record that ``dst`` consumes the payload ``src`` sent at ``step``."""
+    """Record that ``dst`` consumes the payload ``src`` sent at ``step``.
+
+    Receives are the blocking endpoints of the execution model: the
+    event carries ``blocking=True`` so the liveness certifier knows the
+    receiver cannot proceed until the matching send exists.
+    """
     if _active is None:
         return
     _active.record(TraceEvent("recv", step, _translate(src), _translate(dst),
-                              int(nbytes), tag))
+                              int(nbytes), tag, blocking=True))
 
 
 def _record_mem_access(kind: str, rank: int, array, tag: str) -> None:
@@ -275,12 +311,40 @@ def capture() -> Iterator[ScheduleTrace]:
 def rank_scope(mapping: Sequence[int]) -> Iterator[None]:
     """Translate local ranks 0..k-1 of a nested collective to global ids.
 
-    ``mapping[i]`` is the global rank of the nested call's rank ``i``.
-    Scopes nest: the innermost mapping applies first.  No-op (beyond a
-    list push) when tracing is inactive.
+    ``mapping[i]`` is the rank of the nested call's rank ``i`` **in the
+    enclosing scope** — a global rank only when this is the outermost
+    scope.  Scopes nest and compose: the innermost mapping applies
+    first, and its values are then resolved through every enclosing
+    mapping in turn, so a collective nested two levels deep still emits
+    correct global ranks.  No-op (beyond a list push) when tracing is
+    inactive.
     """
     _rank_maps.append(mapping)
     try:
         yield
     finally:
         _rank_maps.pop()
+
+
+@contextmanager
+def phase_scope(label: str) -> Iterator[None]:
+    """Mark the events emitted inside the block as one barrier phase.
+
+    Sequential collective calls reuse steps and tags, so their events
+    alias under :meth:`TraceEvent.match_key` even though a real engine
+    separates the calls with a (conceptual) global barrier.  Wrapping
+    each call in a phase scope records the span boundaries on the
+    active trace; the liveness certifier then analyzes each span as an
+    independent schedule.  Scopes may nest (an inner collective can
+    label its own sub-phases); consumers that need barrier semantics
+    keep only the outermost spans.  No-op when tracing is inactive.
+    """
+    trace = _active
+    if trace is None:
+        yield
+        return
+    start = len(trace.events)
+    try:
+        yield
+    finally:
+        trace.phase_spans.append((label, start, len(trace.events)))

@@ -25,8 +25,14 @@ mechanism and policy:
   proving injection cannot mask schedule bugs or break reproducibility;
   the health battery (HLT001..HLT005) lives in
   :mod:`repro.analysis.health`.
+* :mod:`~repro.faults.cases` — the liveness battery: one multi-phase
+  schedule trace per (scheme x world x campaign) cell, including quorum
+  demotion and rejoin, consumed by the deadlock & progress certifier
+  (DLV001..DLV006) in :mod:`repro.analysis.liveness`.
 """
 
+from .cases import (LIVENESS_CAMPAIGNS, LivenessAux, LivenessCase,
+                    liveness_cases, trace_liveness_case)
 from .health import (VERDICTS, HealthMonitor, HealthPolicy,
                      HeartbeatTransport, PhiAccrualDetector, RankHealth,
                      Supervisor, SupervisorDecision)
@@ -52,4 +58,6 @@ __all__ = [
     "HealthMonitor", "HeartbeatTransport", "Supervisor",
     "SupervisorDecision",
     "CheckpointStore", "CheckpointCorrupt",
+    "LIVENESS_CAMPAIGNS", "LivenessCase", "LivenessAux", "liveness_cases",
+    "trace_liveness_case",
 ]

@@ -179,7 +179,7 @@ def test_all_flag_selects_every_pass():
     args = build_parser().parse_args(["--all"])
     assert select_passes(args) == ALL_PASSES
     assert set(ALL_PASSES) == {"lint", "schedule", "contracts", "races",
-                               "plans", "shapes", "health"}
+                               "plans", "shapes", "health", "liveness"}
 
 
 def test_all_flag_rejects_pass_selection_flags():
@@ -195,7 +195,7 @@ def test_schedule_only_rejects_plans_combination():
 
 
 def test_all_flag_runs_every_battery(monkeypatch, tmp_path):
-    """--all invokes all six batteries and merges their exit status."""
+    """--all invokes every battery and merges their exit status."""
     import repro.analysis.cli as cli_mod
     import repro.analysis.plans as plans_mod
     import repro.analysis.shapes as shapes_mod
@@ -271,3 +271,67 @@ def test_repro_analyze_forwards_plans_shapes_and_all(monkeypatch):
     code = repro_main(["analyze", "--plans", "--shapes"], out=out)
     assert code == 0
     assert ran == ["plans", "shapes"]
+
+
+# -- pass selection (liveness) -------------------------------------------------
+
+def test_liveness_flag_runs_clean():
+    code, out = run_cli(["--liveness"])
+    assert code == 0
+    assert "clean" in out
+
+
+def test_liveness_flag_skips_lint_paths():
+    code, out = run_cli(["definitely/missing.py", "--liveness"])
+    assert code == 0
+
+
+def test_liveness_findings_round_trip_through_json_and_baseline(tmp_path,
+                                                                monkeypatch):
+    import repro.analysis.liveness as liveness_mod
+    from repro.analysis.findings import Finding
+
+    planted = [Finding(rule="DLV001", path="<liveness:ring@world=4/none>",
+                       line=0, col=0,
+                       message="synthetic wait-for cycle 0 -> 1 -> 0",
+                       source="liveness", scheme="ring", world=4)]
+    monkeypatch.setattr(liveness_mod, "verify_liveness", lambda: planted)
+
+    code, raw = run_cli(["--liveness", "--format", "json"])
+    assert code == 1
+    report = json.loads(raw)
+    _validate(report, JSON_REPORT_SCHEMA)
+    assert report["findings"][0]["source"] == "liveness"
+
+    baseline = tmp_path / "base.json"
+    code, _ = run_cli(["--liveness", "--baseline", str(baseline),
+                       "--write-baseline"])
+    assert code == 0
+    code, out = run_cli(["--liveness", "--baseline", str(baseline)])
+    assert code == 0 and "(1 baselined)" in out
+
+
+def test_liveness_battery_findings_render_with_scheme_and_world(monkeypatch):
+    import repro.analysis.liveness as liveness_mod
+    from repro.analysis.findings import Finding
+
+    planted = [Finding(rule="DLV005", path="<liveness:partial@world=3/none>",
+                       line=0, col=0, message="synthetic stranded carry",
+                       source="liveness", scheme="partial", world=3)]
+    monkeypatch.setattr(liveness_mod, "verify_liveness", lambda: planted)
+    code, out = run_cli(["--liveness"])
+    assert code == 1
+    assert "liveness[partial@world=3]: DLV005" in out
+
+
+def test_liveness_file_findings_render_like_lint(monkeypatch):
+    import repro.analysis.liveness as liveness_mod
+    from repro.analysis.findings import Finding
+
+    planted = [Finding(rule="DLV006", path="src/repro/collectives/x.py",
+                       line=12, col=4, message="synthetic blocking call",
+                       source="liveness", snippet="time.sleep(1)")]
+    monkeypatch.setattr(liveness_mod, "verify_liveness", lambda: planted)
+    code, out = run_cli(["--liveness"])
+    assert code == 1
+    assert "src/repro/collectives/x.py:12:5: DLV006" in out

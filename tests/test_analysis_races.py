@@ -227,3 +227,57 @@ def test_capture_isolated_per_trace():
         pass
     assert len(first.accesses) == 1
     assert second.accesses == []
+
+
+# -- rank_scope composition (the trace hooks behind every scheme trace) --------
+
+def test_nested_rank_scopes_compose_innermost_first():
+    """hier nests per-node SRA inside the global call; a demoted
+    crash-rejoin schedule nests a quorum scope inside the survivor
+    scope — three levels deep the translation must still land on the
+    correct global rank."""
+    from repro.collectives.trace import rank_scope, translate_rank
+
+    with rank_scope([4, 5, 6, 7]):           # survivors -> global
+        with rank_scope([2, 0, 3]):          # quorum -> survivor-local
+            assert translate_rank(0) == 6    # 0 -> 2 -> 6
+            assert translate_rank(1) == 4    # 1 -> 0 -> 4
+            with rank_scope([1]):            # leader -> quorum-local
+                assert translate_rank(0) == 4
+        assert translate_rank(3) == 7
+
+
+def test_rank_scope_events_translate_through_all_levels():
+    from repro.collectives.trace import rank_scope
+
+    with capture() as trace:
+        with rank_scope([3, 1]):
+            with rank_scope([1, 0]):
+                emit_send(0, 1, 8, step=0, tag="nested")
+                emit_recv(1, 0, 8, step=0, tag="nested")
+    (send, recv) = trace.events
+    assert (send.src, send.dst) == (1, 3)
+    assert (recv.src, recv.dst) == (1, 3)
+
+
+def test_negative_rank_does_not_wrap_through_python_indexing():
+    from repro.collectives.trace import rank_scope, translate_rank
+
+    with rank_scope([2, 3]):
+        with pytest.raises(IndexError, match="out of range"):
+            translate_rank(-1)
+
+
+def test_out_of_range_rank_names_the_offending_scope():
+    from repro.collectives.trace import rank_scope, translate_rank
+
+    with rank_scope([0, 1, 2, 3]):
+        with rank_scope([1, 2]):
+            with pytest.raises(IndexError, match=r"depth 1 .*\(1, 2\)"):
+                translate_rank(2)
+    # out of range at the *outer* level: inner map emits a legal local
+    # rank whose image the outer scope cannot hold
+    with rank_scope([1]):
+        with rank_scope([0, 1]):
+            with pytest.raises(IndexError, match="depth 2"):
+                translate_rank(1)
