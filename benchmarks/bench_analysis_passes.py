@@ -2,7 +2,7 @@
 
 CI runs ``python -m repro.analysis --all`` on every push, so the suite's
 cost is part of the development loop: this benchmark times each of the
-eight passes individually, measures the schedule simulator's throughput
+nine passes individually, measures the schedule simulator's throughput
 (trace events generated per second across the liveness battery), and
 persists both a human-readable table and a machine-readable
 ``BENCH_analysis.json`` for tooling to ratchet against.
@@ -22,6 +22,7 @@ def _timed_passes() -> dict[str, float]:
     from repro.analysis.contracts import verify_contracts
     from repro.analysis.health import verify_health
     from repro.analysis.liveness import verify_liveness
+    from repro.analysis.overlap import verify_overlap
     from repro.analysis.plans import verify_plans
     from repro.analysis.races import verify_races
     from repro.analysis.rules import run_lint
@@ -42,6 +43,7 @@ def _timed_passes() -> dict[str, float]:
         "shapes": verify_shapes,
         "health": verify_health,
         "liveness": verify_liveness,
+        "overlap": verify_overlap,
     }
     timings = {}
     for name, battery in passes.items():
@@ -100,5 +102,5 @@ def test_bench_analysis_passes(benchmark):
 
     assert set(payload["passes"]) == {
         "lint", "schedule", "contracts", "races", "plans", "shapes",
-        "health", "liveness"}
+        "health", "liveness", "overlap"}
     assert sim["events"] > 0 and sim["events_per_sec"] > 0

@@ -1,6 +1,6 @@
 """Entry point: ``python -m repro.analysis`` / ``repro analyze``.
 
-Runs up to eight passes and reports findings as text or JSON:
+Runs up to nine passes and reports findings as text or JSON:
 
 * **lint** — numerical-safety AST rules (REP) over the given paths;
 * **schedule** — collective-schedule verification (SCH);
@@ -18,12 +18,16 @@ Runs up to eight passes and reports findings as text or JSON:
 * **liveness** — the deadlock & progress certifier (DLV): wait-for
   cycles, orphan endpoints and excluded-rank traffic per barrier
   phase, small-world DPOR interleaving exploration, bounded wait
-  under a fair scheduler, and the blocking-call AST pass.
+  under a fair scheduler, and the blocking-call AST pass;
+* **overlap** — the overlap-safety certifier (OVL): use-before-reduce
+  ordering, bucket-fusion conservation, launch-priority discipline,
+  in-flight compressor-state attribution and the makespan bound of
+  the engine's overlapped mode, plus the ``.grad``-consumer AST pass.
 
-The first four run by default; ``--all`` runs all eight (the CI
+The first four run by default; ``--all`` runs all nine (the CI
 configuration).  ``--contracts`` / ``--races`` / ``--plans`` /
-``--shapes`` / ``--health`` / ``--liveness`` select *only* the named
-semantic passes
+``--shapes`` / ``--health`` / ``--liveness`` / ``--overlap`` select
+*only* the named semantic passes
 (they combine with each other); ``--schedule-only`` keeps its PR-1
 meaning (schedule pass alone) and ``--no-schedule`` drops the schedule
 pass from the default set.
@@ -50,7 +54,7 @@ __all__ = ["build_parser", "main", "select_passes"]
 
 PASSES = ("lint", "schedule", "contracts", "races")
 ALL_PASSES = ("lint", "schedule", "contracts", "races", "plans", "shapes",
-              "health", "liveness")
+              "health", "liveness", "overlap")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,7 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "contracts (CON), happens-before races (RACE), "
                     "adaptive-plan certification (BWP), shape/dtype "
                     "pipeline interpretation (SHP), deadlock/progress "
-                    "certification (DLV).",
+                    "certification (DLV), overlap-safety certification "
+                    "(OVL).",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to lint (default: src)")
@@ -98,17 +103,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only the deadlock & progress "
                              "certifier (combines with the other pass "
                              "flags)")
+    parser.add_argument("--overlap", action="store_true",
+                        help="run only the overlap-safety certifier "
+                             "(combines with the other pass flags)")
     parser.add_argument("--all", dest="all_passes", action="store_true",
                         help="run every battery (lint, schedule, "
                              "contracts, races, plans, shapes, health, "
-                             "liveness)")
+                             "liveness, overlap)")
     return parser
 
 
 def select_passes(args: argparse.Namespace) -> tuple[str, ...]:
     """Which passes a parsed command line asks for (see module doc)."""
     named = [name for name in ("contracts", "races", "plans", "shapes",
-                               "health", "liveness")
+                               "health", "liveness", "overlap")
              if getattr(args, name)]
     if args.all_passes:
         if args.schedule_only or args.no_schedule or named:
@@ -217,6 +225,10 @@ def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
         from .liveness import verify_liveness
 
         findings.extend(verify_liveness())
+    if "overlap" in passes:
+        from .overlap import verify_overlap
+
+        findings.extend(verify_overlap())
     findings = sort_findings(findings)
 
     if args.write_baseline:

@@ -2,9 +2,9 @@
 
 A :class:`Finding` is one diagnostic: a rule id, a location (file:line
 for lint findings; a ``<schedule:scheme@world=N>``, ``<contract:method>``,
-``<race:scheme@world=N>``, ``<plan:solver>``, ``<shape:model>`` or
-``<liveness:scheme@world=N/campaign>`` pseudo-path for the semantic
-passes) and a message.  Findings carry a stable *fingerprint* so a baseline file can
+``<race:scheme@world=N>``, ``<plan:solver>``, ``<shape:model>``,
+``<liveness:scheme@world=N/campaign>`` or ``<overlap:scheme@world=N/model>``
+pseudo-path for the semantic passes) and a message.  Findings carry a stable *fingerprint* so a baseline file can
 grandfather existing ones while still failing the build on anything new
 (see :mod:`repro.analysis.baseline`).
 """
@@ -27,7 +27,7 @@ class Finding:
     col: int             # 0-based; 0 for non-lint findings
     message: str
     source: str = "lint"     # lint | schedule | contract | race | plan |
-                             # shape | health
+                             # shape | health | liveness | overlap
     snippet: str = ""        # stripped source line (lint findings)
     scheme: str = ""         # reduction scheme, compression method, or solver
     world: int = 0           # world size (0 for lint/contract/plan findings)
@@ -38,15 +38,16 @@ class Finding:
         """Location-tolerant identity: survives unrelated line shifts.
 
         Lint findings — and any finding carrying a source snippet, such
-        as the liveness pass's DLV006 file diagnostics — hash (rule,
-        path, stripped line text, occurrence index among identical
-        lines); semantic findings (schedule, contract, race, liveness
-        battery) hash (rule, scheme, world, message).
+        as the liveness pass's DLV006 or the overlap pass's OVL006 file
+        diagnostics — hash (rule, path, stripped line text, occurrence
+        index among identical lines); semantic findings (schedule,
+        contract, race, liveness/overlap battery) hash (rule, scheme,
+        world, message).
         """
         if self.source == "lint" or self.snippet:
             raw = f"{self.rule}|{self.path}|{self.snippet}|{self.occurrence}"
-        elif self.source == "liveness":
-            # the pseudo-path carries the campaign axis, which
+        elif self.source in ("liveness", "overlap"):
+            # the pseudo-path carries the campaign/model axis, which
             # scheme/world alone cannot distinguish
             raw = f"{self.rule}|{self.path}|{self.message}"
         else:
@@ -86,6 +87,9 @@ class Finding:
                     f"{self.rule} {self.message}")
         if self.source == "liveness" and not self.snippet:
             return (f"liveness[{self.scheme}@world={self.world}]: "
+                    f"{self.rule} {self.message}")
+        if self.source == "overlap" and not self.snippet:
+            return (f"overlap[{self.scheme}@world={self.world}]: "
                     f"{self.rule} {self.message}")
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
 

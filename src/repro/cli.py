@@ -109,9 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--liveness", action="store_true",
                      help="run only the deadlock & progress certifier "
                           "(combines with the other pass flags)")
+    ana.add_argument("--overlap", action="store_true",
+                     help="run only the overlap-safety certifier "
+                          "(combines with the other pass flags)")
     ana.add_argument("--all", dest="all_passes", action="store_true",
                      help="run every battery, including plans, shapes, "
-                          "health and liveness")
+                          "health, liveness and overlap")
 
     flt = sub.add_parser("faults",
                          help="run a named chaos campaign against real "
@@ -306,6 +309,8 @@ def _cmd_analyze(args, out) -> int:
         argv.append("--health")
     if args.liveness:
         argv.append("--liveness")
+    if args.overlap:
+        argv.append("--overlap")
     if args.all_passes:
         argv.append("--all")
     return analysis_main(argv, out=out)

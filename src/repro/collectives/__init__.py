@@ -8,7 +8,8 @@ from .parameter_server import ps_allreduce
 from .partial import PartialAllreduce
 from .ring import ring_allreduce
 from .sra import sra_allreduce
-from .timing import (SCHEMES, CollectiveTiming, time_allreduce,
+from .timing import (SCHEMES, CollectiveTiming, OverlapStepTiming,
+                     TimedBucket, time_allreduce, time_overlapped_step,
                      time_partial_allreduce)
 from .trace import (BufferAccess, ScheduleTrace, TraceEvent, capture,
                     declare_buffer, emit_buffer_read, emit_buffer_update,
@@ -48,6 +49,7 @@ __all__ = [
     "ALGORITHMS", "allreduce",
     "SCHEMES", "CollectiveTiming", "time_allreduce",
     "time_partial_allreduce", "PartialAllreduce",
+    "TimedBucket", "OverlapStepTiming", "time_overlapped_step",
     "ScheduleTrace", "TraceEvent", "BufferAccess", "capture", "rank_scope",
     "declare_buffer", "emit_buffer_read", "emit_buffer_write",
     "emit_buffer_update", "emit_state_use",

@@ -45,12 +45,14 @@ except ImportError:  # pragma: no cover - numpy < 2.0
 __all__ = [
     "TraceEvent",
     "BufferAccess",
+    "OverlapEvent",
     "ScheduleTrace",
     "capture",
     "rank_scope",
     "phase_scope",
     "emit_send",
     "emit_recv",
+    "emit_overlap",
     "translate_rank",
     "emit_buffer_read",
     "emit_buffer_write",
@@ -58,6 +60,7 @@ __all__ = [
     "emit_state_use",
     "declare_buffer",
     "tracing_active",
+    "timeline_position",
 ]
 
 
@@ -121,18 +124,48 @@ class BufferAccess:
         return self.start < other.end and other.start < self.end
 
 
+@dataclass(frozen=True)
+class OverlapEvent:
+    """One lifecycle event of a gradient in the overlapped engine mode.
+
+    ``kind`` is one of ``grad_ready`` (a layer's backward finished and
+    its gradient was emitted), ``reduce_enqueued`` (a fused bucket
+    sealed — its last member gradient arrived), ``reduce_landed`` (the
+    bucket's reduction completed and its outputs are installed) and
+    ``grad_consumed`` (a consumer past the completion barrier read the
+    reduced gradient).  ``grad_ready``/``grad_consumed`` carry a layer
+    name; ``reduce_enqueued``/``reduce_landed`` carry a bucket name.
+
+    ``t`` is the event's simulated time on the overlapped timeline and
+    ``pos`` the length of the trace ``timeline`` at emission, so the
+    overlap certifier can order these events against the send/recv and
+    buffer-access records the bucket's data path produced.
+    """
+
+    kind: str
+    step: int
+    t: float
+    layer: str = ""
+    bucket: str = ""
+    first_needed: int = -1
+    pos: int = 0
+
+
 class ScheduleTrace:
     """An append-only log of events and accesses in emission order.
 
     ``events`` holds only the send/recv endpoints (the schedule
     verifier's input, unchanged); ``timeline`` interleaves them with
     :class:`BufferAccess` records in true emission order, which is what
-    the happens-before analysis consumes.
+    the happens-before analysis consumes.  ``overlap_events`` holds the
+    overlapped engine mode's gradient-lifecycle records (kept out of
+    ``timeline``: they are scheduling metadata, not rank operations).
     """
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
         self.accesses: list[BufferAccess] = []
+        self.overlap_events: list[OverlapEvent] = []
         self.timeline: list[Union[TraceEvent, BufferAccess]] = []
         #: (rank, name, start, end) of each declared rank-local buffer
         self.declared: list[tuple[int, str, int, int]] = []
@@ -277,6 +310,29 @@ def emit_state_use(rank: int, key, tag: str = "") -> None:
     _active.record_access(
         BufferAccess("update", _translate(rank), "state", repr(key), 0, 0, tag)
     )
+
+
+def emit_overlap(kind: str, step: int, t: float, layer: str = "",
+                 bucket: str = "", first_needed: int = -1) -> None:
+    """Record one overlapped-mode gradient lifecycle event.
+
+    The ``pos`` stamp (timeline length at emission) lets the overlap
+    certifier bracket each bucket's data-path records — the send/recv
+    and state accesses its reduction emitted land between the bucket's
+    ``reduce_enqueued`` and ``reduce_landed`` positions.
+    """
+    if _active is None:
+        return
+    _active.overlap_events.append(OverlapEvent(
+        kind, int(step), float(t), layer=layer, bucket=bucket,
+        first_needed=int(first_needed), pos=len(_active.timeline)))
+
+
+def timeline_position() -> int:
+    """Current timeline length of the active trace (-1 when inactive)."""
+    if _active is None:
+        return -1
+    return len(_active.timeline)
 
 
 def declare_buffer(rank: int, array, name: str = "") -> None:

@@ -68,7 +68,11 @@ class ErrorFeedback:
                  key=None) -> Compressed:
         flat = np.asarray(array, dtype=np.float32).copy()
         residual = self._residuals.get(key)
-        if residual is not None:
+        # a quorum change repartitions collective chunks, so a stored
+        # residual may no longer align element-wise with this key's
+        # chunk; folding it in would add error to the *wrong* elements,
+        # so accumulation restarts instead
+        if residual is not None and residual.shape == flat.shape:
             flat += residual
         compressed = self.compressor.compress(flat, rng, key=key)
         restored = self.compressor.decompress(compressed)

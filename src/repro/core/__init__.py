@@ -23,9 +23,12 @@ from .adaptive import (
 from .api import CGXSession
 from .config import CGXConfig, DEFAULT_FILTERED_KEYWORDS
 from .ddp import CGXDistributedDataParallel
-from .engine import CommunicationEngine, Package, ReductionReport
+from .engine import (CommunicationEngine, Package, ReductionReport,
+                     group_for_transmission)
 from .filters import LayerFilter, LayerInfo
 from .frontends import EagerFrontend, GraphFrontend
+from .overlap import (OverlapBucket, OverlapDelays, OverlapReport,
+                      assemble_buckets, layer_ready_times, schedule_buckets)
 from .qnccl import QNCCL_KERNEL_OVERHEAD_FACTOR, QNCCL_PLAN_MODE, qnccl_config
 from .serialization import (
     config_from_dict,
@@ -43,6 +46,9 @@ __all__ = [
     "CGXSession",
     "CGXDistributedDataParallel",
     "CommunicationEngine", "Package", "ReductionReport",
+    "group_for_transmission",
+    "OverlapBucket", "OverlapDelays", "OverlapReport",
+    "assemble_buckets", "layer_ready_times", "schedule_buckets",
     "LayerFilter", "LayerInfo",
     "EagerFrontend", "GraphFrontend",
     "qnccl_config", "QNCCL_KERNEL_OVERHEAD_FACTOR", "QNCCL_PLAN_MODE",

@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.collectives.trace import emit_overlap
 from repro.nn.module import Module
 
 from .config import CGXConfig
 from .engine import CommunicationEngine, ReductionReport
+from .overlap import OverlapDelays, OverlapReport
 
 __all__ = ["CGXDistributedDataParallel"]
 
@@ -46,6 +48,11 @@ class CGXDistributedDataParallel:
         self.mode = mode
         self.rng = np.random.default_rng(seed)
         self.last_report: ReductionReport | None = None
+        # completion barrier for overlapped mode: gradients whose
+        # reduction has landed this step (consumers must not read
+        # ``param.grad`` before :meth:`mark_consumed` passes)
+        self._landed: set[str] = set()
+        self._landed_step = -1
 
     @property
     def world_size(self) -> int:
@@ -84,6 +91,72 @@ class CGXDistributedDataParallel:
                 )
         self.last_report = report
         return report
+
+    def synchronize_overlapped(
+        self,
+        ready_order: list[str] | None = None,
+        participants: list[int] | None = None,
+        average_over: int | None = None,
+        step: int = 0,
+        delays: OverlapDelays | None = None,
+        measure_payload: bool = False,
+    ) -> OverlapReport:
+        """Overlapped-mode :meth:`synchronize` (cgx planning only).
+
+        ``ready_order`` is the per-layer gradient emission order of the
+        backward pass (from the module grad-ready hooks); the engine
+        enqueues each layer as it becomes ready, fuses transmission
+        buckets and drains them first-needed-first-sent.  Returns once
+        every bucket has landed — the completion barrier — after which
+        :meth:`mark_consumed` certifies consumption ordering.
+        """
+        if self.mode != "cgx":
+            raise ValueError(
+                f"overlapped synchronization requires cgx planning, "
+                f"not mode {self.mode!r} (blob mode reduces whole fusion "
+                f"buffers, which cannot enqueue per layer)")
+        per_worker = []
+        for replica in self.replicas:
+            grads = {}
+            for name, param in replica.named_parameters():
+                if param.grad is None:
+                    grads[name] = np.zeros(param.data.shape, dtype=np.float32)
+                else:
+                    grads[name] = param.grad
+            per_worker.append(grads)
+
+        reduced, report = self.engine.reduce_overlapped(
+            per_worker, self.rng, ready_order=ready_order, average=True,
+            participants=participants, average_over=average_over,
+            step=step, delays=delays, measure_payload=measure_payload)
+        for worker, replica in enumerate(self.replicas):
+            for name, param in replica.named_parameters():
+                param.grad = np.ascontiguousarray(
+                    reduced[worker][name], dtype=np.float32
+                )
+        self.last_report = report
+        self._landed = set(per_worker[0])
+        self._landed_step = step
+        return report
+
+    def mark_consumed(self, step: int) -> None:
+        """Completion barrier check + ``grad_consumed`` trace events.
+
+        Call after :meth:`synchronize_overlapped` and *before* any
+        consumer (clipping, adaptive observation, optimizer) reads
+        ``param.grad``.  Raises if a gradient's reduction has not
+        landed this step — the invariant OVL001 certifies statically.
+        """
+        report = self.last_report
+        t = report.overlapped_time if isinstance(report, OverlapReport) \
+            else 0.0
+        for name, _ in self.replicas[0].named_parameters():
+            if step != self._landed_step or name not in self._landed:
+                raise RuntimeError(
+                    f"gradient {name!r} consumed at step {step} before "
+                    f"its reduction landed (landed step "
+                    f"{self._landed_step})")
+            emit_overlap("grad_consumed", step, t, layer=name)
 
     def check_in_sync(self, atol: float = 0.0) -> bool:
         """True if all replicas hold (near-)identical weights."""

@@ -27,7 +27,8 @@ from repro.compression.topk import ErrorFeedback
 from .config import CGXConfig
 from .filters import LayerFilter, LayerInfo
 
-__all__ = ["Package", "CommunicationEngine", "ReductionReport"]
+__all__ = ["Package", "CommunicationEngine", "ReductionReport",
+           "group_for_transmission"]
 
 
 @dataclass(frozen=True)
@@ -131,6 +132,41 @@ class CommunicationEngine:
         return packages
 
     # -- data path -----------------------------------------------------------
+    def _reduce_package(
+        self,
+        package: Package,
+        buffers: list[np.ndarray],
+        rng: np.random.Generator,
+        quorum: list[int],
+        subset: bool,
+    ) -> tuple[list[np.ndarray], ReduceStats]:
+        """One package through the scheme or its quorum reducer.
+
+        A strict-subset quorum routes through :class:`PartialAllreduce`
+        (carry buffers bank the skipped contributions); once degraded a
+        package stays on the quorum reducer until its carries drain.
+        Shared by the sequential and overlapped data paths so both modes
+        see identical quorum/carry semantics per package name.
+        """
+        world = len(buffers)
+        compressor = self._compressor_for(package)
+        reducer = self._partials.get(package.name)
+        if subset or reducer is not None:
+            if reducer is None or reducer.world != world:
+                reducer = PartialAllreduce(world)
+                self._partials[package.name] = reducer
+            reduced, stats = reducer.reduce(buffers, quorum, compressor,
+                                            rng, key=package.name)
+            if not subset and not reducer.has_carries():
+                # carries drained under full participation: return the
+                # package to the configured scheme next step
+                del self._partials[package.name]
+        else:
+            reduced, stats = allreduce(self.config.scheme, buffers,
+                                       compressor, rng, key=package.name,
+                                       node_of=self.node_of)
+        return reduced, stats
+
     def _compressor_for(self, package: Package) -> Compressor | ErrorFeedback:
         """Per-package compressor, cached so stateful methods keep state.
 
@@ -246,22 +282,8 @@ class CommunicationEngine:
             buffers = [
                 _gather_package(per_worker_grads[w], package) for w in range(world)
             ]
-            compressor = self._compressor_for(package)
-            reducer = self._partials.get(package.name)
-            if subset or reducer is not None:
-                if reducer is None or reducer.world != world:
-                    reducer = PartialAllreduce(world)
-                    self._partials[package.name] = reducer
-                reduced, stats = reducer.reduce(buffers, quorum, compressor,
-                                                rng, key=package.name)
-                if not subset and not reducer.has_carries():
-                    # carries drained under full participation: return
-                    # the package to the configured scheme next step
-                    del self._partials[package.name]
-            else:
-                reduced, stats = allreduce(self.config.scheme, buffers,
-                                           compressor, rng, key=package.name,
-                                           node_of=self.node_of)
+            reduced, stats = self._reduce_package(package, buffers, rng,
+                                                  quorum, subset)
             scale = 1.0 / (average_over or world) if average else 1.0
             for w in range(world):
                 _scatter_package(outputs[w], reduced[w] * scale, package)
@@ -274,6 +296,206 @@ class CommunicationEngine:
             report.per_package.append((package.name, stats))
         report.dense_bytes = sum(layer.numel * 4 for layer in layers)
         return outputs, report
+
+    def reduce_overlapped(
+        self,
+        per_worker_grads: list[dict[str, np.ndarray]],
+        rng: np.random.Generator,
+        ready_order: list[str] | None = None,
+        average: bool = True,
+        participants: list[int] | None = None,
+        average_over: int | None = None,
+        step: int = 0,
+        delays=None,
+        measure_payload: bool = False,
+    ):
+        """Overlapped-mode reduction: per-layer enqueue, fused buckets.
+
+        The async counterpart of :meth:`reduce` (cgx planning only).
+        Each layer becomes its own package the moment its gradient is
+        emitted (``ready_order``, default reverse forward order);
+        consecutive same-spec packages fuse into ``fusion_bytes``
+        transmission buckets, and buckets drain over one simulated
+        communication channel in first-needed-first-sent order.  The
+        reduction *math* is untouched — every inner package keeps its
+        own compressor, error-feedback residuals and quorum carries
+        keyed by layer name — so for deterministic compressors the
+        reduced values are bit-identical to per-layer sequential mode;
+        only the simulated timeline (and, for stochastic compressors,
+        the shared-rng consumption order) differs.
+
+        Emits ``grad_ready`` / ``reduce_enqueued`` / ``reduce_landed``
+        overlap events in simulated-time order onto the active trace;
+        ``delays`` (an :class:`~repro.core.overlap.OverlapDelays`)
+        injects the compute/transfer intervals, defaulting to a
+        size-proportional envelope.  ``measure_payload`` additionally
+        serializes each inner package once through a fresh stateless
+        compressor, grounding the bucket byte accounting (OVL002).
+
+        Returns (per-worker reduced gradients,
+        :class:`~repro.core.overlap.OverlapReport`).
+        """
+        from .overlap import (OverlapDelays, OverlapReport, assemble_buckets,
+                              layer_ready_times, schedule_buckets)
+        from .serialization import serialize_payload
+        from repro.collectives.trace import emit_overlap, timeline_position
+
+        if not per_worker_grads:
+            raise ValueError("need at least one worker")
+        names = list(per_worker_grads[0])
+        for i, grads in enumerate(per_worker_grads):
+            if list(grads) != names:
+                raise ValueError(f"worker {i} gradient names differ")
+        world = len(per_worker_grads)
+        quorum = sorted(set(participants)) if participants is not None \
+            else list(range(world))
+        if any(not 0 <= p < world for p in quorum):
+            raise ValueError("participant rank out of range")
+        subset = len(quorum) < world
+
+        if ready_order is None:
+            ready_order = list(reversed(names))
+        if sorted(ready_order) != sorted(names):
+            raise ValueError("ready_order must be a permutation of the "
+                             "gradient names")
+        forward_pos = {name: i for i, name in enumerate(names)}
+        layers = {
+            name: LayerInfo(name, per_worker_grads[0][name].size,
+                            tuple(per_worker_grads[0][name].shape))
+            for name in names
+        }
+        # per-layer packages in emission order; the filter decides the
+        # spec (filtered layers ride fp32 per-layer packages — bucket
+        # fusion regroups them, replacing sequential mode's one fused
+        # "filtered" package)
+        fp32 = CompressionSpec("none")
+        packages = [
+            Package(name, (layers[name],),
+                    fp32 if self.filter.excluded(layers[name])
+                    else self.config.spec_for(name))
+            for name in ready_order
+        ]
+        buckets = assemble_buckets(packages, forward_pos,
+                                   self.config.fusion_bytes)
+        if delays is None:
+            delays = OverlapDelays.default_for(
+                {name: layers[name].numel for name in names})
+        ready = layer_ready_times(ready_order, delays)
+        launch_order = schedule_buckets(
+            buckets, ready, lambda b: delays.bucket_comm(b.wire_bytes))
+
+        report = OverlapReport()
+        if subset:
+            report.quorum_world = len(quorum)
+        report.buckets = list(buckets)
+        report.compute_end = max(ready.values()) if ready else 0.0
+        report.comm_total = sum(b.landed_t - b.launch_t for b in buckets)
+        report.overlapped_time = max(
+            [report.compute_end] + [b.landed_t for b in buckets])
+        report.sequential_time = report.compute_end + report.comm_total
+        report.dense_bytes = sum(info.numel * 4 for info in layers.values())
+        outputs: list[dict[str, np.ndarray]] = [dict() for _ in range(world)]
+        scale = 1.0 / (average_over or world) if average else 1.0
+
+        # chronology: emit lifecycle events in simulated-time order;
+        # each bucket's data path executes at its landing, bracketed by
+        # exec_span for the certifier's in-flight attribution
+        actions: list[tuple[float, int, int, str, object]] = []
+        for seq, name in enumerate(ready_order):
+            actions.append((ready[name], 0, seq, "ready", name))
+        for seq, bucket in enumerate(buckets):
+            actions.append((bucket.ready_t, 1, seq, "enqueue", bucket))
+        for seq, bucket in enumerate(launch_order):
+            actions.append((bucket.landed_t, 2, seq, "land", bucket))
+        actions.sort(key=lambda a: (a[0], a[1], a[2]))
+
+        for t, _, _, kind, payload in actions:
+            if kind == "ready":
+                emit_overlap("grad_ready", step, t, layer=str(payload))
+                continue
+            bucket = payload
+            if kind == "enqueue":
+                emit_overlap("reduce_enqueued", step, t, bucket=bucket.name,
+                             first_needed=bucket.first_needed)
+                continue
+            exec_start = timeline_position()
+            measured = 0
+            for package in bucket.packages:
+                buffers = [
+                    _gather_package(per_worker_grads[w], package)
+                    for w in range(world)
+                ]
+                if measure_payload:
+                    probe = make_compressor(package.spec)
+                    compressed = probe.compress(
+                        buffers[0].copy(), np.random.default_rng(0),
+                        key=package.name)
+                    measured += len(serialize_payload(compressed))
+                reduced, stats = self._reduce_package(package, buffers, rng,
+                                                      quorum, subset)
+                for w in range(world):
+                    _scatter_package(outputs[w], reduced[w] * scale, package)
+                report.packages += 1
+                report.wire_bytes += stats.wire_bytes
+                report.payload_bytes += package.wire_bytes()
+                report.compress_calls += stats.compress_calls
+                report.retries += stats.retries
+                report.retransmit_bytes += stats.retransmit_bytes
+                report.per_package.append((package.name, stats))
+            if measure_payload:
+                bucket.measured_bytes = measured
+            bucket.exec_span = (exec_start, timeline_position())
+            emit_overlap("reduce_landed", step, t, bucket=bucket.name,
+                         first_needed=bucket.first_needed)
+        return outputs, report
+
+
+def group_for_transmission(packages: list[Package],
+                           fusion_bytes: int) -> list[Package]:
+    """Fuse consecutive same-spec compressed packages into one collective.
+
+    CGX compresses *per layer* (each layer keeps its own buckets and
+    spec) but groups the transmissions of consecutive small layers so a
+    many-layer CNN does not pay one collective's latency per 100 KB
+    tensor (Section 4, "Improved Scheduling": filtering and grouping
+    remove extra kernel calls "without notable increase of communication
+    costs").  Packages above the fusion threshold travel alone.
+
+    Shared by the timed perf model (group-per-collective scheduling)
+    and the overlapped engine mode (transmission buckets).
+    """
+    grouped: list[Package] = []
+    pending: list[Package] = []
+    pending_bytes = 0
+
+    def flush() -> None:
+        nonlocal pending, pending_bytes
+        if not pending:
+            return
+        if len(pending) == 1:
+            grouped.append(pending[0])
+        else:
+            fused = tuple(l for pkg in pending for l in pkg.layers)
+            grouped.append(
+                Package(f"group[{pending[0].name}..{pending[-1].name}]",
+                        fused, pending[0].spec)
+            )
+        pending, pending_bytes = [], 0
+
+    for package in packages:
+        dense = package.numel * 4
+        if (pending and (package.spec != pending[0].spec
+                         or pending_bytes + dense > fusion_bytes)):
+            flush()
+        # PowerSGD factors are per-matrix; those packages never group
+        if dense > fusion_bytes or package.spec.method == "powersgd":
+            flush()
+            grouped.append(package)
+            continue
+        pending.append(package)
+        pending_bytes += dense
+    flush()
+    return grouped
 
 
 def _gather_package(grads: dict[str, np.ndarray], package: Package) -> np.ndarray:

@@ -120,9 +120,14 @@ class TinyResNet(Module):
         return self.fc(self.pool(x))
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        grad = self.pool.backward(self.fc.backward(grad))
+        grad = self.fc.backward(grad)
+        self._notify_grad_ready("fc")
+        grad = self.pool.backward(grad)
         grad = self.blocks.backward(grad)
-        grad = self.stem.backward(self.stem_bn.backward(self.stem_relu.backward(grad)))
+        grad = self.stem_bn.backward(self.stem_relu.backward(grad))
+        self._notify_grad_ready("stem_bn")
+        grad = self.stem.backward(grad)
+        self._notify_grad_ready("stem")
         return grad
 
 
@@ -255,9 +260,16 @@ class ViTClassifier(Module):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         grad = self.head.backward(grad)
+        self._notify_grad_ready("head")
         grad = np.repeat(grad[:, None, :], self._seq, axis=1) / self._seq
-        grad = self.blocks.backward(self.norm.backward(grad))
-        return self.patch.backward(self.pos.backward(grad))
+        grad = self.norm.backward(grad)
+        self._notify_grad_ready("norm")
+        grad = self.blocks.backward(grad)
+        grad = self.pos.backward(grad)
+        self._notify_grad_ready("pos")
+        grad = self.patch.backward(grad)
+        self._notify_grad_ready("patch")
+        return grad
 
 
 class TransformerLM(Module):
@@ -298,8 +310,15 @@ class TransformerLM(Module):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         grad = self.head.backward(grad)
-        grad = self.blocks.backward(self.norm.backward(grad))
-        return self.embed.backward(self.pos.backward(self.drop.backward(grad)))
+        self._notify_grad_ready("head")
+        grad = self.norm.backward(grad)
+        self._notify_grad_ready("norm")
+        grad = self.blocks.backward(grad)
+        grad = self.pos.backward(self.drop.backward(grad))
+        self._notify_grad_ready("pos")
+        grad = self.embed.backward(grad)
+        self._notify_grad_ready("embed")
+        return grad
 
 
 class BertQA(Module):
@@ -332,8 +351,15 @@ class BertQA(Module):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         grad = self.qa_head.backward(grad)
-        grad = self.blocks.backward(self.norm.backward(grad))
-        return self.embed.backward(self.pos.backward(grad))
+        self._notify_grad_ready("qa_head")
+        grad = self.norm.backward(grad)
+        self._notify_grad_ready("norm")
+        grad = self.blocks.backward(grad)
+        grad = self.pos.backward(grad)
+        self._notify_grad_ready("pos")
+        grad = self.embed.backward(grad)
+        self._notify_grad_ready("embed")
+        return grad
 
 
 #: Family name -> (constructor, GELU-free CNN flag).  Matches paper Table 3.

@@ -11,11 +11,16 @@ gradients exactly the way CGX does.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
 __all__ = ["Parameter", "Module", "Sequential"]
+
+#: a grad-ready hook receives the dotted names (relative to the module
+#: the hook was registered on) of the parameters whose gradients one
+#: backward stage just finished accumulating
+GradReadyHook = Callable[[list[str]], None]
 
 
 class Parameter:
@@ -67,6 +72,10 @@ class Module:
         self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
         self.training = True
+        # (root-relative prefix, hook) sinks notified when one of this
+        # module's child stages finishes its backward — the per-layer
+        # gradient emission signal the overlapped engine consumes
+        self._grad_ready_sinks: list[tuple[str, GradReadyHook]] = []
 
     # -- registration ----------------------------------------------------
     def register_parameter(self, name: str, param: Parameter) -> Parameter:
@@ -95,6 +104,60 @@ class Module:
         yield self
         for child in self._modules.values():
             yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_prefix, module)`` pairs, root first.
+
+        The prefix ends with ``.`` for children (matches the dotted
+        parameter names of :meth:`named_parameters`); the root's prefix
+        is the empty string.
+        """
+        yield prefix, self
+        for name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{name}.")
+
+    # -- gradient-readiness hooks -----------------------------------------
+    def register_grad_ready_hook(self, hook: GradReadyHook) -> None:
+        """Fire ``hook`` as each backward stage emits its gradients.
+
+        The hook receives the dotted parameter names (relative to this
+        module) of one just-finished stage, in emission order — the
+        signal the overlapped communication engine uses to enqueue
+        per-layer reductions while the rest of the backward pass runs.
+        The registration propagates to every submodule so nested
+        containers (a ``Sequential`` of blocks inside a model) report
+        through the same hook with correctly prefixed names.
+        """
+        for module_prefix, module in self.named_modules():
+            module._grad_ready_sinks.append((module_prefix, hook))
+
+    def clear_grad_ready_hooks(self) -> None:
+        for _, module in self.named_modules():
+            module._grad_ready_sinks.clear()
+
+    def _notify_grad_ready(self, child_key: str) -> None:
+        """Report that child stage ``child_key``'s backward finished.
+
+        Called by container ``backward`` implementations right after
+        ``self._modules[child_key].backward(...)`` returns (or with a
+        directly-registered parameter's name).  No-op when no hook is
+        registered, so the backward pass pays one empty-list check per
+        stage in sequential mode.
+        """
+        sinks = self._grad_ready_sinks
+        if not sinks:
+            return
+        child = self._modules.get(child_key)
+        if child is not None:
+            names = [f"{child_key}.{n}" for n, _ in child.named_parameters()]
+        elif child_key in self._parameters:
+            names = [child_key]
+        else:
+            names = []
+        if not names:
+            return
+        for module_prefix, hook in sinks:
+            hook([f"{module_prefix}{n}" for n in names])
 
     def num_parameters(self) -> int:
         return sum(p.numel for p in self.parameters())
@@ -162,8 +225,9 @@ class Sequential(Module):
         return x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
-        for layer in reversed(self.layers):
-            grad = layer.backward(grad)
+        for i in range(len(self.layers) - 1, -1, -1):
+            grad = self.layers[i].backward(grad)
+            self._notify_grad_ready(str(i))
         return grad
 
     def __len__(self) -> int:

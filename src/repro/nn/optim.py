@@ -10,11 +10,30 @@ interaction the paper discusses).
 
 from __future__ import annotations
 
+from typing import Callable, TypeVar
+
 import numpy as np
 
 from .module import Parameter
 
-__all__ = ["SGD", "Adam", "clip_grad_norm", "global_grad_norm"]
+__all__ = ["SGD", "Adam", "clip_grad_norm", "global_grad_norm",
+           "grad_consumer"]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def grad_consumer(fn: _F) -> _F:
+    """Mark ``fn`` as a sanctioned gradient sink.
+
+    The overlapped engine's completion barrier guarantees every
+    ``param.grad`` is fully reduced before consumers run; the OVL006
+    lint flags functions on the optimizer/trainer path that read
+    ``.grad`` without either synchronizing themselves or carrying this
+    marker.  Decorating a function asserts it only ever runs after the
+    barrier (optimizer updates, clipping, norm measurement).
+    """
+    fn.__grad_consumer__ = True  # type: ignore[attr-defined]
+    return fn
 
 
 class Optimizer:
@@ -65,6 +84,7 @@ class SGD(Optimizer):
         self.nesterov = nesterov
         self._velocity: dict[int, np.ndarray] = {}
 
+    @grad_consumer
     def step(self) -> None:
         for i, param in enumerate(self.params):
             if param.grad is None:
@@ -110,6 +130,7 @@ class Adam(Optimizer):
         self._m: dict[int, np.ndarray] = {}
         self._v: dict[int, np.ndarray] = {}
 
+    @grad_consumer
     def step(self) -> None:
         self._step_count += 1
         beta1, beta2 = self.betas
@@ -148,6 +169,7 @@ class Adam(Optimizer):
                    for i, v in state["v"].items()}
 
 
+@grad_consumer
 def global_grad_norm(params: list[Parameter]) -> float:
     """L2 norm of all gradients concatenated."""
     total = 0.0
@@ -157,6 +179,7 @@ def global_grad_norm(params: list[Parameter]) -> float:
     return float(np.sqrt(total))
 
 
+@grad_consumer
 def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
     """Scale gradients so the global norm is at most ``max_norm``.
 

@@ -31,6 +31,7 @@ from repro.collectives import time_allreduce
 from repro.compression import CompressionSpec
 from repro.compression.metrics import kernel_seconds
 from repro.core import CGXConfig, CommunicationEngine, LayerInfo, Package
+from repro.core.engine import group_for_transmission
 from repro.core.qnccl import QNCCL_KERNEL_OVERHEAD_FACTOR
 from repro.models import ModelSpec
 
@@ -166,7 +167,7 @@ def simulate_step(
     ]
     packages = engine.plan(layers, mode=plan_mode)
     if plan_mode == "cgx":
-        packages = _group_for_transmission(packages, config.fusion_bytes)
+        packages = group_for_transmission(packages, config.fusion_bytes)
     if compute_jitter is None:
         compute_jitter = [0.0] * n_gpus
     if len(compute_jitter) != n_gpus:
@@ -222,51 +223,6 @@ def simulate_step(
     comm_tail = max(0.0, last_end - compute_time)
     return StepTiming(n_gpus, batch_per_gpu, compute_time, step_time,
                       comm_tail, wire_total, kernel_total, items, ideal)
-
-
-def _group_for_transmission(packages: list[Package],
-                            fusion_bytes: int) -> list[Package]:
-    """Fuse consecutive same-spec compressed packages into one collective.
-
-    CGX compresses *per layer* (each layer keeps its own buckets and
-    spec) but groups the transmissions of consecutive small layers so a
-    many-layer CNN does not pay one collective's latency per 100 KB
-    tensor (Section 4, "Improved Scheduling": filtering and grouping
-    remove extra kernel calls "without notable increase of communication
-    costs").  Packages above the fusion threshold travel alone.
-    """
-    grouped: list[Package] = []
-    pending: list[Package] = []
-    pending_bytes = 0
-
-    def flush():
-        nonlocal pending, pending_bytes
-        if not pending:
-            return
-        if len(pending) == 1:
-            grouped.append(pending[0])
-        else:
-            layers = tuple(l for pkg in pending for l in pkg.layers)
-            grouped.append(
-                Package(f"group[{pending[0].name}..{pending[-1].name}]",
-                        layers, pending[0].spec)
-            )
-        pending, pending_bytes = [], 0
-
-    for package in packages:
-        dense = package.numel * 4
-        if (pending and (package.spec != pending[0].spec
-                         or pending_bytes + dense > fusion_bytes)):
-            flush()
-        # PowerSGD factors are per-matrix; those packages never group
-        if dense > fusion_bytes or package.spec.method == "powersgd":
-            flush()
-            grouped.append(package)
-            continue
-        pending.append(package)
-        pending_bytes += dense
-    flush()
-    return grouped
 
 
 def _schedule_powersgd(net: Network, ranks: list[int], package: Package,

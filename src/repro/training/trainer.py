@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core import AdaptiveController, CGXConfig, \
-    CGXDistributedDataParallel
+    CGXDistributedDataParallel, OverlapDelays
 from repro.faults import (CheckpointStore, FaultPlan, HealthMonitor,
                           HealthPolicy, HeartbeatTransport, PlanRuntime,
                           ResiliencePolicy, Supervisor, inject_data_path,
@@ -79,6 +79,8 @@ class DataParallelTrainer:
         supervised: bool = False,
         health: HealthPolicy | None = None,
         store: CheckpointStore | None = None,
+        overlap: bool = False,
+        overlap_delays: OverlapDelays | None = None,
     ):
         self.task = task
         self.recipe = recipe or get_recipe(task.name)
@@ -121,6 +123,28 @@ class DataParallelTrainer:
         self._step_index = 0
         self._batches_drawn = 0
         self._dead_prev: set[int] = set()
+        # overlapped engine mode: per-layer gradients enqueue for
+        # reduction as their backward stages finish.  Opt-in and
+        # independent of config.overlap (which only drives the timed
+        # perf model) so existing sequential runs keep their exact
+        # rng-consumption order.
+        self.overlap = overlap
+        self.overlap_delays = overlap_delays
+        self._ready_order: list[str] = []
+        self._ready_seen: set[str] = set()
+        if overlap:
+            if mode != "cgx":
+                raise ValueError("overlap=True requires cgx mode")
+
+            def on_grad_ready(names: list[str]) -> None:
+                for name in names:
+                    if name not in self._ready_seen:
+                        self._ready_seen.add(name)
+                        self._ready_order.append(name)
+
+            # replica 0's emission order stands for all replicas (same
+            # model, same deterministic backward traversal)
+            self.replicas[0].register_grad_ready_hook(on_grad_ready)
 
     def _make_optimizer(self, replica):
         recipe = self.recipe
@@ -197,6 +221,8 @@ class DataParallelTrainer:
                 average_over = self.world_size - len(dead)
 
         losses = []
+        self._ready_order = []
+        self._ready_seen = set()
         for rank, replica in enumerate(self.replicas):
             replica.zero_grad()
             if rank in dead:
@@ -216,8 +242,18 @@ class DataParallelTrainer:
         inject = inject_data_path(runtime) if runtime is not None \
             else nullcontext()
         with inject:
-            report = self.ddp.synchronize(participants=participants,
-                                          average_over=average_over)
+            if self.overlap:
+                report = self.ddp.synchronize_overlapped(
+                    ready_order=self._complete_ready_order(),
+                    participants=participants, average_over=average_over,
+                    step=self._step_index, delays=self.overlap_delays)
+                # completion barrier: every consumer below (adaptive
+                # observation, clipping, optimizer) runs only after all
+                # buckets landed — certified statically by OVL001
+                self.ddp.mark_consumed(self._step_index)
+            else:
+                report = self.ddp.synchronize(participants=participants,
+                                              average_over=average_over)
         self._last_report = report
         if self.adaptive is not None:
             grads = {name: param.grad
@@ -239,6 +275,23 @@ class DataParallelTrainer:
                 runtime.counters.store_writes += 1
                 runtime.record("store_write")
         return float(np.mean(losses))
+
+    def _complete_ready_order(self) -> list[str]:
+        """The step's gradient emission order, covering every parameter.
+
+        Hook-reported names come first (true emission order of replica
+        0's backward).  Parameters the hooks did not cover — stages
+        without a notification, or every parameter when rank 0 was dead
+        this step — append in reverse registration order, the
+        conservative ready-at-backward-end default.
+        """
+        order = list(self._ready_order)
+        seen = set(self._ready_seen)
+        for name, _ in reversed(list(self.replicas[0].named_parameters())):
+            if name not in seen:
+                seen.add(name)
+                order.append(name)
+        return order
 
     # -- fault recovery ----------------------------------------------------
     def _adopt_peer_state(self, rank: int, dead: set[int]) -> None:
@@ -395,6 +448,8 @@ def train_family(
     supervised: bool = False,
     health: HealthPolicy | None = None,
     store: CheckpointStore | None = None,
+    overlap: bool = False,
+    overlap_delays: OverlapDelays | None = None,
 ) -> TrainResult:
     """Convenience: build the task from its recipe and train it.
 
@@ -414,5 +469,7 @@ def train_family(
                                   recipe=recipe, seed=seed, mode=mode,
                                   adaptive=adaptive, fault_plan=fault_plan,
                                   policy=policy, supervised=supervised,
-                                  health=health, store=store)
+                                  health=health, store=store,
+                                  overlap=overlap,
+                                  overlap_delays=overlap_delays)
     return trainer.train(steps=steps, eval_every=eval_every)

@@ -1,0 +1,32 @@
+"""Fixture: triggers exactly one OVL006 (barrier-bypassing .grad read)."""
+
+from repro.nn.optim import grad_consumer
+
+
+def sneaky_update(params, lr):
+    # flagged: reads .grad with no barrier call and no marker
+    for param in params:
+        param.data -= lr * param.grad
+
+
+@grad_consumer
+def sanctioned_update(params, lr):
+    for param in params:
+        param.data -= lr * param.grad
+
+
+def barriered_update(ddp, params, lr, step):
+    ddp.mark_consumed(step)
+    for param in params:
+        param.data -= lr * param.grad
+
+
+def zero_grad(params):
+    for param in params:
+        param.grad = None
+
+
+def writes_only(params, value):
+    # stores into .grad (producer side): not a consumer read
+    for param in params:
+        param.grad = value

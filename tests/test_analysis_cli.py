@@ -179,7 +179,8 @@ def test_all_flag_selects_every_pass():
     args = build_parser().parse_args(["--all"])
     assert select_passes(args) == ALL_PASSES
     assert set(ALL_PASSES) == {"lint", "schedule", "contracts", "races",
-                               "plans", "shapes", "health", "liveness"}
+                               "plans", "shapes", "health", "liveness",
+                               "overlap"}
 
 
 def test_all_flag_rejects_pass_selection_flags():

@@ -8,7 +8,7 @@ from repro.compression import CompressionSpec
 from repro.core import CGXConfig, CommunicationEngine, LayerInfo
 from repro.models import build_spec
 from repro.training import simulate_machine_step
-from repro.training.perf import _group_for_transmission
+from repro.core.engine import group_for_transmission as _group_for_transmission
 
 RTX = get_machine("rtx3090-8x")
 
@@ -24,7 +24,7 @@ def make_packages(sizes, spec=None):
 
 def test_grouping_fuses_consecutive_small_packages():
     packages = make_packages([1000] * 10)
-    grouped = _group_for_transmission(packages, fusion_bytes=16_000)
+    grouped = _group_for_transmission(packages, 16_000)
     assert len(grouped) < 10
     total = sum(p.numel for p in grouped)
     assert total == 10_000
@@ -32,7 +32,7 @@ def test_grouping_fuses_consecutive_small_packages():
 
 def test_grouping_leaves_large_packages_alone():
     packages = make_packages([1000, 50_000_000, 1000])
-    grouped = _group_for_transmission(packages, fusion_bytes=1 << 20)
+    grouped = _group_for_transmission(packages, 1 << 20)
     big = [p for p in grouped if p.numel == 50_000_000]
     assert len(big) == 1
     assert len(big[0].layers) == 1
@@ -47,7 +47,7 @@ def test_grouping_respects_spec_boundaries():
     engine = CommunicationEngine(config)
     layers = [LayerInfo(f"l{i}", 1000) for i in range(3)]
     packages = engine.plan(layers, mode="cgx")
-    grouped = _group_for_transmission(packages, fusion_bytes=1 << 20)
+    grouped = _group_for_transmission(packages, 1 << 20)
     # l1 has a different spec and cannot fuse with l0/l2
     assert len(grouped) == 3
 
@@ -55,7 +55,7 @@ def test_grouping_respects_spec_boundaries():
 def test_grouping_never_fuses_powersgd():
     spec = CompressionSpec("powersgd", rank=4)
     packages = make_packages([1000, 1000], spec=spec)
-    grouped = _group_for_transmission(packages, fusion_bytes=1 << 20)
+    grouped = _group_for_transmission(packages, 1 << 20)
     assert len(grouped) == 2
 
 
