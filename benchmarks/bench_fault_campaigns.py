@@ -15,7 +15,7 @@ oracle zero times and raising zero false suspicions (the contracts the
 analysis HLT rules certify).
 """
 
-from common import emit, format_table, run_once
+from common import emit, format_table, run_once, write_bench_json
 
 from repro.compression import CompressionSpec
 from repro.core import CGXConfig
@@ -93,6 +93,18 @@ def test_fault_campaign_resilience(benchmark):
              "doing real work.",
     )
     emit("fault_campaigns", table)
+    write_bench_json("faults", [
+        {
+            "campaign": name,
+            "final_loss": result.final_loss,
+            "final_metric": result.final_metric,
+            "reference_loss": reference.final_loss,
+            "retries": result.retries_total,
+            "counters": dict(result.fault_summary or {}),
+        }
+        for name, (result, reference) in sorted(results.items())
+    ], extra={"family": FAMILY, "world": WORLD, "steps": STEPS,
+              "seed": SEED})
 
     for name, (result, clean) in results.items():
         counters = result.fault_summary or {}

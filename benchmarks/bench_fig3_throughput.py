@@ -7,7 +7,7 @@ linear scaling for large models and CGX recovers 80-90%, letting the
 baseline already scales and compression is unnecessary.
 """
 
-from common import emit, format_table, run_once
+from common import emit, format_table, run_once, write_bench_json
 
 from repro.cluster import get_machine
 from repro.core import CGXConfig
@@ -61,6 +61,15 @@ def test_fig3_throughput_bars(benchmark):
              "2-3x self-speedup; 3090+CGX matches DGX-1.",
     )
     emit("fig3_throughput", table)
+    write_bench_json("fig3", [
+        {
+            "model": model, "machine": machine_name, "gpus": n,
+            **{method: timing.throughput if hasattr(timing, "throughput")
+               else timing
+               for method, timing in entry.items()},
+        }
+        for (model, machine_name, n), entry in sorted(results.items())
+    ])
 
     for model in MODELS:
         entry = results[(model, "rtx3090-8x", 8)]

@@ -1,0 +1,103 @@
+"""Extension: multi-tenant fleet scheduling at queue depth.
+
+Sweeps 200 queued training jobs — mixed resnet50 / vgg16 /
+transformer_xl, world sizes 2-8, mixed CGX bit-widths with an
+uncompressed-NCCL minority — over a 4-node / 32-GPU commodity fleet
+under each placement policy, all sharing one link-resource pool.  The
+sweep reports fleet throughput, queueing delay (mean/p95), and Jain
+fairness per policy, persists ``BENCH_fleet.json``, and enforces the
+fleet determinism contract: two same-seed campaigns must produce
+byte-identical canonical event logs.
+"""
+
+from common import emit, format_table, run_once, write_bench_json
+
+from repro.cluster import make_cluster
+from repro.sched import (PLACEMENT_POLICIES, FleetSimulator, compute_metrics,
+                         sample_fleet)
+
+MACHINE = "rtx3090-8x"
+NODES = 4
+N_JOBS = 200
+SEED = 7
+WORLDS = (2, 4, 8)
+
+
+def _fleet(policy: str):
+    topology = make_cluster(MACHINE, NODES)
+    jobs = sample_fleet(N_JOBS, seed=SEED, worlds=WORLDS)
+    return FleetSimulator(topology, jobs, policy=policy, seed=SEED).run()
+
+
+def campaign():
+    rows = []
+    results = {}
+    for policy in PLACEMENT_POLICIES:
+        result = _fleet(policy)
+        metrics = compute_metrics(result)
+        results[policy] = (result, metrics)
+        rows.append([
+            policy, metrics.completed,
+            f"{metrics.makespan:.1f}",
+            f"{metrics.fleet_items_per_s:,.0f}",
+            f"{metrics.mean_queue_wait:.2f}",
+            f"{metrics.p95_queue_wait:.2f}",
+            f"{metrics.fairness:.3f}",
+            f"{metrics.mean_slowdown:.2f}",
+        ])
+    return rows, results
+
+
+def test_fleet_scheduler_sweep(benchmark):
+    rows, results = run_once(benchmark, campaign)
+    table = format_table(
+        f"Fleet scheduling — {N_JOBS} queued jobs on {MACHINE} x{NODES} "
+        f"(32 GPUs), seed {SEED}",
+        ["policy", "done", "makespan", "items/s", "qwait", "qwait p95",
+         "fairness", "slowdown"],
+        rows,
+        note="Mixed resnet50/vgg16/transformer_xl jobs, worlds 2-8, "
+             "CGX 2/4/8-bit with an uncompressed-NCCL minority; one "
+             "shared link pool, contention across jobs emerges on "
+             "host-memory/QPI/Ethernet links.",
+    )
+    emit("fleet_scheduler", table)
+    write_bench_json("fleet", [
+        {
+            "policy": policy,
+            "completed": m.completed,
+            "makespan": m.makespan,
+            "fleet_items_per_s": m.fleet_items_per_s,
+            "fleet_steps_per_s": m.fleet_steps_per_s,
+            "mean_queue_wait": m.mean_queue_wait,
+            "p95_queue_wait": m.p95_queue_wait,
+            "fairness": m.fairness,
+            "mean_slowdown": m.mean_slowdown,
+            "total_wire_bytes": m.total_wire_bytes,
+        }
+        for policy, (_, m) in sorted(results.items())
+    ], extra={"machine": MACHINE, "nodes": NODES, "n_jobs": N_JOBS,
+              "seed": SEED, "worlds": list(WORLDS)})
+
+    for policy, (result, metrics) in results.items():
+        # every queued job must eventually run and depart
+        assert metrics.completed == N_JOBS, policy
+        # 200 jobs on 32 GPUs is a deep queue: waiting must be real
+        assert metrics.mean_queue_wait > 0, policy
+        assert metrics.p95_queue_wait >= metrics.mean_queue_wait, policy
+        assert 0 < metrics.fairness <= 1, policy
+        # sharing the pool can only slow a job down, never speed it up
+        assert metrics.mean_slowdown >= 1.0, policy
+
+    # determinism: a same-seed re-run is byte-identical
+    packed, _ = results["packed"]
+    assert _fleet("packed").log_bytes() == packed.log_bytes()
+
+    # packed and spread must disagree measurably about contention:
+    # spread jobs straddle the slow Ethernet, packed jobs pile onto
+    # intra-node links — slowdown and throughput cannot coincide
+    m_packed = results["packed"][1]
+    m_spread = results["spread"][1]
+    assert m_packed.mean_slowdown != m_spread.mean_slowdown
+    ratio = m_packed.fleet_items_per_s / m_spread.fleet_items_per_s
+    assert abs(ratio - 1.0) > 0.05, ratio

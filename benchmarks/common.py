@@ -11,6 +11,7 @@ not the quantity of interest.
 
 from __future__ import annotations
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -53,6 +54,26 @@ def emit(name: str, text: str) -> str:
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as handle:
         handle.write(text + "\n")
+    return path
+
+
+def write_bench_json(area: str, rows: list[dict],
+                     extra: dict | None = None) -> str:
+    """Persist machine-readable rows as ``results/BENCH_<area>.json``.
+
+    The text tables from :func:`emit` are for humans; this is the
+    stable sibling for tooling (CI ratchets, cross-PR comparisons).
+    ``rows`` is a list of flat dicts; ``extra`` merges additional
+    top-level fields (sweep parameters, environment) into the payload.
+    """
+    payload: dict = {"version": 1, "area": area, "rows": rows}
+    if extra:
+        payload.update(extra)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{area}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path
 
 

@@ -10,7 +10,10 @@ Three commands cover the common workflows:
 * ``experiment`` — regenerate one of the paper's tables/figures by
   running its benchmark (``--list`` enumerates them);
 * ``analyze`` — static analysis: numerical-safety lint + collective-
-  schedule verification (see ``docs/analysis.md``).
+  schedule verification (see ``docs/analysis.md``);
+* ``sched`` — run a multi-tenant fleet: N concurrent training jobs
+  placed onto one shared simulated cluster, reporting fleet
+  throughput, queueing delay and Jain fairness.
 
 Examples::
 
@@ -144,6 +147,40 @@ def build_parser() -> argparse.ArgumentParser:
                           "(supervised mode; enables escalation restore)")
     flt.add_argument("--keep", type=int, default=3,
                      help="checkpoints retained in the store (default 3)")
+
+    sch = sub.add_parser("sched",
+                         help="run a multi-tenant fleet of concurrent "
+                              "training jobs on one shared cluster")
+    sch.add_argument("--jobs", type=int, default=24,
+                     help="number of jobs in the seeded workload")
+    sch.add_argument("--machine", default="rtx3090-8x",
+                     choices=sorted(MACHINES))
+    sch.add_argument("--nodes", type=int, default=2,
+                     help="identical machines joined by Ethernet")
+    sch.add_argument("--policy", default="packed",
+                     help="placement policy (packed/spread/numa)")
+    sch.add_argument("--routing", default="static",
+                     choices=("static", "adaptive"))
+    sch.add_argument("--seed", type=int, default=0,
+                     help="workload seed (same seed = same fleet, byte "
+                          "for byte)")
+    sch.add_argument("--mean-interarrival", type=float, default=0.05,
+                     help="mean seconds between job arrivals")
+    sch.add_argument("--models", default=None,
+                     help="comma-separated model specs for the workload "
+                          "mix")
+    sch.add_argument("--worlds", default="2,4,8",
+                     help="comma-separated world sizes to draw from")
+    sch.add_argument("--log", default=None,
+                     help="write the canonical fleet event log here")
+    sch.add_argument("--trace", default=None,
+                     help="write a Chrome/Perfetto trace with per-job "
+                          "lanes here")
+    sch.add_argument("--link-load-bin", type=float, default=0.0,
+                     help="track per-link load timelines in bins of this "
+                          "width (seconds)")
+    sch.add_argument("--json", action="store_true", dest="as_json",
+                     help="print fleet metrics as JSON instead of text")
     return parser
 
 
@@ -257,6 +294,7 @@ EXPERIMENTS = {
     "pareto": "bench_pareto_compressors.py",
     "partial-sync": "bench_partial_sync.py",
     "model-sweep": "bench_model_size_sweep.py",
+    "fleet": "bench_fleet_scheduler.py",
 }
 
 
@@ -395,6 +433,64 @@ def _cmd_faults(args, out) -> int:
     return 0
 
 
+def _cmd_sched(args, out) -> int:
+    import json
+
+    from repro.cluster import export_chrome_trace, get_machine, make_cluster
+    from repro.sched import FleetSimulator, sample_fleet
+
+    machine = get_machine(args.machine)
+    topology = make_cluster(machine, args.nodes)
+    kwargs = {}
+    if args.models:
+        kwargs["models"] = tuple(args.models.split(","))
+    worlds = tuple(int(w) for w in args.worlds.split(","))
+    jobs = sample_fleet(args.jobs, seed=args.seed, worlds=worlds,
+                        mean_interarrival=args.mean_interarrival, **kwargs)
+    sim = FleetSimulator(topology, jobs, gpu=machine.gpu,
+                         policy=args.policy, routing=args.routing,
+                         seed=args.seed, trace=bool(args.trace),
+                         link_load_bin=args.link_load_bin)
+    result = sim.run()
+    metrics = result.metrics()
+
+    if args.as_json:
+        print(json.dumps(metrics.to_dict(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        print(f"fleet      {topology.name} ({topology.n_gpus} GPUs), "
+              f"policy={args.policy}, routing={args.routing}", file=out)
+        print(f"workload   {metrics.n_jobs} jobs, seed={args.seed}, "
+              f"completed {metrics.completed}", file=out)
+        print(f"makespan   {metrics.makespan:.2f} s", file=out)
+        print(f"throughput {metrics.fleet_items_per_s:,.0f} items/s "
+              f"({metrics.fleet_steps_per_s:.1f} steps/s)", file=out)
+        print(f"queueing   mean {metrics.mean_queue_wait:.3f} s, "
+              f"p95 {metrics.p95_queue_wait:.3f} s, "
+              f"max {metrics.max_queue_wait:.3f} s", file=out)
+        print(f"fairness   {metrics.fairness:.3f} (Jain, over per-job "
+              f"efficiency)", file=out)
+        print(f"slowdown   mean {metrics.mean_slowdown:.2f}x, "
+              f"max {metrics.max_slowdown:.2f}x vs isolated", file=out)
+        print(f"wire       {metrics.total_wire_bytes / 1e9:.2f} GB total",
+              file=out)
+        if metrics.busiest_links:
+            busiest = ", ".join(f"{name} ({seconds:.1f}s)"
+                                for name, seconds
+                                in metrics.busiest_links[:4])
+            print(f"hot links  {busiest}", file=out)
+    if args.log:
+        with open(args.log, "wb") as handle:
+            handle.write(result.log_bytes())
+        print(f"event log  {args.log} ({len(result.records)} record(s))",
+              file=out)
+    if args.trace:
+        events = export_chrome_trace(result.network, args.trace)
+        print(f"trace      {args.trace} ({events} transfer event(s) in "
+              f"per-job lanes)", file=out)
+    return 0
+
+
 def _cmd_topology(args, out) -> int:
     machine = get_machine(args.machine)
     topo = machine.topology(args.gpus)
@@ -417,6 +513,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "experiment": _cmd_experiment,
         "analyze": _cmd_analyze,
         "faults": _cmd_faults,
+        "sched": _cmd_sched,
     }
     return commands[args.command](args, out)
 

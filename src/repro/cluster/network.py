@@ -6,6 +6,14 @@ resources.  Each transfer occupies every directed link on its route for
 the duration of the message; contention (the commodity boxes' collapse
 from 14 GB/s point-to-point to ~1 GB/s all-reduce bandwidth) emerges
 from shared host-memory and QPI links serializing concurrent flows.
+
+The same serialization mechanism makes one network shareable between
+*jobs*: the fleet scheduler (``repro.sched``) runs many concurrent
+training jobs on a single pool, tagging every transfer and kernel with
+a job id.  Cross-job contention then emerges on shared QPI, host-memory
+and Ethernet links exactly as intra-job contention does today, with
+per-job accounting (trace lanes, busy seconds, throttle rates) layered
+on top.
 """
 
 from __future__ import annotations
@@ -14,9 +22,11 @@ from dataclasses import dataclass
 
 from .backends import BackendModel, get_backend
 from .simclock import ResourcePool
-from .topology import Topology
+from .topology import Link, Topology
 
 __all__ = ["Network", "TransferRecord", "export_chrome_trace"]
+
+ROUTE_POLICIES = ("static", "adaptive")
 
 
 @dataclass(frozen=True)
@@ -28,28 +38,93 @@ class TransferRecord:
     nbytes: int
     start: float
     end: float
+    job: int | None = None   # owning job in shared (fleet) use
 
 
 class Network:
-    """Schedules transfers and per-GPU compute tasks on shared resources."""
+    """Schedules transfers and per-GPU compute tasks on shared resources.
 
-    def __init__(self, topology: Topology, backend: BackendModel | str = "shm"):
+    Args:
+        topology: link graph and route table.
+        backend: transport cost model (name or instance).
+        route_policy: ``static`` always takes the topology's primary
+            route; ``adaptive`` also considers the topology's registered
+            detours (:attr:`Topology.alt_routes`) and picks whichever
+            candidate finishes earliest under current link contention.
+    """
+
+    def __init__(self, topology: Topology, backend: BackendModel | str = "shm",
+                 route_policy: str = "static"):
+        if route_policy not in ROUTE_POLICIES:
+            raise ValueError(f"route_policy must be one of {ROUTE_POLICIES}")
         self.topology = topology
         self.backend = get_backend(backend) if isinstance(backend, str) else backend
+        self.route_policy = route_policy
         self.pool = ResourcePool()
         self.trace: list[TransferRecord] = []
         self._trace_enabled = False
+        self._job_throttle: dict[int, float] = {}
+        self._load_bin_width: float = 0.0   # 0 = link-load tracking off
+        self._load_bins: dict[str, dict[int, float]] = {}
 
     # -- configuration ----------------------------------------------------
     def enable_trace(self, enabled: bool = True) -> None:
         self._trace_enabled = enabled
 
+    def enable_link_loads(self, bin_width: float = 0.01) -> None:
+        """Track per-link busy seconds in ``bin_width``-second bins."""
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self._load_bin_width = bin_width
+        self._load_bins.clear()
+
+    def set_job_throttle(self, job: int, rate: float) -> None:
+        """Scale ``job``'s effective link bandwidth by ``rate`` ∈ (0, 1].
+
+        A throttled job's transfers take proportionally longer on every
+        link, releasing bandwidth to its neighbors — the psim-style
+        pressure valve the fleet scheduler applies to jobs that overrun
+        their fair share of a contended link.
+        """
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"throttle rate must be in (0, 1], got {rate}")
+        self._job_throttle[job] = rate
+
+    def clear_job_throttle(self, job: int) -> None:
+        self._job_throttle.pop(job, None)
+
+    def job_throttle(self, job: int | None) -> float:
+        if job is None:
+            return 1.0
+        return self._job_throttle.get(job, 1.0)
+
+    def clear_trace(self, job: int | None = None) -> None:
+        """Drop trace records — all of them, or only one job's.
+
+        Draining a finished job must not wipe other jobs' in-flight
+        accounting, so the fleet scheduler clears per job; ``reset()``
+        remains the full fresh-start (pool *and* trace) for single-job
+        use.
+        """
+        if job is None:
+            self.trace.clear()
+        else:
+            self.trace = [r for r in self.trace if r.job != job]
+
     def reset(self) -> None:
+        """Fresh start: resets resource timelines and clears all traces.
+
+        Never call this to retire one job of a shared network — use
+        :meth:`clear_trace` with a job id; resetting the pool would
+        erase every other job's busy timelines mid-flight.
+        """
         self.pool.reset()
-        self.trace.clear()
+        self.clear_trace()
+        self._load_bins.clear()
 
     # -- transfers ---------------------------------------------------------
-    def transfer(self, src: int, dst: int, nbytes: int, ready: float) -> float:
+    def transfer(self, src: int, dst: int, nbytes: int, ready: float,
+                 job: int | None = None) -> float:
         """Send ``nbytes`` from GPU ``src`` to ``dst``; returns end time.
 
         Store-and-forward: the message traverses its route link by link,
@@ -60,22 +135,74 @@ class Network:
         and concurrent flows through a shared link serialize there —
         which is how 14 GB/s point-to-point collapses toward ~1 GB/s of
         8-way all-reduce bandwidth.
+
+        ``job`` tags the transfer for shared (multi-job) networks: link
+        busy time is attributed to the job, the job's throttle rate
+        scales its effective bandwidth, and trace records land in the
+        job's lane.
         """
         if src == dst:
             return ready
         start_overall = ready + self.backend.alpha
-        t = start_overall
         scaled = nbytes * self.backend.copy_factor
-        for link in self.topology.path(src, dst):
-            service = scaled / link.bandwidth + link.latency
-            _, t = self.pool.get(link.name).schedule(t, service)
+        throttle = self.job_throttle(job)
+        route = self._select_route(src, dst, start_overall, scaled, throttle)
+        t = start_overall
+        for link in route:
+            service = scaled / (link.bandwidth * throttle) + link.latency
+            t = self._schedule_link(link, t, service, job)
         if self._trace_enabled:
-            self.trace.append(TransferRecord(src, dst, nbytes, start_overall, t))
+            self.trace.append(
+                TransferRecord(src, dst, nbytes, start_overall, t, job))
         return t
 
-    def transfer_latency_only(self, src: int, dst: int, ready: float) -> float:
+    def transfer_latency_only(self, src: int, dst: int, ready: float,
+                              job: int | None = None) -> float:
         """A zero-byte control message (barriers, handshakes)."""
-        return self.transfer(src, dst, 1, ready)
+        return self.transfer(src, dst, 1, ready, job=job)
+
+    def _schedule_link(self, link: Link, ready: float, service: float,
+                       job: int | None) -> float:
+        start, end = self.pool.get(link.name).schedule(ready, service, job=job)
+        if self._load_bin_width:
+            self._bin_load(link.name, start, end)
+        return end
+
+    def _bin_load(self, name: str, start: float, end: float) -> None:
+        width = self._load_bin_width
+        bins = self._load_bins.setdefault(name, {})
+        b = int(start / width)
+        while b * width < end:
+            lo, hi = b * width, (b + 1) * width
+            overlap = min(end, hi) - max(start, lo)
+            if overlap > 0:
+                bins[b] = bins.get(b, 0.0) + overlap
+            b += 1
+
+    def _select_route(self, src: int, dst: int, start: float,
+                      scaled: float, throttle: float) -> list[Link]:
+        """Pick the candidate route that finishes earliest right now.
+
+        Static policy (and pairs without registered detours) always use
+        the topology's primary route, preserving the single-job model
+        byte for byte.  Peeking never commits resource time, so losing
+        candidates leave no mark on the timelines.
+        """
+        if self.route_policy != "adaptive" or \
+                (src, dst) not in self.topology.alt_routes:
+            return self.topology.path(src, dst)
+        best_route: list[Link] | None = None
+        best_end = float("inf")
+        for route in self.topology.candidate_paths(src, dst):
+            t = start
+            for link in route:
+                service = scaled / (link.bandwidth * throttle) + link.latency
+                t = self.pool.get(link.name).peek(t) + service
+            if t < best_end:   # strict: ties keep the earlier (primary) route
+                best_end = t
+                best_route = route
+        assert best_route is not None
+        return best_route
 
     # -- per-GPU auxiliary engines -----------------------------------------
     def gpu_engine(self, gpu: int, engine: str) -> str:
@@ -83,10 +210,10 @@ class Network:
         return f"gpu{gpu}.{engine}"
 
     def run_kernel(self, gpu: int, engine: str, duration: float,
-                   ready: float) -> float:
+                   ready: float, job: int | None = None) -> float:
         """Occupy a per-GPU engine (compression kernels, local reduce)."""
         _, end = self.pool.get(self.gpu_engine(gpu, engine)).schedule(
-            ready, duration
+            ready, duration, job=job
         )
         return end
 
@@ -103,18 +230,46 @@ class Network:
         end = probe.transfer(src, dst, nbytes, 0.0)
         return nbytes / end
 
+    def link_loads(self) -> dict[str, dict[int, float]]:
+        """Per-link busy seconds per time bin (requires
+        :meth:`enable_link_loads`); bin ``b`` covers
+        ``[b * bin_width, (b + 1) * bin_width)``."""
+        return {name: dict(bins) for name, bins in self._load_bins.items()}
+
+    @property
+    def load_bin_width(self) -> float:
+        return self._load_bin_width
+
+    def job_link_seconds(self, job: int) -> dict[str, float]:
+        """Seconds each resource spent serving ``job``."""
+        return self.pool.job_busy_seconds(job)
+
 
 def export_chrome_trace(network: Network, path: str) -> int:
     """Write the network's transfer trace as a Chrome/Perfetto trace file.
 
-    Each transfer becomes a complete event on a per-source-GPU row; load
-    the JSON at ``chrome://tracing`` or https://ui.perfetto.dev to see
-    the communication schedule (requires ``network.enable_trace()``
-    before simulating).  Returns the number of events written.
+    Each transfer becomes a complete event; load the JSON at
+    ``chrome://tracing`` or https://ui.perfetto.dev to see the
+    communication schedule (requires ``network.enable_trace()`` before
+    simulating).  Returns the number of transfer events written.
+
+    Untagged (single-job) records all land on pid 0, keeping the
+    historical output byte for byte.  Job-tagged records are grouped
+    into per-job lanes — job id becomes the Perfetto *process*, source
+    GPU the *thread* — with process_name metadata so a fleet trace
+    reads as one row group per job.
     """
     import json
 
     events = []
+    jobs = sorted({r.job for r in network.trace if r.job is not None})
+    for job in jobs:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": job,
+            "args": {"name": f"job {job}"},
+        })
     for record in network.trace:
         events.append({
             "name": f"{record.src}->{record.dst} "
@@ -123,11 +278,11 @@ def export_chrome_trace(network: Network, path: str) -> int:
             "ph": "X",
             "ts": record.start * 1e6,          # microseconds
             "dur": max(0.01, (record.end - record.start) * 1e6),
-            "pid": 0,
+            "pid": 0 if record.job is None else record.job,
             "tid": record.src,
             "args": {"bytes": record.nbytes, "dst": record.dst},
         })
     with open(path, "w") as handle:
         json.dump({"traceEvents": events,
                    "displayTimeUnit": "ms"}, handle)
-    return len(events)
+    return len(network.trace)

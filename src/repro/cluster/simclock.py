@@ -7,6 +7,10 @@ returns concrete start/end times.  This greedy list-scheduling approach
 is deterministic and sufficient for step-time makespans — a full
 discrete-event engine is not needed because each training step's task
 graph is known up front.
+
+With the fleet scheduler (``repro.sched``) several concurrent jobs
+share one pool: tasks carry an optional ``job`` tag so per-job busy
+time stays attributable even though the timelines are shared.
 """
 
 from __future__ import annotations
@@ -17,17 +21,20 @@ __all__ = ["Resource", "ResourcePool"]
 class Resource:
     """A serially-occupied resource (a link direction, a GPU engine...)."""
 
-    __slots__ = ("name", "busy_until", "busy_time")
+    __slots__ = ("name", "busy_until", "busy_time", "busy_by_job")
 
     def __init__(self, name: str):
         self.name = name
         self.busy_until = 0.0
         self.busy_time = 0.0  # total occupied seconds, for utilization stats
+        self.busy_by_job: dict[int, float] = {}  # job id -> occupied seconds
 
-    def schedule(self, ready: float, duration: float) -> tuple[float, float]:
+    def schedule(self, ready: float, duration: float,
+                 job: int | None = None) -> tuple[float, float]:
         """Occupy the resource for ``duration`` no earlier than ``ready``.
 
-        Returns ``(start, end)``.
+        Returns ``(start, end)``.  When ``job`` is given the occupied
+        seconds are additionally attributed to that job.
         """
         if duration < 0:
             raise ValueError(f"negative duration {duration}")
@@ -35,6 +42,8 @@ class Resource:
         end = start + duration
         self.busy_until = end
         self.busy_time += duration
+        if job is not None:
+            self.busy_by_job[job] = self.busy_by_job.get(job, 0.0) + duration
         return start, end
 
     def peek(self, ready: float) -> float:
@@ -44,6 +53,7 @@ class Resource:
     def reset(self) -> None:
         self.busy_until = 0.0
         self.busy_time = 0.0
+        self.busy_by_job.clear()
 
 
 class ResourcePool:
@@ -60,7 +70,8 @@ class ResourcePool:
         return resource
 
     def schedule_path(
-        self, names: list[str], ready: float, duration: float
+        self, names: list[str], ready: float, duration: float,
+        job: int | None = None
     ) -> tuple[float, float]:
         """Occupy several resources simultaneously for one task.
 
@@ -75,6 +86,9 @@ class ResourcePool:
         for resource in resources:
             resource.busy_until = end
             resource.busy_time += duration
+            if job is not None:
+                resource.busy_by_job[job] = \
+                    resource.busy_by_job.get(job, 0.0) + duration
         return start, end
 
     def reset(self) -> None:
@@ -88,4 +102,16 @@ class ResourcePool:
         return {
             name: min(1.0, res.busy_time / horizon)
             for name, res in self._resources.items()
+        }
+
+    def busy_seconds(self) -> dict[str, float]:
+        """Total occupied seconds per resource (link-load summaries)."""
+        return {name: res.busy_time for name, res in self._resources.items()}
+
+    def job_busy_seconds(self, job: int) -> dict[str, float]:
+        """Seconds each resource spent serving ``job`` (shared-pool use)."""
+        return {
+            name: res.busy_by_job[job]
+            for name, res in self._resources.items()
+            if job in res.busy_by_job
         }

@@ -48,6 +48,11 @@ class Topology:
     node_of: list[int] = field(default_factory=list)   # node index per GPU
     numa_of: list[int] = field(default_factory=list)   # NUMA group per GPU
     staged_through_host: bool = False  # no GPUDirect: extra host copies
+    #: optional detour routes per (src, dst); an adaptive network may pick
+    #: one of these instead of the primary route when it finishes earlier
+    #: under current contention (e.g. the long way around an NVLink ring)
+    alt_routes: dict[tuple[int, int], list[list[str]]] = \
+        field(default_factory=dict)
 
     def __post_init__(self):
         if not self.node_of:
@@ -60,6 +65,16 @@ class Topology:
                     raise KeyError(
                         f"route {src}->{dst} references unknown link {link_name}"
                     )
+        for (src, dst), paths in self.alt_routes.items():
+            if (src, dst) not in self.routes:
+                raise KeyError(
+                    f"alternate for unrouted pair {src}->{dst}")
+            for path in paths:
+                for link_name in path:
+                    if link_name not in self.links:
+                        raise KeyError(
+                            f"alternate route {src}->{dst} references "
+                            f"unknown link {link_name}")
 
     def path(self, src: int, dst: int) -> list[Link]:
         """Links a transfer from ``src`` to ``dst`` occupies, in order."""
@@ -69,6 +84,16 @@ class Topology:
             return [self.links[n] for n in self.routes[(src, dst)]]
         except KeyError:
             raise KeyError(f"no route {src}->{dst} in topology {self.name}") from None
+
+    def candidate_paths(self, src: int, dst: int) -> list[list[Link]]:
+        """Primary route first, then any registered detours."""
+        primary = self.path(src, dst)
+        if not primary:
+            return []
+        candidates = [primary]
+        for alt in self.alt_routes.get((src, dst), []):
+            candidates.append([self.links[n] for n in alt])
+        return candidates
 
     def path_bandwidth(self, src: int, dst: int) -> float:
         """Bottleneck bandwidth of the route (no contention)."""
@@ -190,7 +215,16 @@ def nvlink_mesh(
             return f"nvlink.g{b}g{a}.down"
         raise ValueError(f"{a} and {b} are not ring neighbors")
 
+    def walk(src: int, dst: int, step: int) -> list[str]:
+        path, here = [], src
+        while here != dst:
+            nxt = (here + step) % n_gpus
+            path.append(edge(here, nxt))
+            here = nxt
+        return path
+
     routes: dict[tuple[int, int], list[str]] = {}
+    alt_routes: dict[tuple[int, int], list[list[str]]] = {}
     for src in range(n_gpus):
         for dst in range(n_gpus):
             if src == dst:
@@ -198,15 +232,14 @@ def nvlink_mesh(
             # route the short way around the ring
             fwd = (dst - src) % n_gpus
             step = 1 if fwd <= n_gpus - fwd else -1
-            path, here = [], src
-            while here != dst:
-                nxt = (here + step) % n_gpus
-                path.append(edge(here, nxt))
-                here = nxt
-            routes[(src, dst)] = path
+            routes[(src, dst)] = walk(src, dst, step)
+            if n_gpus >= 3:
+                # the long way around is a genuine detour an adaptive
+                # network can take when the short arc is congested
+                alt_routes[(src, dst)] = [walk(src, dst, -step)]
     numa_of = [0 if gpu < n_gpus // 2 else 1 for gpu in range(n_gpus)]
     return Topology(name, n_gpus, links, routes, numa_of=numa_of,
-                    staged_through_host=False)
+                    staged_through_host=False, alt_routes=alt_routes)
 
 
 def multinode(
@@ -222,6 +255,7 @@ def multinode(
     """
     links: dict[str, Link] = {}
     routes: dict[tuple[int, int], list[str]] = {}
+    alt_routes: dict[tuple[int, int], list[list[str]]] = {}
     node_of: list[int] = []
     numa_of: list[int] = []
     offsets: list[int] = []
@@ -235,6 +269,9 @@ def multinode(
                                              link.bandwidth, link.latency)
         for (src, dst), path in topo.routes.items():
             routes[(total + src, total + dst)] = [prefix + p for p in path]
+        for (src, dst), paths in topo.alt_routes.items():
+            alt_routes[(total + src, total + dst)] = \
+                [[prefix + p for p in path] for path in paths]
         _bidirectional(links, f"eth.n{node_idx}", inter_bandwidth, inter_latency)
         node_of.extend([node_idx] * topo.n_gpus)
         numa_of.extend(topo.numa_of)
@@ -258,4 +295,5 @@ def multinode(
                     routes[(src, dst)] = path
     staged = any(t.staged_through_host for t in node_topologies)
     return Topology(name, total, links, routes, node_of=node_of,
-                    numa_of=numa_of, staged_through_host=staged)
+                    numa_of=numa_of, staged_through_host=staged,
+                    alt_routes=alt_routes)

@@ -47,7 +47,7 @@ class _Scheduler:
 
     def __init__(self, network: Network, spec: CompressionSpec,
                  extra_flops_per_elem: float = 0.0, streams: int = 1,
-                 kernel_factor: float = 1.0):
+                 kernel_factor: float = 1.0, job: int | None = None):
         self.net = network
         self.spec = spec
         # "fake" compression only truncates the send; it runs no kernel
@@ -55,6 +55,7 @@ class _Scheduler:
         self.extra_flops_per_elem = extra_flops_per_elem
         self.streams = max(1, streams)
         self.kernel_factor = kernel_factor
+        self.job = job
         self.wire_bytes = 0
         self.kernel_calls = 0
         self._stream_rr: dict[int, int] = {}
@@ -69,12 +70,13 @@ class _Scheduler:
         stream = self._stream_rr.get(gpu, 0)
         self._stream_rr[gpu] = (stream + 1) % self.streams
         self.kernel_calls += 1
-        return self.net.run_kernel(gpu, f"compress{stream}", duration, ready)
+        return self.net.run_kernel(gpu, f"compress{stream}", duration, ready,
+                                   job=self.job)
 
     def send(self, src: int, dst: int, numel: int, ready: float) -> float:
         nbytes = self.spec.wire_bytes(numel)
         self.wire_bytes += nbytes
-        return self.net.transfer(src, dst, nbytes, ready)
+        return self.net.transfer(src, dst, nbytes, ready, job=self.job)
 
     def op_start(self, ready: float) -> float:
         backend = self.net.backend
@@ -91,6 +93,7 @@ def time_allreduce(
     chunk_streams: int = 1,
     extra_flops_per_elem: float = 0.0,
     kernel_factor: float = 1.0,
+    job: int | None = None,
 ) -> CollectiveTiming:
     """Schedule one allreduce of ``dense_numel`` elements over ``ranks``.
 
@@ -108,6 +111,9 @@ def time_allreduce(
             (PowerSGD's matmuls).
         kernel_factor: multiplier on kernel durations (QNCCL's constrained
             in-library kernels pay ~2x).
+        job: owning job id on a shared (multi-job) network — every
+            transfer and kernel of this collective is scoped to the job
+            for throttling, tracing and per-job accounting.
     """
     world = len(ranks)
     if world < 1:
@@ -120,7 +126,7 @@ def time_allreduce(
         return CollectiveTiming([ready[0]], 0, 0)
 
     sched = _Scheduler(network, spec, extra_flops_per_elem, chunk_streams,
-                       kernel_factor)
+                       kernel_factor, job=job)
     start = [sched.op_start(t) for t in ready]
 
     dispatch = {
@@ -419,6 +425,7 @@ def time_partial_allreduce(
     quorum: int,
     ready: list[float],
     chunk_streams: int = 1,
+    job: int | None = None,
 ) -> CollectiveTiming:
     """Timed quorum reduction: reduce over the first ``quorum`` ready
     ranks, then ship the result to the laggards.
@@ -439,7 +446,7 @@ def time_partial_allreduce(
     members = order[:quorum]
     laggards = order[quorum:]
 
-    sched = _Scheduler(network, spec, streams=chunk_streams)
+    sched = _Scheduler(network, spec, streams=chunk_streams, job=job)
     member_ranks = [ranks[i] for i in members]
     member_start = [sched.op_start(ready[i]) for i in members]
     member_end = _time_sra(sched, member_ranks, dense_numel, member_start)

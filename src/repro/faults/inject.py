@@ -167,8 +167,8 @@ class FaultyNetwork(Network):
         super().__init__(topology, backend)
         self.runtime = runtime
 
-    def transfer(self, src: int, dst: int, nbytes: int, ready: float
-                 ) -> float:
+    def transfer(self, src: int, dst: int, nbytes: int, ready: float,
+                 job: int | None = None) -> float:
         if src == dst:
             return ready
         runtime = self.runtime
@@ -185,7 +185,7 @@ class FaultyNetwork(Network):
         attempt = 0
         t = ready
         while True:
-            end = self._traverse(src, dst, nbytes, t, slow)
+            end = self._traverse(src, dst, nbytes, t, slow, job=job)
             if p_fail <= 0.0 or float(runtime.rng.random()) >= p_fail:
                 return end
             runtime.record("timed_retry", src=src, dst=dst, attempt=attempt)
@@ -222,20 +222,23 @@ class FaultyNetwork(Network):
         return end
 
     def _traverse(self, src: int, dst: int, nbytes: int, ready: float,
-                  slow: float) -> float:
+                  slow: float, job: int | None = None) -> float:
         """One store-and-forward traversal with a slowdown factor."""
         start_overall = ready + self.backend.alpha
         t = start_overall
         scaled = nbytes * self.backend.copy_factor
+        throttle = self.job_throttle(job)
         for link in self.topology.path(src, dst):
-            service = slow * (scaled / link.bandwidth + link.latency)
-            _, t = self.pool.get(link.name).schedule(t, service)
+            service = slow * (scaled / (link.bandwidth * throttle)
+                              + link.latency)
+            t = self._schedule_link(link, t, service, job)
         if self._trace_enabled:
             self.trace.append(TransferRecord(src, dst, nbytes,
-                                             start_overall, t))
+                                             start_overall, t, job))
         return t
 
     def run_kernel(self, gpu: int, engine: str, duration: float,
-                   ready: float) -> float:
+                   ready: float, job: int | None = None) -> float:
         scale = self.runtime.faults().compute_scale(gpu)
-        return super().run_kernel(gpu, engine, duration * scale, ready)
+        return super().run_kernel(gpu, engine, duration * scale, ready,
+                                  job=job)

@@ -1,0 +1,23 @@
+"""Multi-tenant fleet scheduler: concurrent training jobs on one shared
+simulated cluster.
+
+``jobs`` declares what runs (seeded mixed-model workloads), ``placement``
+decides where (packed / spread / NUMA-aware policies with FIFO admission
+queueing), ``fleet`` advances everything on one shared event clock and
+link-resource pool, and ``metrics`` reduces the outcome to fleet
+throughput, queueing delay, Jain fairness, and link-load timelines.
+"""
+
+from .fleet import FLEET_LOG_VERSION, FleetResult, FleetSimulator, JobRunner
+from .jobs import (DEFAULT_FLEET_MODELS, JOB_METHODS, JobSpec, JobState,
+                   sample_fleet)
+from .metrics import FleetMetrics, compute_metrics, jain_fairness, percentile
+from .placement import PLACEMENT_POLICIES, place
+
+__all__ = [
+    "FLEET_LOG_VERSION", "FleetResult", "FleetSimulator", "JobRunner",
+    "DEFAULT_FLEET_MODELS", "JOB_METHODS", "JobSpec", "JobState",
+    "sample_fleet",
+    "FleetMetrics", "compute_metrics", "jain_fairness", "percentile",
+    "PLACEMENT_POLICIES", "place",
+]

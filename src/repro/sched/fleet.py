@@ -1,0 +1,291 @@
+"""The fleet event loop: N concurrent training jobs on one shared clock.
+
+:class:`FleetSimulator` advances a whole fleet — arrivals, FIFO
+admission through a placement policy, per-job training steps, and
+departures — on a single shared :class:`~repro.cluster.network.Network`.
+Every job's transfers and compression kernels are scheduled onto the
+*same* link-resource pool with a job tag, so contention between jobs
+emerges on shared QPI, host-memory and Ethernet links exactly the way
+intra-job contention does in the single-job model, and per-job throttle
+rates and adaptive route selection (the psim-style knobs) apply on top.
+
+Each job's step plan (engine packages + gradient-ready offsets) is
+computed once at admission by :class:`JobRunner` and replayed per step
+with the job's current clock as the base — the fleet analog of
+``repro.training.perf.simulate_step``.
+
+Event ordering is greedy list scheduling at step granularity: the
+pending step with the earliest *start* time is scheduled next (ties
+broken by job id), matching the resource pool's no-backfill semantics.
+Two same-seed runs produce byte-identical canonical event logs
+(:meth:`FleetResult.log_bytes`), the determinism contract every prior
+subsystem follows.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cluster import Network, Topology, get_backend, get_gpu
+from repro.cluster.gpu import GPUSpec
+from repro.collectives import time_allreduce
+from repro.models import ModelSpec, build_spec
+from repro.training.perf import (optimizer_time, package_ready_offsets,
+                                 plan_step_packages)
+
+from .jobs import JobSpec, JobState
+from .placement import PLACEMENT_POLICIES, place
+
+__all__ = ["FleetSimulator", "FleetResult", "JobRunner", "FLEET_LOG_VERSION"]
+
+FLEET_LOG_VERSION = 1
+
+
+class JobRunner:
+    """One job's precomputed step model, replayed on a shared network.
+
+    Planning (engine packages, fusion, gradient-ready offsets) happens
+    once; each :meth:`run_step` then replays the plan with the job's
+    current clock as origin, occupying the shared pool under the job's
+    tag.
+    """
+
+    def __init__(self, spec: JobSpec, model: ModelSpec, gpu: GPUSpec,
+                 ranks: list[int], network: Network):
+        self.spec = spec
+        self.ranks = list(ranks)
+        self.network = network
+        self.config, plan_mode = spec.build_config()
+        batch = spec.batch_per_gpu or gpu.max_batch_per_gpu(model)
+        self.batch_per_gpu = batch
+        self.compute_time = gpu.step_compute_time(model, batch)
+        self.optimizer_time = optimizer_time(model)
+        self.items_per_step = len(ranks) * batch * model.items_per_sample
+        if len(ranks) > 1:
+            packages = plan_step_packages(model, self.config, plan_mode)
+            offsets = package_ready_offsets(model, self.config,
+                                            self.compute_time, packages)
+            self.plan = sorted(zip(packages, offsets), key=lambda po: po[1])
+        else:
+            self.plan = []
+
+    def run_step(self, start: float,
+                 network: Network | None = None) -> tuple[float, int]:
+        """Execute one training step starting at ``start``.
+
+        Returns ``(step end time, wire bytes)``.  ``network`` overrides
+        the shared network — the metrics layer uses a fresh one to
+        measure the job's contention-free (isolated) step time with the
+        identical plan and placement.
+        """
+        net = network if network is not None else self.network
+        last_end = start + self.compute_time
+        wire = 0
+        for package, offset in self.plan:
+            timing = time_allreduce(
+                net, self.ranks, package.numel, package.spec,
+                scheme=self.config.scheme, ready=start + offset,
+                chunk_streams=self.config.chunk_streams,
+                job=self.spec.job_id,
+            )
+            last_end = max(last_end, timing.end)
+            wire += timing.wire_bytes
+        return last_end + self.optimizer_time, wire
+
+    def isolated_step_time(self, backend) -> float:
+        """Step duration with this plan/placement on an empty network."""
+        probe = Network(self.network.topology, backend)
+        end, _ = self.run_step(0.0, network=probe)
+        return end
+
+
+@dataclass
+class FleetResult:
+    """Everything a finished fleet campaign produced."""
+
+    policy: str
+    routing: str
+    backend_name: str
+    seed: int | None
+    topology: Topology
+    states: list[JobState]
+    records: list[dict]            # canonical event stream, processing order
+    network: Network
+    runners: dict[int, "JobRunner"] = field(repr=False, default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        ends = [s.finish_time for s in self.states if s.finish_time is not None]
+        return max(ends) if ends else 0.0
+
+    def log_bytes(self) -> bytes:
+        """Canonical byte encoding of the fleet event log.
+
+        Two same-seed campaigns must produce identical bytes — the
+        determinism check CI enforces with ``cmp``.
+        """
+        payload = {
+            "version": FLEET_LOG_VERSION,
+            "fleet": {
+                "policy": self.policy,
+                "routing": self.routing,
+                "backend": self.backend_name,
+                "seed": self.seed,
+                "topology": self.topology.name,
+                "n_gpus": self.topology.n_gpus,
+                "jobs": [s.spec.to_dict() for s in self.states],
+            },
+            "records": self.records,
+        }
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    def metrics(self):
+        """Fleet-level metrics (lazy import avoids a module cycle)."""
+        from .metrics import compute_metrics
+
+        return compute_metrics(self)
+
+
+class FleetSimulator:
+    """Places and advances concurrent jobs on one shared simulated cluster.
+
+    Args:
+        topology: the fleet's interconnect (typically
+            :func:`~repro.cluster.machine.make_cluster`).
+        jobs: the submission schedule (see :func:`~repro.sched.jobs
+            .sample_fleet`).
+        gpu: compute envelope of every fleet GPU (name or spec).
+        policy: placement policy (:data:`PLACEMENT_POLICIES`).
+        backend: transport cost model for the shared network.
+        routing: ``static`` or ``adaptive`` route selection.
+        seed: recorded in the canonical log header (the workload
+            generator's seed; the loop itself draws no randomness).
+        trace: record per-transfer records (exportable to Perfetto with
+            per-job lanes).
+        link_load_bin: if > 0, track per-link busy seconds in bins of
+            this width (the link-load timelines in the metrics).
+    """
+
+    def __init__(self, topology: Topology, jobs: list[JobSpec],
+                 gpu: GPUSpec | str = "RTX3090", policy: str = "packed",
+                 backend: str = "shm", routing: str = "static",
+                 seed: int | None = None, trace: bool = False,
+                 link_load_bin: float = 0.0,
+                 spec_library: dict[str, ModelSpec] | None = None):
+        if policy not in PLACEMENT_POLICIES:
+            raise KeyError(
+                f"unknown policy {policy!r}; choose from {PLACEMENT_POLICIES}")
+        if len({spec.job_id for spec in jobs}) != len(jobs):
+            raise ValueError("job ids must be unique")
+        for spec in jobs:
+            if spec.world > topology.n_gpus:
+                raise ValueError(
+                    f"job {spec.job_id} wants {spec.world} ranks; fleet has "
+                    f"{topology.n_gpus} GPUs")
+        self.topology = topology
+        self.jobs = sorted(jobs, key=lambda s: (s.arrival, s.job_id))
+        self.gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+        self.policy = policy
+        self.backend = get_backend(backend)
+        self.backend_name = backend
+        self.routing = routing
+        self.seed = seed
+        self.network = Network(topology, self.backend, route_policy=routing)
+        if trace:
+            self.network.enable_trace()
+        if link_load_bin:
+            self.network.enable_link_loads(link_load_bin)
+        self._specs: dict[str, ModelSpec] = dict(spec_library or {})
+
+    def _model(self, name: str) -> ModelSpec:
+        spec = self._specs.get(name)
+        if spec is None:
+            spec = build_spec(name)
+            self._specs[name] = spec
+        return spec
+
+    def run(self) -> FleetResult:
+        """Advance the fleet until every submitted job has departed."""
+        states = {spec.job_id: JobState(spec) for spec in self.jobs}
+        runners: dict[int, JobRunner] = {}
+        records: list[dict] = []
+        pending = deque(self.jobs)
+        queue: deque[int] = deque()
+        heap: list[tuple[float, int]] = []   # (next step start, job id)
+        occupied: set[int] = set()
+        free_at: dict[int, float] = {}       # gpu -> last departure's end
+
+        def admit(now: float) -> None:
+            # FIFO with head-of-line blocking: a big job at the head
+            # holds back smaller ones — queueing delay is the honest
+            # price of arrival order, not best-effort backfilling.
+            while queue:
+                spec = states[queue[0]].spec
+                free = set(range(self.topology.n_gpus)) - occupied
+                ranks = place(self.policy, self.topology, spec.world, free)
+                if ranks is None:
+                    return
+                queue.popleft()
+                # departures are processed in step-START order, so a GPU
+                # freed by an early-ending job may still be held (on the
+                # sim clock) by a later-ending one already popped from
+                # the heap; starting at the GPUs' true free times keeps
+                # placements overlap-free
+                start = max([now] + [free_at.get(g, 0.0) for g in ranks])
+                state = states[spec.job_id]
+                state.status = "running"
+                state.ranks = tuple(ranks)
+                state.admit_time = start
+                occupied.update(ranks)
+                if spec.throttle < 1.0:
+                    self.network.set_job_throttle(spec.job_id, spec.throttle)
+                runners[spec.job_id] = JobRunner(
+                    spec, self._model(spec.model), self.gpu, ranks,
+                    self.network)
+                records.append({"event": "admit", "job": spec.job_id,
+                                "t": start, "ranks": list(ranks)})
+                heapq.heappush(heap, (start, spec.job_id))
+
+        while pending or queue or heap:
+            next_arrival = pending[0].arrival if pending else float("inf")
+            next_step = heap[0][0] if heap else float("inf")
+            if next_arrival <= next_step:
+                spec = pending.popleft()
+                records.append({"event": "arrive", "job": spec.job_id,
+                                "t": spec.arrival})
+                queue.append(spec.job_id)
+                admit(spec.arrival)
+            else:
+                start, job_id = heapq.heappop(heap)
+                state = states[job_id]
+                end, wire = runners[job_id].run_step(start)
+                state.steps_done += 1
+                state.wire_bytes += wire
+                state.step_durations.append(end - start)
+                records.append({"event": "step", "job": job_id,
+                                "step": state.steps_done, "t": start,
+                                "end": end})
+                if state.steps_done == state.spec.steps:
+                    state.status = "done"
+                    state.finish_time = end
+                    occupied.difference_update(state.ranks)
+                    for gpu in state.ranks:
+                        free_at[gpu] = end
+                    self.network.clear_job_throttle(job_id)
+                    records.append({"event": "finish", "job": job_id,
+                                    "t": end})
+                    admit(end)
+                else:
+                    heapq.heappush(heap, (end, job_id))
+
+        return FleetResult(
+            policy=self.policy, routing=self.routing,
+            backend_name=self.backend_name, seed=self.seed,
+            topology=self.topology,
+            states=[states[spec.job_id] for spec in self.jobs],
+            records=records, network=self.network, runners=runners,
+        )

@@ -1,0 +1,106 @@
+"""Placement policies: mapping a job's ranks onto free fleet GPUs.
+
+A policy sees the fleet topology and the currently free GPU set and
+either returns the GPUs the job should occupy or ``None`` (the job
+queues).  All policies are deterministic — identical inputs give
+identical placements, which the fleet's byte-identical event logs rely
+on.
+
+* ``packed`` — best-fit onto the fewest machines: a job lands on the
+  single node with the *least* free capacity that still fits it
+  (classic best-fit, minimizing fragmentation), spilling across nodes
+  only when no single node can host it.  Packed fleets keep jobs on
+  fast intra-node links but pile them onto shared host-memory/QPI
+  resources.
+* ``spread`` — load-balance: ranks are dealt one at a time to the node
+  with the most free GPUs.  Spread jobs straddle nodes, paying
+  inter-node Ethernet on their own collectives but relieving the
+  intra-node shared links.
+* ``numa`` — PCIe-locality-aware packing: prefer a single NUMA group
+  (one root complex — no QPI crossing at all), then a single node,
+  then fall back to packed spilling.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Topology
+
+__all__ = ["PLACEMENT_POLICIES", "place"]
+
+PLACEMENT_POLICIES = ("packed", "spread", "numa")
+
+
+def place(policy: str, topology: Topology, world: int,
+          free: set[int]) -> list[int] | None:
+    """GPUs for a ``world``-rank job, or ``None`` if it must queue."""
+    if policy not in PLACEMENT_POLICIES:
+        raise KeyError(
+            f"unknown policy {policy!r}; choose from {PLACEMENT_POLICIES}")
+    if world > topology.n_gpus:
+        raise ValueError(
+            f"job wants {world} ranks but the fleet has {topology.n_gpus}")
+    if len(free) < world:
+        return None
+    if policy == "packed":
+        return _packed(topology, world, free)
+    if policy == "spread":
+        return _spread(topology, world, free)
+    return _numa(topology, world, free)
+
+
+def _free_by_node(topology: Topology, free: set[int]) -> dict[int, list[int]]:
+    nodes: dict[int, list[int]] = {}
+    for gpu in sorted(free):
+        nodes.setdefault(topology.node_of[gpu], []).append(gpu)
+    return nodes
+
+
+def _locality_order(topology: Topology, gpus: list[int]) -> list[int]:
+    """Free GPUs of one node, NUMA-group-first (fill one root, then the
+    next) so intra-node placements avoid the QPI bridge when they can."""
+    return sorted(gpus, key=lambda g: (topology.numa_of[g], g))
+
+
+def _packed(topology: Topology, world: int,
+            free: set[int]) -> list[int] | None:
+    nodes = _free_by_node(topology, free)
+    fitting = [(len(gpus), node) for node, gpus in nodes.items()
+               if len(gpus) >= world]
+    if fitting:
+        _, node = min(fitting)   # best fit: least leftover capacity
+        return _locality_order(topology, nodes[node])[:world]
+    # no single node fits: spill across nodes, fewest nodes first
+    chosen: list[int] = []
+    for node, gpus in sorted(nodes.items(),
+                             key=lambda kv: (-len(kv[1]), kv[0])):
+        chosen.extend(_locality_order(topology, gpus)[:world - len(chosen)])
+        if len(chosen) == world:
+            return chosen
+    return None
+
+
+def _spread(topology: Topology, world: int,
+            free: set[int]) -> list[int] | None:
+    nodes = _free_by_node(topology, free)
+    chosen: list[int] = []
+    while len(chosen) < world:
+        candidates = [(node, gpus) for node, gpus in nodes.items() if gpus]
+        if not candidates:
+            return None
+        node, gpus = max(candidates, key=lambda kv: (len(kv[1]), -kv[0]))
+        chosen.append(gpus.pop(0))
+    return chosen
+
+
+def _numa(topology: Topology, world: int,
+          free: set[int]) -> list[int] | None:
+    groups: dict[tuple[int, int], list[int]] = {}
+    for gpu in sorted(free):
+        key = (topology.node_of[gpu], topology.numa_of[gpu])
+        groups.setdefault(key, []).append(gpu)
+    fitting = [(len(gpus), key) for key, gpus in groups.items()
+               if len(gpus) >= world]
+    if fitting:
+        _, key = min(fitting)   # best-fit NUMA group: zero QPI crossings
+        return groups[key][:world]
+    return _packed(topology, world, free)

@@ -36,7 +36,8 @@ from repro.core.qnccl import QNCCL_KERNEL_OVERHEAD_FACTOR
 from repro.models import ModelSpec
 
 __all__ = ["StepTiming", "simulate_step", "simulate_machine_step",
-           "single_gpu_step_time", "OPTIMIZER_BYTES_PER_PARAM"]
+           "single_gpu_step_time", "optimizer_time", "plan_step_packages",
+           "package_ready_offsets", "OPTIMIZER_BYTES_PER_PARAM"]
 
 #: bytes touched per parameter by the optimizer update (read grad, read
 #: and write momentum + weights)
@@ -80,12 +81,51 @@ def single_gpu_step_time(spec: ModelSpec, gpu: GPUSpec,
                          batch_per_gpu: int) -> float:
     """Compute + optimizer time of one step on one GPU (no comm)."""
     compute = gpu.step_compute_time(spec, batch_per_gpu)
-    return compute + _optimizer_time(spec)
+    return compute + optimizer_time(spec)
 
 
-def _optimizer_time(spec: ModelSpec) -> float:
+def optimizer_time(spec: ModelSpec) -> float:
+    """Seconds of the (memory-bound) optimizer update for one step."""
     return spec.num_parameters * OPTIMIZER_BYTES_PER_PARAM / \
         OPTIMIZER_MEM_BANDWIDTH
+
+
+def plan_step_packages(spec: ModelSpec, config: CGXConfig,
+                       plan_mode: str = "cgx") -> list[Package]:
+    """One step's transmission plan: engine packages, fused per mode.
+
+    Shared by :func:`simulate_step` and the fleet scheduler's per-job
+    runners (``repro.sched.fleet``), which plan once per job and replay
+    the plan every step.
+    """
+    engine = CommunicationEngine(config)
+    layers = [
+        LayerInfo(t.name, t.numel, t.shape, t.kind)
+        for t in spec.backward_order()
+    ]
+    packages = engine.plan(layers, mode=plan_mode)
+    if plan_mode == "cgx":
+        packages = group_for_transmission(packages, config.fusion_bytes)
+    return packages
+
+
+def package_ready_offsets(spec: ModelSpec, config: CGXConfig,
+                          compute_time: float,
+                          packages: list[Package]) -> list[float]:
+    """Seconds after step start at which each package may launch.
+
+    With overlap, a package seals when the last of its members' gradients
+    is emitted by the backward pass; without overlap (GRACE-style hooks)
+    every package waits for the whole backward pass.
+    """
+    ready = _gradient_ready_times(spec, compute_time)
+    offsets = []
+    for package in packages:
+        if not config.overlap:
+            offsets.append(compute_time)
+        else:
+            offsets.append(max(ready[layer.name] for layer in package.layers))
+    return offsets
 
 
 def _gradient_ready_times(spec: ModelSpec, compute_time: float
@@ -160,37 +200,24 @@ def simulate_step(
                           items, ideal)
 
     net = network or Network(topology, get_backend(config.backend))
-    engine = CommunicationEngine(config)
-    layers = [
-        LayerInfo(t.name, t.numel, t.shape, t.kind)
-        for t in spec.backward_order()
-    ]
-    packages = engine.plan(layers, mode=plan_mode)
-    if plan_mode == "cgx":
-        packages = group_for_transmission(packages, config.fusion_bytes)
+    packages = plan_step_packages(spec, config, plan_mode)
     if compute_jitter is None:
         compute_jitter = [0.0] * n_gpus
     if len(compute_jitter) != n_gpus:
         raise ValueError("compute_jitter must give one factor per rank")
     rank_scale = [1.0 + j for j in compute_jitter]
-    ready = _gradient_ready_times(spec, compute_time)
+    offsets = package_ready_offsets(spec, config, compute_time, packages)
     slowest_compute = compute_time * max(rank_scale)
-
-    # Per-rank emission times (stragglers emit later); without overlap
-    # (GRACE) every package waits for the whole backward pass.
-    def package_ready(package: Package) -> list[float]:
-        if not config.overlap:
-            base = compute_time
-        else:
-            base = max(ready[layer.name] for layer in package.layers)
-        return [base * scale for scale in rank_scale]
 
     last_end = 0.0
     wire_total = 0
     kernel_total = 0
-    for package in sorted(packages, key=lambda p: max(package_ready(p))):
+    # Per-rank emission times (stragglers emit later); packages launch
+    # in seal order.
+    for package, offset in sorted(zip(packages, offsets),
+                                  key=lambda po: po[1]):
         pkg_spec = package.spec
-        pkg_ready = package_ready(package)
+        pkg_ready = [offset * scale for scale in rank_scale]
         if pkg_spec.method == "powersgd":
             end, wire, kernels = _schedule_powersgd(
                 net, ranks, package, max(pkg_ready), config
@@ -209,7 +236,7 @@ def simulate_step(
         kernel_total += kernels
 
     compute_time = slowest_compute  # the step waits for the straggler
-    optimizer = _optimizer_time(spec)
+    optimizer = optimizer_time(spec)
     if config.cross_barrier:
         # Cross-barrier scheduling (BytePS-style): the communication tail
         # of step k may hide under step k+1's forward pass, so the

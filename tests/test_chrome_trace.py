@@ -71,3 +71,34 @@ def test_trace_disabled_exports_empty(tmp_path):
     path = tmp_path / "trace.json"
     assert export_chrome_trace(net, str(path)) == 0
     assert json.loads(path.read_text())["traceEvents"] == []
+
+
+def test_job_tagged_records_get_per_job_lanes(tmp_path):
+    net = Network(nvlink_mesh(4))
+    net.enable_trace()
+    net.transfer(0, 1, 1 << 20, 0.0, job=1)
+    net.transfer(1, 2, 1 << 20, 0.0, job=2)
+    net.transfer(2, 3, 1 << 20, 0.0)          # untagged stays on pid 0
+    path = tmp_path / "trace.json"
+    assert export_chrome_trace(net, str(path)) == 3
+    payload = json.loads(path.read_text())
+
+    meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+    assert [(e["pid"], e["args"]["name"]) for e in meta] == \
+        [(1, "job 1"), (2, "job 2")]
+    transfers = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert [e["pid"] for e in transfers] == [1, 2, 0]
+    # within a job lane the source GPU remains the thread row
+    assert [e["tid"] for e in transfers] == [0, 1, 2]
+
+
+def test_untagged_trace_output_is_unchanged_by_job_lanes(tmp_path):
+    # single-job (untagged) exports must stay byte-compatible with the
+    # historical format: no metadata events, everything on pid 0
+    net = _traced_network(transfers=4)
+    path = tmp_path / "trace.json"
+    export_chrome_trace(net, str(path))
+    payload = json.loads(path.read_text())
+    assert all(e["ph"] == "X" and e["pid"] == 0
+               for e in payload["traceEvents"])
+    assert len(payload["traceEvents"]) == 4

@@ -126,3 +126,30 @@ def test_simulate_with_config_file(tmp_path):
     assert code == 0
     assert "scheme=ring" in text
     assert str(path) in text
+
+
+def test_sched_runs_a_fleet(tmp_path):
+    log1 = tmp_path / "fleet1.json"
+    log2 = tmp_path / "fleet2.json"
+    code, text = run_cli(["sched", "--jobs", "8", "--policy", "packed",
+                          "--seed", "7", "--log", str(log1)])
+    assert code == 0
+    assert "fairness" in text and "queueing" in text
+    code, _ = run_cli(["sched", "--jobs", "8", "--policy", "packed",
+                       "--seed", "7", "--log", str(log2)])
+    assert code == 0
+    assert log1.read_bytes() == log2.read_bytes()   # canonical fleet log
+
+
+def test_sched_json_and_trace_output(tmp_path):
+    import json
+
+    trace = tmp_path / "fleet_trace.json"
+    code, text = run_cli(["sched", "--jobs", "6", "--seed", "3", "--json",
+                          "--trace", str(trace), "--worlds", "2,4"])
+    assert code == 0
+    payload = json.loads(text.split("\ntrace")[0])   # JSON, then trace line
+    assert payload["completed"] == 6
+    assert 0 < payload["fairness"] <= 1
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert any(e["ph"] == "M" for e in events)      # per-job lanes

@@ -1,0 +1,125 @@
+"""Sharing one network between jobs: tagging, throttles, routing.
+
+The fleet scheduler runs many jobs on one link-resource pool; these
+tests pin the network-level machinery it relies on — per-job busy
+accounting, per-job trace clearing (a drained job must not wipe a
+neighbor's accounting), psim-style throttle rates, adaptive route
+selection, and the binned link-load timelines.
+"""
+
+import pytest
+
+from repro.cluster import Network, make_cluster, nvlink_mesh
+
+MB = 1 << 20
+
+
+def test_transfers_attribute_busy_time_per_job():
+    net = Network(make_cluster("rtx3090-8x", 2))
+    net.transfer(0, 1, 4 * MB, 0.0, job=1)
+    net.transfer(2, 3, 4 * MB, 0.0, job=2)
+    net.transfer(4, 5, 4 * MB, 0.0)          # untagged single-job style
+    seconds1 = net.job_link_seconds(1)
+    seconds2 = net.job_link_seconds(2)
+    assert seconds1 and seconds2
+    assert sum(seconds1.values()) > 0
+    # attribution is disjoint: job 1's seconds never count for job 2
+    assert not set(seconds1) & set(seconds2) or all(
+        seconds1[k] > 0 and seconds2[k] > 0
+        for k in set(seconds1) & set(seconds2))
+    assert net.job_link_seconds(99) == {}
+
+
+def test_clear_trace_is_per_job():
+    net = Network(nvlink_mesh(4))
+    net.enable_trace()
+    net.transfer(0, 1, MB, 0.0, job=1)
+    net.transfer(1, 2, MB, 0.0, job=2)
+    net.transfer(2, 3, MB, 0.0)
+    assert len(net.trace) == 3
+    horizon = net.pool.get("nvlink.g0g1.up").busy_until
+
+    net.clear_trace(job=1)   # drain one job...
+    assert [r.job for r in net.trace] == [2, None]
+    # ...without touching the pool: other jobs' timelines survive
+    assert net.pool.get("nvlink.g0g1.up").busy_until == horizon
+
+    net.clear_trace()        # and the full clear still clears everything
+    assert net.trace == []
+
+
+def test_reset_clears_pool_and_trace():
+    net = Network(nvlink_mesh(4))
+    net.enable_trace()
+    net.transfer(0, 1, MB, 0.0, job=1)
+    net.reset()
+    assert net.trace == []
+    assert net.pool.get("nvlink.g0g1.up").busy_until == 0.0
+    assert net.job_link_seconds(1) == {}
+
+
+def test_job_throttle_scales_service_time():
+    topo = make_cluster("rtx3090-8x", 2)
+    free_end = Network(topo).transfer(0, 8, 16 * MB, 0.0, job=1)
+
+    net = Network(topo)
+    net.set_job_throttle(1, 0.5)
+    assert net.job_throttle(1) == 0.5
+    assert net.job_throttle(2) == 1.0    # others unaffected
+    throttled_end = net.transfer(0, 8, 16 * MB, 0.0, job=1)
+    assert throttled_end > free_end      # half the bandwidth, longer wire time
+
+    net.clear_job_throttle(1)
+    assert net.job_throttle(1) == 1.0
+    with pytest.raises(ValueError):
+        net.set_job_throttle(1, 0.0)
+    with pytest.raises(ValueError):
+        net.set_job_throttle(1, 1.5)
+
+
+def test_adaptive_routing_detours_around_congestion():
+    topo = nvlink_mesh(4)
+    assert topo.alt_routes   # the ring registers long-way detours
+
+    static = Network(topo, route_policy="static")
+    adaptive = Network(topo, route_policy="adaptive")
+    for net in (static, adaptive):
+        # hog the primary 0->1 link so the ring's long way looks better
+        net.transfer(0, 1, 256 * MB, 0.0, job=1)
+    t_static = static.transfer(0, 1, MB, 0.0, job=2)
+    t_adaptive = adaptive.transfer(0, 1, MB, 0.0, job=2)
+    assert t_adaptive < t_static
+
+
+def test_adaptive_routing_keeps_primary_on_ties():
+    topo = nvlink_mesh(4)
+    # empty network: primary route is (weakly) fastest, must be kept, so
+    # static and adaptive stay byte-for-byte interchangeable when idle
+    t_static = Network(topo, route_policy="static").transfer(0, 1, MB, 0.0)
+    t_adaptive = Network(topo, route_policy="adaptive").transfer(0, 1, MB, 0.0)
+    assert t_adaptive == t_static
+
+
+def test_route_policy_validated():
+    with pytest.raises(ValueError):
+        Network(nvlink_mesh(4), route_policy="quantum")
+
+
+def test_link_load_timelines_bin_busy_seconds():
+    net = Network(nvlink_mesh(4))
+    net.enable_link_loads(bin_width=0.001)
+    assert net.load_bin_width == 0.001
+    net.transfer(0, 1, 64 * MB, 0.0, job=1)
+    loads = net.link_loads()
+    assert loads
+    for bins in loads.values():
+        # each bin holds at most its own width of busy time
+        assert all(0 < v <= 0.001 + 1e-12 for v in bins.values())
+    with pytest.raises(ValueError):
+        net.enable_link_loads(bin_width=0.0)
+
+
+def test_kernels_are_job_tagged_too():
+    net = Network(nvlink_mesh(4))
+    net.run_kernel(0, "compress", 0.5, 0.0, job=3)
+    assert net.job_link_seconds(3) == {"gpu0.compress": 0.5}

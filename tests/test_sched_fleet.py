@@ -1,0 +1,186 @@
+"""Fleet simulator: shared-clock multi-job runs, isolation, fairness.
+
+The two physics tests here are the subsystem's contract: jobs placed on
+*disjoint* machines must finish at exactly the sim time they'd take
+alone (sharing the clock is free), and jobs forced onto the *same*
+links must slow down by the serialization the shared bottleneck
+predicts — no more than full serialization, no less than the
+competitor's occupancy of the hot link.
+"""
+
+import pytest
+
+from repro.cluster import get_machine, make_cluster
+from repro.models import ModelSpec, TensorSpec
+from repro.sched import (FleetSimulator, JobSpec, compute_metrics,
+                         jain_fairness, percentile, sample_fleet)
+
+#: comm-dominated probe model: ~2M parameters of gradient with almost no
+#: compute, so step times are pure communication and contention math is
+#: predictable
+TINY = ModelSpec("tinynet", tensors=[
+    TensorSpec("fc1.weight", "linear", 1 << 20, flops=1e3, position=0,
+               shape=(1024, 1024)),
+    TensorSpec("fc2.weight", "linear", 1 << 20, flops=1e3, position=1,
+               shape=(1024, 1024)),
+], default_batch_per_gpu=1)
+LIB = {"tinynet": TINY}
+
+
+def _run(jobs, topology, **kwargs):
+    kwargs.setdefault("spec_library", LIB)
+    return FleetSimulator(topology, jobs, **kwargs).run()
+
+
+def test_fleet_validates_inputs():
+    topo = get_machine("rtx3090-8x").topology()
+    with pytest.raises(KeyError):
+        FleetSimulator(topo, [JobSpec(1, "tinynet", 2, 0.0, 1)],
+                       policy="fifo", spec_library=LIB)
+    with pytest.raises(ValueError):   # duplicate job ids
+        FleetSimulator(topo, [JobSpec(1, "tinynet", 2, 0.0, 1),
+                              JobSpec(1, "tinynet", 2, 1.0, 1)],
+                       spec_library=LIB)
+    with pytest.raises(ValueError):   # bigger than the whole fleet
+        FleetSimulator(topo, [JobSpec(1, "tinynet", 16, 0.0, 1)],
+                       spec_library=LIB)
+
+
+def test_disjoint_jobs_run_as_if_alone():
+    # two 8-rank jobs on a 2-node fleet: packed placement gives each its
+    # own machine; no shared links means zero cross-job interference, so
+    # finish times equal the single-job runs exactly
+    together = _run([JobSpec(1, "tinynet", 8, 0.0, 2),
+                     JobSpec(2, "tinynet", 8, 0.0, 2)],
+                    make_cluster("rtx3090-8x", 2))
+    assert [s.ranks for s in together.states] == \
+        [tuple(range(8)), tuple(range(8, 16))]
+    alone = _run([JobSpec(1, "tinynet", 8, 0.0, 2)],
+                 make_cluster("rtx3090-8x", 2))
+    for state in together.states:
+        assert state.finish_time == alone.states[0].finish_time
+    assert compute_metrics(together).mean_slowdown == pytest.approx(1.0)
+
+
+def test_shared_link_jobs_pay_the_serialization_factor():
+    # two 2-rank jobs under the same PCIe root share the host-memory
+    # bottleneck; the first-scheduled job is untouched, the second is
+    # delayed by (at least) the first's occupancy of the hot link and
+    # (at most) full serialization of the two steps
+    topo = get_machine("rtx3090-8x").topology()
+    result = _run([JobSpec(1, "tinynet", 2, 0.0, 1),
+                   JobSpec(2, "tinynet", 2, 0.0, 1)], topo)
+    first, second = result.states
+    assert first.ranks == (0, 1) and second.ranks == (2, 3)
+
+    t_iso = _run([JobSpec(1, "tinynet", 2, 0.0, 1)],
+                 get_machine("rtx3090-8x").topology()).states[0].finish_time
+    assert first.finish_time == t_iso
+
+    job1_busy = result.network.job_link_seconds(1)
+    job2_busy = result.network.job_link_seconds(2)
+    shared = {name for name in job1_busy
+              if name in job2_busy and not name.startswith("gpu")}
+    assert shared   # same root complex: the hostmem links are contended
+    bottleneck = max(job1_busy[name] for name in shared)
+    delay = second.finish_time - t_iso
+    assert delay >= 0.9 * bottleneck          # serialization lower bound
+    assert result.makespan <= 2.0 * t_iso     # full-serialization ceiling
+    assert compute_metrics(result).mean_slowdown > 1.0
+
+
+def test_deep_queue_has_nonzero_wait_and_everyone_finishes():
+    topo = make_cluster("rtx3090-8x", 2)
+    jobs = sample_fleet(40, seed=11, models=("resnet50",), worlds=(4, 8),
+                        mean_interarrival=0.001)
+    result = FleetSimulator(topo, jobs, policy="packed", seed=11).run()
+    metrics = compute_metrics(result)
+    assert metrics.completed == 40
+    assert metrics.mean_queue_wait > 0
+    assert metrics.p95_queue_wait >= metrics.mean_queue_wait
+    assert 0 < metrics.fairness <= 1
+    assert metrics.fleet_items_per_s > 0
+    assert metrics.total_wire_bytes > 0
+    # admissions never overlap on a GPU: replay the event log
+    busy: dict[int, float] = {}
+    ranks_of = {}
+    for record in result.records:
+        if record["event"] == "admit":
+            for gpu in record["ranks"]:
+                assert busy.get(gpu, 0.0) <= record["t"] + 1e-9
+            ranks_of[record["job"]] = record["ranks"]
+        elif record["event"] == "finish":
+            for gpu in ranks_of[record["job"]]:
+                busy[gpu] = record["t"]
+
+
+def test_same_seed_logs_are_byte_identical():
+    topo = make_cluster("rtx3090-8x", 2)
+
+    def campaign():
+        jobs = sample_fleet(16, seed=5)
+        return FleetSimulator(topo, jobs, policy="spread", seed=5).run()
+
+    assert campaign().log_bytes() == campaign().log_bytes()
+    other = FleetSimulator(topo, sample_fleet(16, seed=6), policy="spread",
+                           seed=6).run()
+    assert campaign().log_bytes() != other.log_bytes()
+
+
+def test_throttled_job_is_slower():
+    topo = get_machine("rtx3090-8x").topology()
+    free = _run([JobSpec(1, "tinynet", 2, 0.0, 1)], topo)
+    throttled = _run([JobSpec(1, "tinynet", 2, 0.0, 1, throttle=0.25)],
+                     get_machine("rtx3090-8x").topology())
+    assert throttled.makespan > free.makespan
+    # the throttle is scoped to the job and released at departure
+    assert throttled.network.job_throttle(1) == 1.0
+
+
+def test_adaptive_routing_fleet_completes_deterministically():
+    topo = make_cluster("dgx1", 1)
+    jobs = [JobSpec(1, "tinynet", 4, 0.0, 2),
+            JobSpec(2, "tinynet", 4, 0.0, 2)]
+    a = _run(list(jobs), make_cluster("dgx1", 1), routing="adaptive")
+    b = _run(list(jobs), topo, routing="adaptive")
+    assert a.log_bytes() == b.log_bytes()
+    assert all(s.status == "done" for s in a.states)
+
+
+def test_arrivals_respect_the_clock():
+    # a job arriving later never starts earlier, even if GPUs are free
+    topo = get_machine("rtx3090-8x").topology()
+    result = _run([JobSpec(1, "tinynet", 2, 0.0, 1),
+                   JobSpec(2, "tinynet", 2, 1.0, 1)], topo)
+    late = result.states[1]
+    assert late.admit_time == pytest.approx(1.0)
+    assert late.queue_wait == pytest.approx(0.0)
+
+
+def test_jain_fairness_and_percentile_helpers():
+    assert jain_fairness([]) == 1.0
+    assert jain_fairness([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+    assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+    with pytest.raises(ValueError):
+        jain_fairness([-1.0])
+    assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+    assert percentile([1.0, 2.0], 100) == 2.0
+    assert percentile([5.0], 95) == 5.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_metrics_serialize_to_plain_json_types():
+    import json
+
+    topo = get_machine("rtx3090-8x").topology()
+    result = _run([JobSpec(1, "tinynet", 2, 0.0, 2),
+                   JobSpec(2, "tinynet", 2, 0.1, 2)], topo,
+                  link_load_bin=0.001)
+    metrics = compute_metrics(result)
+    payload = json.loads(json.dumps(metrics.to_dict()))
+    assert payload["n_jobs"] == 2 and payload["completed"] == 2
+    assert metrics.link_timelines   # the binned link-load timelines
+    assert metrics.link_load_bin == 0.001

@@ -1,0 +1,88 @@
+"""Placement policies: packed / spread / NUMA-aware rank mapping."""
+
+import pytest
+
+from repro.cluster import get_machine, make_cluster
+from repro.sched import PLACEMENT_POLICIES, place
+
+
+def _cluster(nodes=2):
+    return make_cluster("rtx3090-8x", nodes)
+
+
+def _all_free(topo):
+    return set(range(topo.n_gpus))
+
+
+def test_policy_catalog_and_errors():
+    topo = _cluster()
+    assert set(PLACEMENT_POLICIES) == {"packed", "spread", "numa"}
+    with pytest.raises(KeyError):
+        place("round-robin", topo, 2, _all_free(topo))
+    with pytest.raises(ValueError):
+        place("packed", topo, topo.n_gpus + 1, _all_free(topo))
+
+
+def test_insufficient_free_queues():
+    topo = _cluster()
+    assert place("packed", topo, 4, {0, 1, 2}) is None
+    assert place("spread", topo, 4, {0, 1, 2}) is None
+
+
+def test_packed_prefers_single_best_fit_node():
+    topo = _cluster(2)
+    # node 0 has 2 free, node 1 has 8 free: a 2-rank job best-fits node 0
+    free = {6, 7} | set(range(8, 16))
+    ranks = place("packed", topo, 2, free)
+    assert ranks == [6, 7]
+    # a 4-rank job no longer fits node 0 and lands on node 1 alone
+    ranks = place("packed", topo, 4, free)
+    assert all(topo.node_of[g] == 1 for g in ranks)
+
+
+def test_packed_spills_across_nodes_only_when_forced():
+    topo = _cluster(2)
+    free = {5, 6, 7} | {8, 9}
+    ranks = place("packed", topo, 5, free)
+    assert ranks is not None and len(ranks) == 5
+    assert {topo.node_of[g] for g in ranks} == {0, 1}
+
+
+def test_spread_deals_across_nodes():
+    topo = _cluster(2)
+    ranks = place("spread", topo, 4, _all_free(topo))
+    assert ranks is not None
+    nodes = [topo.node_of[g] for g in ranks]
+    assert nodes.count(0) == 2 and nodes.count(1) == 2
+
+
+def test_numa_prefers_one_root_complex():
+    topo = get_machine("rtx3090-8x").topology()
+    groups = {topo.numa_of[g] for g in range(topo.n_gpus)}
+    assert len(groups) == 2   # dual-root commodity box
+    half = topo.n_gpus // 2
+    ranks = place("numa", topo, half, _all_free(topo))
+    assert ranks is not None
+    assert len({topo.numa_of[g] for g in ranks}) == 1
+    # too big for one root: falls back to a packed placement
+    ranks = place("numa", topo, half + 1, _all_free(topo))
+    assert ranks is not None and len(ranks) == half + 1
+
+
+def test_placements_are_deterministic():
+    topo = _cluster(3)
+    free = _all_free(topo)
+    for policy in PLACEMENT_POLICIES:
+        assert place(policy, topo, 6, set(free)) == \
+            place(policy, topo, 6, set(free))
+
+
+def test_placement_never_reuses_gpus():
+    topo = _cluster(2)
+    free = _all_free(topo)
+    for policy in PLACEMENT_POLICIES:
+        taken = place(policy, topo, 6, set(free))
+        assert taken is not None and len(set(taken)) == 6
+        rest = place(policy, topo, 6, set(free) - set(taken))
+        assert rest is not None
+        assert not set(taken) & set(rest)
