@@ -2,7 +2,7 @@
 
 CI runs ``python -m repro.analysis --all`` on every push, so the suite's
 cost is part of the development loop: this benchmark times each of the
-nine passes individually, measures the schedule simulator's throughput
+ten passes individually, measures the schedule simulator's throughput
 (trace events generated per second across the liveness battery), and
 persists both a human-readable table and a machine-readable
 ``BENCH_analysis.json`` for tooling to ratchet against.
@@ -26,6 +26,7 @@ def _timed_passes() -> dict[str, float]:
     from repro.analysis.plans import verify_plans
     from repro.analysis.races import verify_races
     from repro.analysis.rules import run_lint
+    from repro.analysis.sched import verify_sched
     from repro.analysis.schedule import verify_schedules
     from repro.analysis.shapes import verify_shapes
     from repro.faults.validate import (verify_crc_detection,
@@ -44,6 +45,7 @@ def _timed_passes() -> dict[str, float]:
         "health": verify_health,
         "liveness": verify_liveness,
         "overlap": verify_overlap,
+        "sched": verify_sched,
     }
     timings = {}
     for name, battery in passes.items():
@@ -102,5 +104,5 @@ def test_bench_analysis_passes(benchmark):
 
     assert set(payload["passes"]) == {
         "lint", "schedule", "contracts", "races", "plans", "shapes",
-        "health", "liveness", "overlap"}
+        "health", "liveness", "overlap", "sched"}
     assert sim["events"] > 0 and sim["events_per_sec"] > 0

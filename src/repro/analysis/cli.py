@@ -1,6 +1,6 @@
 """Entry point: ``python -m repro.analysis`` / ``repro analyze``.
 
-Runs up to nine passes and reports findings as text or JSON:
+Runs up to ten passes and reports findings as text or JSON:
 
 * **lint** — numerical-safety AST rules (REP) over the given paths;
 * **schedule** — collective-schedule verification (SCH);
@@ -22,12 +22,17 @@ Runs up to nine passes and reports findings as text or JSON:
 * **overlap** — the overlap-safety certifier (OVL): use-before-reduce
   ordering, bucket-fusion conservation, launch-priority discipline,
   in-flight compressor-state attribution and the makespan bound of
-  the engine's overlapped mode, plus the ``.grad``-consumer AST pass.
+  the engine's overlapped mode, plus the ``.grad``-consumer AST pass;
+* **sched** — the fleet-schedule certifier (SCD): placement soundness
+  replayed from the canonical fleet log, admission liveness and FIFO
+  order, exact cross-job conservation, throttle semantics, isolation
+  bounds against isolated replays, fairness-metric validity, and the
+  job-tagging AST pass over the scheduler and the shared network.
 
-The first four run by default; ``--all`` runs all nine (the CI
+The first four run by default; ``--all`` runs all ten (the CI
 configuration).  ``--contracts`` / ``--races`` / ``--plans`` /
-``--shapes`` / ``--health`` / ``--liveness`` / ``--overlap`` select
-*only* the named semantic passes
+``--shapes`` / ``--health`` / ``--liveness`` / ``--overlap`` /
+``--sched`` select *only* the named semantic passes
 (they combine with each other); ``--schedule-only`` keeps its PR-1
 meaning (schedule pass alone) and ``--no-schedule`` drops the schedule
 pass from the default set.
@@ -54,7 +59,7 @@ __all__ = ["build_parser", "main", "select_passes"]
 
 PASSES = ("lint", "schedule", "contracts", "races")
 ALL_PASSES = ("lint", "schedule", "contracts", "races", "plans", "shapes",
-              "health", "liveness", "overlap")
+              "health", "liveness", "overlap", "sched")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,7 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "adaptive-plan certification (BWP), shape/dtype "
                     "pipeline interpretation (SHP), deadlock/progress "
                     "certification (DLV), overlap-safety certification "
-                    "(OVL).",
+                    "(OVL), fleet-schedule certification (SCD).",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to lint (default: src)")
@@ -106,17 +111,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--overlap", action="store_true",
                         help="run only the overlap-safety certifier "
                              "(combines with the other pass flags)")
+    parser.add_argument("--sched", action="store_true",
+                        help="run only the fleet-schedule certifier "
+                             "(combines with the other pass flags)")
     parser.add_argument("--all", dest="all_passes", action="store_true",
                         help="run every battery (lint, schedule, "
                              "contracts, races, plans, shapes, health, "
-                             "liveness, overlap)")
+                             "liveness, overlap, sched)")
     return parser
 
 
 def select_passes(args: argparse.Namespace) -> tuple[str, ...]:
     """Which passes a parsed command line asks for (see module doc)."""
     named = [name for name in ("contracts", "races", "plans", "shapes",
-                               "health", "liveness", "overlap")
+                               "health", "liveness", "overlap", "sched")
              if getattr(args, name)]
     if args.all_passes:
         if args.schedule_only or args.no_schedule or named:
@@ -229,6 +237,10 @@ def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
         from .overlap import verify_overlap
 
         findings.extend(verify_overlap())
+    if "sched" in passes:
+        from .sched import verify_sched
+
+        findings.extend(verify_sched())
     findings = sort_findings(findings)
 
     if args.write_baseline:

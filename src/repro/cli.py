@@ -115,9 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--overlap", action="store_true",
                      help="run only the overlap-safety certifier "
                           "(combines with the other pass flags)")
+    ana.add_argument("--sched", action="store_true",
+                     help="run only the fleet-schedule certifier "
+                          "(combines with the other pass flags)")
     ana.add_argument("--all", dest="all_passes", action="store_true",
                      help="run every battery, including plans, shapes, "
-                          "health, liveness and overlap")
+                          "health, liveness, overlap and sched")
 
     flt = sub.add_parser("faults",
                          help="run a named chaos campaign against real "
@@ -349,6 +352,8 @@ def _cmd_analyze(args, out) -> int:
         argv.append("--liveness")
     if args.overlap:
         argv.append("--overlap")
+    if args.sched:
+        argv.append("--sched")
     if args.all_passes:
         argv.append("--all")
     return analysis_main(argv, out=out)

@@ -66,10 +66,18 @@ class Network:
         self._job_throttle: dict[int, float] = {}
         self._load_bin_width: float = 0.0   # 0 = link-load tracking off
         self._load_bins: dict[str, dict[int, float]] = {}
+        #: bytes put on links per job tag (None = untagged); integers, so
+        #: cross-job conservation is checkable with exact equality
+        self._job_bytes: dict[int | None, int] = {}
 
     # -- configuration ----------------------------------------------------
     def enable_trace(self, enabled: bool = True) -> None:
         self._trace_enabled = enabled
+
+    def enable_conservation_audit(self) -> None:
+        """Record the exact occupation ledger the SCD003 conservation
+        checks need (see :meth:`ResourcePool.enable_audit`)."""
+        self.pool.enable_audit()
 
     def enable_link_loads(self, bin_width: float = 0.01) -> None:
         """Track per-link busy seconds in ``bin_width``-second bins."""
@@ -121,6 +129,7 @@ class Network:
         self.pool.reset()
         self.clear_trace()
         self._load_bins.clear()
+        self._job_bytes.clear()
 
     # -- transfers ---------------------------------------------------------
     def transfer(self, src: int, dst: int, nbytes: int, ready: float,
@@ -151,6 +160,7 @@ class Network:
         for link in route:
             service = scaled / (link.bandwidth * throttle) + link.latency
             t = self._schedule_link(link, t, service, job)
+        self._job_bytes[job] = self._job_bytes.get(job, 0) + nbytes
         if self._trace_enabled:
             self.trace.append(
                 TransferRecord(src, dst, nbytes, start_overall, t, job))
@@ -243,6 +253,24 @@ class Network:
     def job_link_seconds(self, job: int) -> dict[str, float]:
         """Seconds each resource spent serving ``job``."""
         return self.pool.job_busy_seconds(job)
+
+    def total_transferred_bytes(self) -> int:
+        """All bytes this network ever put on links (every job tag)."""
+        return sum(self._job_bytes.values())
+
+    def transferred_bytes(self, job: int | None) -> int:
+        """Bytes put on links under one job tag (``None`` = untagged).
+
+        Integer accounting, independent of the trace (which may be
+        disabled or partially cleared), so the certifier can demand
+        exact equality against the jobs' own ``wire_bytes`` counters
+        (SCD003).
+        """
+        return self._job_bytes.get(job, 0)
+
+    def job_byte_tags(self) -> dict[int | None, int]:
+        """Bytes per job tag (``None`` = untagged), as recorded."""
+        return dict(self._job_bytes)
 
 
 def export_chrome_trace(network: Network, path: str) -> int:

@@ -10,10 +10,21 @@ graph is known up front.
 
 With the fleet scheduler (``repro.sched``) several concurrent jobs
 share one pool: tasks carry an optional ``job`` tag so per-job busy
-time stays attributable even though the timelines are shared.
+time stays attributable even though the timelines are shared.  The
+fleet-schedule certifier (``repro.analysis.sched``, rule SCD003)
+additionally needs *exact* conservation evidence — float accumulation
+is order-sensitive, so "per-job seconds sum to the pool total" cannot
+be checked to tolerance without hiding real accounting leaks.  With
+:meth:`ResourcePool.enable_audit` every occupation is appended to a
+per-resource ledger of ``(job, duration)`` entries; the exact accessors
+sum those ledgers in :class:`fractions.Fraction` arithmetic (every
+float is an exact rational), so conservation holds with **equality**
+or not at all.
 """
 
 from __future__ import annotations
+
+from fractions import Fraction
 
 __all__ = ["Resource", "ResourcePool"]
 
@@ -21,13 +32,17 @@ __all__ = ["Resource", "ResourcePool"]
 class Resource:
     """A serially-occupied resource (a link direction, a GPU engine...)."""
 
-    __slots__ = ("name", "busy_until", "busy_time", "busy_by_job")
+    __slots__ = ("name", "busy_until", "busy_time", "busy_by_job", "ledger")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, audit: bool = False):
         self.name = name
         self.busy_until = 0.0
         self.busy_time = 0.0  # total occupied seconds, for utilization stats
         self.busy_by_job: dict[int, float] = {}  # job id -> occupied seconds
+        #: exact occupation ledger, ``None`` unless auditing: every
+        #: occupation appends ``(job, duration)`` in commit order
+        self.ledger: list[tuple[int | None, float]] | None = \
+            [] if audit else None
 
     def schedule(self, ready: float, duration: float,
                  job: int | None = None) -> tuple[float, float]:
@@ -44,7 +59,49 @@ class Resource:
         self.busy_time += duration
         if job is not None:
             self.busy_by_job[job] = self.busy_by_job.get(job, 0.0) + duration
+        if self.ledger is not None:
+            self.ledger.append((job, duration))
         return start, end
+
+    # -- exact (Fraction) conservation accessors --------------------------
+    def exact_busy_seconds(self) -> Fraction:
+        """Exact total occupied seconds (requires an audit ledger)."""
+        if self.ledger is None:
+            raise RuntimeError(
+                f"resource {self.name}: exact accounting needs "
+                f"ResourcePool.enable_audit() before simulating")
+        return sum((Fraction(d) for _, d in self.ledger), Fraction(0))
+
+    def exact_busy_by_job(self) -> dict[int | None, Fraction]:
+        """Exact occupied seconds per job tag (``None`` = untagged)."""
+        if self.ledger is None:
+            raise RuntimeError(
+                f"resource {self.name}: exact accounting needs "
+                f"ResourcePool.enable_audit() before simulating")
+        by_job: dict[int | None, Fraction] = {}
+        for job, duration in self.ledger:
+            by_job[job] = by_job.get(job, Fraction(0)) + Fraction(duration)
+        return by_job
+
+    def replay_float_accumulation(self) -> tuple[float, dict[int, float]]:
+        """Re-fold the ledger with float addition, in commit order.
+
+        Returns ``(busy_time, busy_by_job)`` as the ledger implies them.
+        The certifier compares these bit-for-bit against the live
+        counters: any mutation path that bumps a counter without
+        appending to the ledger (or vice versa) is an accounting leak.
+        """
+        if self.ledger is None:
+            raise RuntimeError(
+                f"resource {self.name}: exact accounting needs "
+                f"ResourcePool.enable_audit() before simulating")
+        total = 0.0
+        by_job: dict[int, float] = {}
+        for job, duration in self.ledger:
+            total += duration
+            if job is not None:
+                by_job[job] = by_job.get(job, 0.0) + duration
+        return total, by_job
 
     def peek(self, ready: float) -> float:
         """Earliest start time without committing."""
@@ -54,18 +111,39 @@ class Resource:
         self.busy_until = 0.0
         self.busy_time = 0.0
         self.busy_by_job.clear()
+        if self.ledger is not None:
+            self.ledger.clear()
 
 
 class ResourcePool:
     """Named collection of resources, created on first use."""
 
-    def __init__(self) -> None:
+    def __init__(self, audit: bool = False) -> None:
         self._resources: dict[str, Resource] = {}
+        self._audit = audit
+
+    def enable_audit(self) -> None:
+        """Record exact occupation ledgers on every resource.
+
+        Must be called before any resource is occupied — auditing half a
+        simulation would make the conservation ledger lie by omission.
+        """
+        if any(res.busy_time for res in self._resources.values()):
+            raise RuntimeError("enable_audit() after occupations began "
+                               "would produce a partial ledger")
+        self._audit = True
+        for resource in self._resources.values():
+            if resource.ledger is None:
+                resource.ledger = []
+
+    @property
+    def audited(self) -> bool:
+        return self._audit
 
     def get(self, name: str) -> Resource:
         resource = self._resources.get(name)
         if resource is None:
-            resource = Resource(name)
+            resource = Resource(name, audit=self._audit)
             self._resources[name] = resource
         return resource
 
@@ -89,6 +167,8 @@ class ResourcePool:
             if job is not None:
                 resource.busy_by_job[job] = \
                     resource.busy_by_job.get(job, 0.0) + duration
+            if resource.ledger is not None:
+                resource.ledger.append((job, duration))
         return start, end
 
     def reset(self) -> None:
@@ -108,6 +188,10 @@ class ResourcePool:
         """Total occupied seconds per resource (link-load summaries)."""
         return {name: res.busy_time for name, res in self._resources.items()}
 
+    def resources(self) -> dict[str, Resource]:
+        """Snapshot of the live resources by name (shared references)."""
+        return dict(self._resources)
+
     def job_busy_seconds(self, job: int) -> dict[str, float]:
         """Seconds each resource spent serving ``job`` (shared-pool use)."""
         return {
@@ -115,3 +199,33 @@ class ResourcePool:
             for name, res in self._resources.items()
             if job in res.busy_by_job
         }
+
+    # -- exact (Fraction) conservation accessors --------------------------
+    def exact_busy_seconds(self) -> dict[str, Fraction]:
+        """Exact occupied seconds per resource (requires
+        :meth:`enable_audit` before simulating)."""
+        return {name: res.exact_busy_seconds()
+                for name, res in self._resources.items()}
+
+    def exact_job_busy_seconds(self, job: int) -> dict[str, Fraction]:
+        """Exact seconds each resource spent serving ``job``."""
+        result: dict[str, Fraction] = {}
+        for name, res in self._resources.items():
+            by_job = res.exact_busy_by_job()
+            if job in by_job:
+                result[name] = by_job[job]
+        return result
+
+    def exact_untagged_seconds(self) -> dict[str, Fraction]:
+        """Exact seconds occupied with no job tag, per resource.
+
+        In a fleet simulation every transfer and kernel belongs to some
+        job, so a nonzero entry here is tag leakage — busy time that
+        per-job accounting silently loses (certifier rule SCD003).
+        """
+        result: dict[str, Fraction] = {}
+        for name, res in self._resources.items():
+            untagged = res.exact_busy_by_job().get(None, Fraction(0))
+            if untagged:
+                result[name] = untagged
+        return result

@@ -450,7 +450,10 @@ def bayes_assign(
         cost = sum(bits[s.name] * s.numel for s in stats)
         err = assignment_error(stats, bits)
         if err > budget:
-            cost += 1e18 * (err / budget)
+            # budget underflows to 0.0 for denormal gradient norms; any
+            # positive error is then infinitely over budget
+            ratio = err / budget if budget > 0 else 1e18
+            cost += 1e18 * ratio
         return cost
 
     lo0, hi0 = float(score.min()), float(score.max())

@@ -6,8 +6,12 @@ decides where (packed / spread / NUMA-aware policies with FIFO admission
 queueing), ``fleet`` advances everything on one shared event clock and
 link-resource pool, and ``metrics`` reduces the outcome to fleet
 throughput, queueing delay, Jain fairness, and link-load timelines.
+``battery`` holds the ~30 seeded fleet cells the SCD certifier
+(``repro.analysis.sched``) replays and certifies.
 """
 
+from .battery import (DYADIC_SHARES, FleetCase, apply_throttles, fleet_cases,
+                      run_fleet_case)
 from .fleet import FLEET_LOG_VERSION, FleetResult, FleetSimulator, JobRunner
 from .jobs import (DEFAULT_FLEET_MODELS, JOB_METHODS, JobSpec, JobState,
                    sample_fleet)
@@ -15,6 +19,8 @@ from .metrics import FleetMetrics, compute_metrics, jain_fairness, percentile
 from .placement import PLACEMENT_POLICIES, place
 
 __all__ = [
+    "DYADIC_SHARES", "FleetCase", "apply_throttles", "fleet_cases",
+    "run_fleet_case",
     "FLEET_LOG_VERSION", "FleetResult", "FleetSimulator", "JobRunner",
     "DEFAULT_FLEET_MODELS", "JOB_METHODS", "JobSpec", "JobState",
     "sample_fleet",

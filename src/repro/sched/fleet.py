@@ -28,8 +28,10 @@ import heapq
 import json
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cluster import Network, Topology, get_backend, get_gpu
+from repro.cluster.backends import BackendModel
 from repro.cluster.gpu import GPUSpec
 from repro.collectives import time_allreduce
 from repro.models import ModelSpec, build_spec
@@ -38,6 +40,9 @@ from repro.training.perf import (optimizer_time, package_ready_offsets,
 
 from .jobs import JobSpec, JobState
 from .placement import PLACEMENT_POLICIES, place
+
+if TYPE_CHECKING:
+    from .metrics import FleetMetrics
 
 __all__ = ["FleetSimulator", "FleetResult", "JobRunner", "FLEET_LOG_VERSION"]
 
@@ -54,7 +59,7 @@ class JobRunner:
     """
 
     def __init__(self, spec: JobSpec, model: ModelSpec, gpu: GPUSpec,
-                 ranks: list[int], network: Network):
+                 ranks: list[int], network: Network) -> None:
         self.spec = spec
         self.ranks = list(ranks)
         self.network = network
@@ -95,7 +100,7 @@ class JobRunner:
             wire += timing.wire_bytes
         return last_end + self.optimizer_time, wire
 
-    def isolated_step_time(self, backend) -> float:
+    def isolated_step_time(self, backend: BackendModel | str) -> float:
         """Step duration with this plan/placement on an empty network."""
         probe = Network(self.network.topology, backend)
         end, _ = self.run_step(0.0, network=probe)
@@ -143,11 +148,42 @@ class FleetResult:
         return json.dumps(payload, sort_keys=True,
                           separators=(",", ":")).encode("utf-8")
 
-    def metrics(self):
+    def metrics(self) -> FleetMetrics:
         """Fleet-level metrics (lazy import avoids a module cycle)."""
         from .metrics import compute_metrics
 
         return compute_metrics(self)
+
+    def job_link_names(self, job_id: int) -> set[str]:
+        """Shared (non-GPU-engine) resources this job's steps occupied."""
+        return {name
+                for name in self.network.job_link_seconds(job_id)
+                if not name.startswith("gpu")}
+
+    def isolated_replay(self, job_id: int) -> list[float]:
+        """Recorded step end times, replayed as if the job ran alone.
+
+        Replays the job's precomputed plan on a fresh network over the
+        same topology/backend/routing (with the job's own throttle
+        registered), launching every step at its *recorded* start time.
+        Contention can only delay — resource starts are
+        ``max(ready, busy_until)`` and float ``+``/``max`` are monotone
+        — so each fleet step end is >= its replayed end, and for a job
+        whose links were touched by no time-overlapping competitor the
+        two are bit-identical (certifier rule SCD005).
+        """
+        runner = self.runners[job_id]
+        spec = runner.spec
+        probe = Network(self.topology, self.network.backend,
+                        route_policy=self.routing)
+        if spec.throttle < 1.0:
+            probe.set_job_throttle(job_id, spec.throttle)
+        ends: list[float] = []
+        for record in self.records:
+            if record["event"] == "step" and record["job"] == job_id:
+                end, _ = runner.run_step(record["t"], network=probe)
+                ends.append(end)
+        return ends
 
 
 class FleetSimulator:
@@ -168,6 +204,10 @@ class FleetSimulator:
             per-job lanes).
         link_load_bin: if > 0, track per-link busy seconds in bins of
             this width (the link-load timelines in the metrics).
+        audit: record the exact occupation ledgers the conservation
+            certifier sums in :class:`fractions.Fraction` arithmetic
+            (rule SCD003); off by default — ledgers grow with every
+            scheduled task.
     """
 
     def __init__(self, topology: Topology, jobs: list[JobSpec],
@@ -175,7 +215,8 @@ class FleetSimulator:
                  backend: str = "shm", routing: str = "static",
                  seed: int | None = None, trace: bool = False,
                  link_load_bin: float = 0.0,
-                 spec_library: dict[str, ModelSpec] | None = None):
+                 spec_library: dict[str, ModelSpec] | None = None,
+                 audit: bool = False) -> None:
         if policy not in PLACEMENT_POLICIES:
             raise KeyError(
                 f"unknown policy {policy!r}; choose from {PLACEMENT_POLICIES}")
@@ -199,6 +240,8 @@ class FleetSimulator:
             self.network.enable_trace()
         if link_load_bin:
             self.network.enable_link_loads(link_load_bin)
+        if audit:
+            self.network.enable_conservation_audit()
         self._specs: dict[str, ModelSpec] = dict(spec_library or {})
 
     def _model(self, name: str) -> ModelSpec:

@@ -63,7 +63,7 @@ class JobSpec:
     batch_per_gpu: int | None = None
     throttle: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.job_id < 1:
             raise ValueError("job_id must be >= 1 (0 is the untagged lane)")
         if self.world < 1:
@@ -158,7 +158,7 @@ def sample_fleet(
             raise KeyError(f"unknown model spec {model!r}")
     rng = random.Random(seed)
     t = 0.0
-    specs = []
+    specs: list[JobSpec] = []
     for job_id in range(1, n_jobs + 1):
         t += rng.expovariate(1.0 / mean_interarrival)
         method = "nccl" if rng.random() < nccl_fraction else "cgx"

@@ -42,13 +42,20 @@ def jain_fairness(values: list[float]) -> float:
     if square_sum == 0:
         return 1.0
     total = sum(values)
-    return (total * total) / (len(values) * square_sum)
+    # float rounding can nudge a perfectly-fair vector a few ulps above
+    # 1.0; the index is provably <= 1 (Cauchy-Schwarz), so clamp
+    return min(1.0, (total * total) / (len(values) * square_sum))
 
 
 def percentile(values: list[float], p: float) -> float:
-    """Linear-interpolated percentile (``p`` in [0, 100]) of ``values``."""
+    """Linear-interpolated percentile (``p`` in [0, 100]) of ``values``.
+
+    An empty sequence degenerates to 0.0 — an all-instantly-admitted
+    fleet has no queue waits, and its tail wait is zero, not an error
+    (certifier rule SCD006 evaluates the degenerate fleets too).
+    """
     if not values:
-        raise ValueError("percentile of an empty sequence")
+        return 0.0
     if not 0.0 <= p <= 100.0:
         raise ValueError(f"p must be in [0, 100], got {p}")
     ordered = sorted(values)

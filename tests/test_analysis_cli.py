@@ -180,7 +180,7 @@ def test_all_flag_selects_every_pass():
     assert select_passes(args) == ALL_PASSES
     assert set(ALL_PASSES) == {"lint", "schedule", "contracts", "races",
                                "plans", "shapes", "health", "liveness",
-                               "overlap"}
+                               "overlap", "sched"}
 
 
 def test_all_flag_rejects_pass_selection_flags():
@@ -336,3 +336,52 @@ def test_liveness_file_findings_render_like_lint(monkeypatch):
     code, out = run_cli(["--liveness"])
     assert code == 1
     assert "src/repro/collectives/x.py:12:5: DLV006" in out
+
+
+# -- pass selection (sched) ----------------------------------------------------
+
+def test_sched_flag_selects_only_the_fleet_certifier():
+    from repro.analysis.cli import build_parser, select_passes
+
+    args = build_parser().parse_args(["--sched"])
+    assert select_passes(args) == ("sched",)
+    args = build_parser().parse_args(["--sched", "--overlap"])
+    assert select_passes(args) == ("overlap", "sched")
+
+
+def test_sched_battery_findings_render_with_scheme_and_jobs(monkeypatch):
+    import repro.analysis.sched as sched_mod
+    from repro.analysis.findings import Finding
+
+    planted = [Finding(rule="SCD005", path="<sched:packed-static@n=12/x>",
+                       line=0, col=0, message="synthetic isolation breach",
+                       source="sched", scheme="packed-static", world=12)]
+    monkeypatch.setattr(sched_mod, "verify_sched", lambda: planted)
+    code, out = run_cli(["--sched"])
+    assert code == 1
+    assert "sched[packed-static@jobs=12]: SCD005" in out
+
+
+def test_sched_findings_round_trip_through_json_and_baseline(tmp_path,
+                                                             monkeypatch):
+    import repro.analysis.sched as sched_mod
+    from repro.analysis.findings import Finding
+
+    planted = [Finding(rule="SCD003", path="<sched:numa-adaptive@n=8/y>",
+                       line=0, col=0,
+                       message="synthetic conservation leak",
+                       source="sched", scheme="numa-adaptive", world=8)]
+    monkeypatch.setattr(sched_mod, "verify_sched", lambda: planted)
+
+    code, raw = run_cli(["--sched", "--format", "json"])
+    assert code == 1
+    report = json.loads(raw)
+    _validate(report, JSON_REPORT_SCHEMA)
+    assert report["findings"][0]["source"] == "sched"
+
+    baseline = tmp_path / "base.json"
+    code, _ = run_cli(["--sched", "--baseline", str(baseline),
+                       "--write-baseline"])
+    assert code == 0
+    code, out = run_cli(["--sched", "--baseline", str(baseline)])
+    assert code == 0 and "(1 baselined)" in out

@@ -166,8 +166,7 @@ def test_jain_fairness_and_percentile_helpers():
     assert percentile([3.0, 1.0, 2.0], 50) == 2.0
     assert percentile([1.0, 2.0], 100) == 2.0
     assert percentile([5.0], 95) == 5.0
-    with pytest.raises(ValueError):
-        percentile([], 50)
+    assert percentile([], 50) == 0.0   # no waits -> zero tail, not a crash
     with pytest.raises(ValueError):
         percentile([1.0], 101)
 

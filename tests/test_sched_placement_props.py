@@ -1,0 +1,104 @@
+"""Property-based tests over the placement policies.
+
+Three laws hold for every topology, free set and job size:
+
+* ``packed`` spills across no more machines than ``spread`` does for
+  the same request — packed's biggest-bins-first spill is the minimal
+  node cover, spread's load balancing can only match or exceed it;
+* ``numa`` equals ``packed`` *exactly* whenever no single root complex
+  can host the job (the documented fallback), and otherwise stays
+  inside one NUMA group;
+* sequential admissions never overlap: every placement is a duplicate-
+  free subset of the then-free GPUs, so two live jobs can never share
+  a GPU.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import make_cluster
+from repro.sched import PLACEMENT_POLICIES, place
+from repro.sched.placement import _numa, _packed
+
+#: topologies are deterministic and reusable; build each shape once
+TOPOLOGIES = {
+    (machine, nodes): make_cluster(machine, nodes)
+    for machine in ("rtx3090-8x", "dgx1")
+    for nodes in (1, 2, 3)
+}
+
+
+@st.composite
+def fleet_state(draw):
+    """A topology, a free-GPU subset, and a job size that might fit."""
+    key = draw(st.sampled_from(sorted(TOPOLOGIES)))
+    topology = TOPOLOGIES[key]
+    free = draw(st.sets(st.integers(0, topology.n_gpus - 1), min_size=1,
+                        max_size=topology.n_gpus))
+    world = draw(st.integers(1, topology.n_gpus))
+    return topology, free, world
+
+
+def nodes_used(topology, placement):
+    return {topology.node_of[gpu] for gpu in placement}
+
+
+@given(state=fleet_state())
+@settings(max_examples=200, deadline=None)
+def test_placements_are_valid_and_packed_never_wider_than_spread(state):
+    topology, free, world = state
+    placements = {policy: place(policy, topology, world, set(free))
+                  for policy in PLACEMENT_POLICIES}
+    for policy, placement in placements.items():
+        if world > len(free):
+            assert placement is None, policy
+            continue
+        assert placement is not None, policy   # enough free GPUs -> places
+        assert len(placement) == world == len(set(placement)), policy
+        assert set(placement) <= free, policy
+    packed, spread = placements["packed"], placements["spread"]
+    if packed is not None and spread is not None:
+        assert len(nodes_used(topology, packed)) <= \
+            len(nodes_used(topology, spread))
+
+
+@given(state=fleet_state())
+@settings(max_examples=200, deadline=None)
+def test_numa_falls_back_to_packed_exactly(state):
+    topology, free, world = state
+    groups = {}
+    for gpu in sorted(free):
+        key = (topology.node_of[gpu], topology.numa_of[gpu])
+        groups.setdefault(key, []).append(gpu)
+    fits_one_group = any(len(gpus) >= world for gpus in groups.values())
+    numa = _numa(topology, world, set(free))
+    if fits_one_group:
+        assert numa is not None
+        keys = {(topology.node_of[g], topology.numa_of[g]) for g in numa}
+        assert len(keys) == 1   # zero QPI crossings
+    else:
+        # the fallback is not "similar to" packed — it *is* packed
+        assert numa == _packed(topology, world, set(free))
+
+
+@given(
+    state=fleet_state(),
+    policy=st.sampled_from(PLACEMENT_POLICIES),
+    worlds=st.lists(st.integers(1, 8), min_size=1, max_size=8),
+)
+@settings(max_examples=200, deadline=None)
+def test_sequential_admissions_never_overlap(state, policy, worlds):
+    topology, free, _ = state
+    free = set(free)
+    live = []
+    for world in worlds:
+        world = min(world, topology.n_gpus)
+        placement = place(policy, topology, world, free)
+        if placement is None:
+            assert len(free) < world   # queuing only when it cannot fit
+            continue
+        taken = set(placement)
+        assert taken <= free
+        for other in live:
+            assert not taken & other   # no double booking, ever
+        live.append(taken)
+        free -= taken
