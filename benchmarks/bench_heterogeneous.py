@@ -10,7 +10,7 @@ data path still trains.
 
 import numpy as np
 
-from common import emit, format_table, run_once
+from common import emit, format_table, run_once, write_bench_json
 
 from repro.cluster import get_machine
 from repro.compression import CompressionSpec
@@ -69,6 +69,12 @@ def test_heterogeneous_compression(benchmark):
              f"{perplexity:.1f} and stayed in sync: {in_sync}.",
     )
     emit("heterogeneous", table)
+    write_bench_json("hetero", [
+        {"configuration": "quant", "step_ms": float(rows[0][1]),
+         "wire_mb": float(rows[0][2])},
+        {"configuration": "topk+quant", "step_ms": float(rows[1][1]),
+         "wire_mb": float(rows[1][2]), "extra_speedup": speedup - 1},
+    ], extra={"perplexity": perplexity, "in_sync": in_sync})
 
     assert 1.0 <= speedup < 1.25   # a real but modest gain
     assert in_sync

@@ -1,6 +1,6 @@
 """Domain-aware static analysis for the CGX reproduction.
 
-Eight pillars (see ``docs/analysis.md``):
+Eleven pillars (see ``docs/analysis.md``):
 
 * :mod:`repro.analysis.rules` — an AST linter with repo-specific
   numerical-safety rules (REP001..REP006): float equality, default-dtype
@@ -44,6 +44,20 @@ Eight pillars (see ``docs/analysis.md``):
   scheduler, and an AST pass for blocking calls that bypass the
   ``deliver_chunk``/trace hooks — all across fault campaigns
   (:mod:`repro.faults.cases`).
+* :mod:`repro.analysis.overlap` — the overlap-safety certifier
+  (OVL001..OVL006): use-before-reduce ordering, bucket-fusion
+  conservation, launch-priority discipline, in-flight compressor-state
+  attribution, the overlapped makespan bound, and the
+  ``.grad``-consumer AST pass.
+* :mod:`repro.analysis.sched` — the fleet-schedule certifier
+  (SCD001..SCD007): placement soundness, admission liveness/FIFO,
+  exact cross-job conservation, throttle semantics, isolation bounds,
+  fairness-metric validity, and the job-tagging AST pass.
+* :mod:`repro.analysis.elastic` — the elastic-membership certifier
+  (ELA001..ELA005): no ghost gradients from departed ranks, the
+  spot-drain protocol, convergence parity of grown/shrunk worlds,
+  exact feasibility of composition-change respecs, and byte-identical
+  same-seed campaign logs.
 
 Run ``python -m repro.analysis`` (or ``python -m repro analyze``); the
 baseline workflow and output formats live in :mod:`repro.analysis.cli`.
@@ -56,6 +70,7 @@ from .abstract import (BehaviorObservation, RoundtripObservation,
 from .baseline import load_baseline, split_baselined, write_baseline
 from .cli import main
 from .contracts import CONTRACT_RULES, check_engine_wiring, verify_contracts
+from .elastic import ELA_RULES, ELASTIC_CAMPAIGNS, verify_elastic
 from .explore import (ExploreResult, FairRunResult, GreedyResult, Op,
                       build_programs, explore, fair_schedule, greedy_run,
                       interleaving_bound, phase_segments)
@@ -97,6 +112,7 @@ __all__ = [
     "calibrate_payload_model", "interpret_pipeline", "verify_shapes",
     "DLV_RULES", "analyze_trace_liveness", "lint_blocking",
     "verify_liveness",
+    "ELA_RULES", "ELASTIC_CAMPAIGNS", "verify_elastic",
     "Op", "GreedyResult", "ExploreResult", "FairRunResult",
     "build_programs", "phase_segments", "greedy_run", "explore",
     "fair_schedule", "interleaving_bound",

@@ -1,6 +1,6 @@
 """Entry point: ``python -m repro.analysis`` / ``repro analyze``.
 
-Runs up to ten passes and reports findings as text or JSON:
+Runs up to eleven passes and reports findings as text or JSON:
 
 * **lint** — numerical-safety AST rules (REP) over the given paths;
 * **schedule** — collective-schedule verification (SCH);
@@ -27,12 +27,17 @@ Runs up to ten passes and reports findings as text or JSON:
   replayed from the canonical fleet log, admission liveness and FIFO
   order, exact cross-job conservation, throttle semantics, isolation
   bounds against isolated replays, fairness-metric validity, and the
-  job-tagging AST pass over the scheduler and the shared network.
+  job-tagging AST pass over the scheduler and the shared network;
+* **elastic** — the elastic-membership certifier (ELA): no ghost
+  gradients from departed ranks, spot-drain protocol compliance,
+  convergence parity of grown/shrunk worlds against fixed baselines,
+  exact feasibility of every composition-change respec, and byte-
+  identical same-seed campaign logs.
 
-The first four run by default; ``--all`` runs all ten (the CI
+The first four run by default; ``--all`` runs all eleven (the CI
 configuration).  ``--contracts`` / ``--races`` / ``--plans`` /
 ``--shapes`` / ``--health`` / ``--liveness`` / ``--overlap`` /
-``--sched`` select *only* the named semantic passes
+``--sched`` / ``--elastic`` select *only* the named semantic passes
 (they combine with each other); ``--schedule-only`` keeps its PR-1
 meaning (schedule pass alone) and ``--no-schedule`` drops the schedule
 pass from the default set.
@@ -59,7 +64,7 @@ __all__ = ["build_parser", "main", "select_passes"]
 
 PASSES = ("lint", "schedule", "contracts", "races")
 ALL_PASSES = ("lint", "schedule", "contracts", "races", "plans", "shapes",
-              "health", "liveness", "overlap", "sched")
+              "health", "liveness", "overlap", "sched", "elastic")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,7 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "adaptive-plan certification (BWP), shape/dtype "
                     "pipeline interpretation (SHP), deadlock/progress "
                     "certification (DLV), overlap-safety certification "
-                    "(OVL), fleet-schedule certification (SCD).",
+                    "(OVL), fleet-schedule certification (SCD), "
+                    "elastic-membership certification (ELA).",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to lint (default: src)")
@@ -114,17 +120,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sched", action="store_true",
                         help="run only the fleet-schedule certifier "
                              "(combines with the other pass flags)")
+    parser.add_argument("--elastic", action="store_true",
+                        help="run only the elastic-membership certifier "
+                             "(combines with the other pass flags)")
     parser.add_argument("--all", dest="all_passes", action="store_true",
                         help="run every battery (lint, schedule, "
                              "contracts, races, plans, shapes, health, "
-                             "liveness, overlap, sched)")
+                             "liveness, overlap, sched, elastic)")
     return parser
 
 
 def select_passes(args: argparse.Namespace) -> tuple[str, ...]:
     """Which passes a parsed command line asks for (see module doc)."""
     named = [name for name in ("contracts", "races", "plans", "shapes",
-                               "health", "liveness", "overlap", "sched")
+                               "health", "liveness", "overlap", "sched",
+                               "elastic")
              if getattr(args, name)]
     if args.all_passes:
         if args.schedule_only or args.no_schedule or named:
@@ -241,6 +251,10 @@ def main(argv: Sequence[str] | None = None, out: TextIO | None = None) -> int:
         from .sched import verify_sched
 
         findings.extend(verify_sched())
+    if "elastic" in passes:
+        from .elastic import verify_elastic
+
+        findings.extend(verify_elastic())
     findings = sort_findings(findings)
 
     if args.write_baseline:

@@ -1,0 +1,244 @@
+"""Elastic-membership certification battery (ELA001..ELA005).
+
+Dynamic-analysis rules certifying the elastic autoscaling + spot-
+preemption layer (:mod:`repro.faults.elastic` plus its trainer, engine
+and adaptive-controller integration):
+
+* **ELA001** — no ghost gradients: once a rank departs (graceful spot
+  exit), no later step's membership contains it and its replica's
+  weights never change again — departed machines neither contribute
+  gradients nor consume reductions.
+* **ELA002** — drain protocol: every warned rank either exits strictly
+  before its reclaim deadline or is recorded as a missed drain exactly
+  at the deadline (degrade-to-crash); on the stock campaigns the clean
+  path must hold — zero missed drains.  The audit is the pure
+  :func:`~repro.faults.elastic.check_drain_protocol` over the
+  canonical log, so a tampered run is caught from the log alone.
+* **ELA003** — convergence parity: elastically grown/shrunk worlds
+  converge within ``LOSS_TOLERANCE`` of the fixed-world baseline, in
+  both oracle and supervised (observation-driven) modes; supervised
+  elastic recovery keeps ``counters.oracle_reads == 0`` (HLT003's
+  guarantee survives elasticity).
+* **ELA004** — respec feasibility: every bit-width respec the adaptive
+  controller performed across the run — periodic or triggered by a
+  composition change — is certified feasible in exact rational
+  arithmetic (:func:`~repro.core.adaptive.certify_assignment`) at the
+  effective (fleet-scaled) error budget it was computed under.
+* **ELA005** — reproducibility: two same-seed runs of each elastic
+  campaign produce byte-identical canonical event logs.
+
+Like the HLT certifier, the battery reads the fault plan freely (it is
+grading against ground truth); the supervised decision path alone is
+barred from the oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AdaptiveController, certify_assignment
+from repro.core.config import CGXConfig
+from repro.faults import (FaultPlan, check_drain_protocol, make_campaign)
+from repro.training.recipes import get_recipe
+from repro.training.tasks import make_task
+from repro.training.trainer import DataParallelTrainer
+
+from .findings import Finding
+
+__all__ = ["ELA_RULES", "ELASTIC_CAMPAIGNS", "LOSS_TOLERANCE",
+           "verify_elastic", "verify_no_ghost_gradients",
+           "verify_drain_protocol", "verify_convergence_parity",
+           "verify_respec_feasibility", "verify_log_determinism"]
+
+LOSS_TOLERANCE = 0.02
+
+FAMILY = "mlp"
+WORLD = 4
+STEPS = 20
+
+#: the stock elastic campaigns the battery certifies
+ELASTIC_CAMPAIGNS = ("spot-churn", "autoscale-burst")
+
+ELA_RULES: dict[str, str] = {
+    "ELA001": "a departed rank contributed to or consumed a reduction",
+    "ELA002": "a warned rank violated the drain protocol",
+    "ELA003": "an elastic world diverged from the fixed-world baseline "
+              "or read the fault-plan oracle",
+    "ELA004": "a respec produced a bit-width plan that is not "
+              "certifiably feasible at its error budget",
+    "ELA005": "same-seed elastic campaigns were not byte-identical",
+}
+
+
+def _finding(rule: str, campaign: str, message: str) -> Finding:
+    return Finding(rule=rule, path=f"<elastic:{campaign}@world={WORLD}>",
+                   line=0, col=0, message=message, source="elastic",
+                   scheme=campaign, world=WORLD)
+
+
+def _trainer(plan: FaultPlan | None, supervised: bool = False,
+             adaptive: AdaptiveController | None = None,
+             seed: int = 0) -> DataParallelTrainer:
+    recipe = get_recipe(FAMILY)
+    task = make_task(FAMILY, batch_size=recipe.batch_size, **recipe.kwargs())
+    return DataParallelTrainer(
+        task, world_size=WORLD, config=CGXConfig.cgx_default(128),
+        recipe=recipe, seed=seed, fault_plan=plan, supervised=supervised,
+        adaptive=adaptive)
+
+
+def _run(trainer: DataParallelTrainer, steps: int) -> list[float]:
+    return [trainer.train_step() for _ in range(steps)]
+
+
+# -- ELA001: no ghost gradients ----------------------------------------------
+
+def verify_no_ghost_gradients() -> list[Finding]:
+    """Departed ranks vanish from membership and stop updating."""
+    findings: list[Finding] = []
+    for name in ELASTIC_CAMPAIGNS:
+        trainer = _trainer(make_campaign(name, WORLD))
+        coord = trainer.elastic
+        assert coord is not None
+        frozen: dict[int, dict[str, np.ndarray]] = {}
+        for _ in range(STEPS):
+            trainer.train_step()
+            for rank in coord.departed - set(frozen):
+                if rank >= len(trainer.replicas):
+                    continue   # warned before provisioning: never built
+                frozen[rank] = {
+                    p_name: param.data.copy()
+                    for p_name, param in
+                    trainer.replicas[rank].named_parameters()}
+        exit_steps = {dict(r.detail)["rank"]: r.step
+                      for r in trainer.fault_runtime.records
+                      if r.kind == "spot_exit"}
+        for step, members in coord.history:
+            for rank, exited_at in exit_steps.items():
+                if step > exited_at and rank in members:
+                    findings.append(_finding(
+                        "ELA001", name,
+                        f"rank {rank} departed at step {exited_at} but "
+                        f"is a member again at step {step}"))
+        for rank, weights in frozen.items():
+            current = dict(trainer.replicas[rank].named_parameters())
+            for p_name, snapshot in weights.items():
+                if not np.array_equal(snapshot, current[p_name].data):
+                    findings.append(_finding(
+                        "ELA001", name,
+                        f"departed rank {rank}'s parameter {p_name} "
+                        f"changed after it left the world (a reduction "
+                        f"reached a ghost)"))
+                    break
+    return findings
+
+
+# -- ELA002: drain protocol ---------------------------------------------------
+
+def verify_drain_protocol() -> list[Finding]:
+    """Warned ranks drain before the deadline or degrade, never linger."""
+    findings: list[Finding] = []
+    for name in ELASTIC_CAMPAIGNS:
+        plan = make_campaign(name, WORLD)
+        trainer = _trainer(plan)
+        _run(trainer, STEPS)
+        runtime = trainer.fault_runtime
+        assert runtime is not None
+        for message in check_drain_protocol(plan, runtime.records):
+            findings.append(_finding("ELA002", name, message))
+        if runtime.counters.drain_missed:
+            findings.append(_finding(
+                "ELA002", name,
+                f"{runtime.counters.drain_missed} missed drain(s) on a "
+                f"campaign whose clean drain path is reachable"))
+    return findings
+
+
+# -- ELA003: convergence parity ----------------------------------------------
+
+def verify_convergence_parity() -> list[Finding]:
+    """Elastic worlds track the fixed-world loss; supervised stays blind."""
+    findings: list[Finding] = []
+    baseline = _run(_trainer(None), STEPS)
+    for name in ELASTIC_CAMPAIGNS:
+        for supervised in (False, True):
+            mode = "supervised" if supervised else "oracle"
+            trainer = _trainer(make_campaign(name, WORLD),
+                               supervised=supervised)
+            losses = _run(trainer, STEPS)
+            runtime = trainer.fault_runtime
+            assert runtime is not None
+            drift = abs(losses[-1] - baseline[-1])
+            if not np.isfinite(losses[-1]) or drift > LOSS_TOLERANCE:
+                findings.append(_finding(
+                    "ELA003", name,
+                    f"{mode} final loss {losses[-1]:.6f} vs fixed-world "
+                    f"{baseline[-1]:.6f} (drift {drift:.6f} > tolerance "
+                    f"{LOSS_TOLERANCE})"))
+            if supervised and runtime.counters.oracle_reads:
+                findings.append(_finding(
+                    "ELA003", name,
+                    f"supervised elastic decision path issued "
+                    f"{runtime.counters.oracle_reads} oracle read(s)"))
+    return findings
+
+
+# -- ELA004: respec feasibility ----------------------------------------------
+
+def verify_respec_feasibility() -> list[Finding]:
+    """Every respec across every composition certifies in exact arithmetic."""
+    findings: list[Finding] = []
+    for name in ELASTIC_CAMPAIGNS:
+        config = CGXConfig.cgx_default(128)
+        adaptive = AdaptiveController(config, period=5)
+        trainer = _trainer(make_campaign(name, WORLD), adaptive=adaptive)
+        _run(trainer, STEPS)
+        runtime = trainer.fault_runtime
+        assert runtime is not None
+        if not any(r.kind == "respec" for r in runtime.records):
+            findings.append(_finding(
+                "ELA004", name,
+                "no respec event was logged although the campaign "
+                "changes the world composition"))
+        for i, entry in enumerate(adaptive.respec_history):
+            if not entry["assignment"]:
+                continue
+            if not certify_assignment(entry["stats"], entry["assignment"],
+                                      alpha=entry["alpha"]):
+                findings.append(_finding(
+                    "ELA004", name,
+                    f"respec #{i} ({entry['trigger']}, world "
+                    f"{entry['world']}) fails exact certification at "
+                    f"alpha={entry['alpha']:.3f}"))
+    return findings
+
+
+# -- ELA005: reproducibility --------------------------------------------------
+
+def verify_log_determinism() -> list[Finding]:
+    """Two same-seed runs per campaign: byte-identical canonical logs."""
+    findings: list[Finding] = []
+    for name in ELASTIC_CAMPAIGNS:
+        logs = []
+        for _ in range(2):
+            trainer = _trainer(make_campaign(name, WORLD), supervised=True)
+            _run(trainer, STEPS)
+            assert trainer.fault_runtime is not None
+            logs.append(trainer.fault_runtime.log_bytes())
+        if logs[0] != logs[1]:
+            findings.append(_finding(
+                "ELA005", name,
+                "two same-seed supervised elastic runs produced "
+                "different canonical event logs"))
+    return findings
+
+
+def verify_elastic() -> list[Finding]:
+    """Run the full ELA battery."""
+    findings: list[Finding] = []
+    findings.extend(verify_no_ghost_gradients())
+    findings.extend(verify_drain_protocol())
+    findings.extend(verify_convergence_parity())
+    findings.extend(verify_respec_feasibility())
+    findings.extend(verify_log_determinism())
+    return findings

@@ -3,8 +3,9 @@
 A :class:`Finding` is one diagnostic: a rule id, a location (file:line
 for lint findings; a ``<schedule:scheme@world=N>``, ``<contract:method>``,
 ``<race:scheme@world=N>``, ``<plan:solver>``, ``<shape:model>``,
-``<liveness:scheme@world=N/campaign>``, ``<overlap:scheme@world=N/model>``
-or ``<sched:policy-routing@n=N/cell>`` pseudo-path for the semantic
+``<liveness:scheme@world=N/campaign>``, ``<overlap:scheme@world=N/model>``,
+``<sched:policy-routing@n=N/cell>`` or ``<elastic:campaign@world=N>``
+pseudo-path for the semantic
 passes) and a message.  Findings carry a stable *fingerprint* so a baseline file can
 grandfather existing ones while still failing the build on anything new
 (see :mod:`repro.analysis.baseline`).
@@ -28,7 +29,8 @@ class Finding:
     col: int             # 0-based; 0 for non-lint findings
     message: str
     source: str = "lint"     # lint | schedule | contract | race | plan |
-                             # shape | health | liveness | overlap | sched
+                             # shape | health | liveness | overlap | sched |
+                             # elastic
     snippet: str = ""        # stripped source line (lint findings)
     scheme: str = ""         # reduction scheme, compression method, or solver
     world: int = 0           # world size (0 for lint/contract/plan findings)
@@ -47,7 +49,7 @@ class Finding:
         """
         if self.source == "lint" or self.snippet:
             raw = f"{self.rule}|{self.path}|{self.snippet}|{self.occurrence}"
-        elif self.source in ("liveness", "overlap", "sched"):
+        elif self.source in ("liveness", "overlap", "sched", "elastic"):
             # the pseudo-path carries the campaign/model/fleet-cell
             # axis, which scheme/world alone cannot distinguish
             raw = f"{self.rule}|{self.path}|{self.message}"
@@ -94,6 +96,9 @@ class Finding:
                     f"{self.rule} {self.message}")
         if self.source == "sched" and not self.snippet:
             return (f"sched[{self.scheme}@jobs={self.world}]: "
+                    f"{self.rule} {self.message}")
+        if self.source == "elastic":
+            return (f"elastic[{self.scheme}@world={self.world}]: "
                     f"{self.rule} {self.message}")
         return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
 

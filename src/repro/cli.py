@@ -118,16 +118,19 @@ def build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--sched", action="store_true",
                      help="run only the fleet-schedule certifier "
                           "(combines with the other pass flags)")
+    ana.add_argument("--elastic", action="store_true",
+                     help="run only the elastic-membership certifier "
+                          "(combines with the other pass flags)")
     ana.add_argument("--all", dest="all_passes", action="store_true",
                      help="run every battery, including plans, shapes, "
-                          "health, liveness, overlap and sched")
+                          "health, liveness, overlap, sched and elastic")
 
     flt = sub.add_parser("faults",
                          help="run a named chaos campaign against real "
                               "compressed training")
     flt.add_argument("campaign", nargs="?", default=None,
                      help="campaign name (straggler, lossy-link, "
-                          "crash-rejoin)")
+                          "crash-rejoin, spot-churn, autoscale-burst)")
     flt.add_argument("--list", action="store_true", dest="list_all",
                      help="list available campaigns")
     flt.add_argument("--family", default="mlp",
@@ -354,6 +357,8 @@ def _cmd_analyze(args, out) -> int:
         argv.append("--overlap")
     if args.sched:
         argv.append("--sched")
+    if args.elastic:
+        argv.append("--elastic")
     if args.all_passes:
         argv.append("--all")
     return analysis_main(argv, out=out)
@@ -427,7 +432,10 @@ def _cmd_faults(args, out) -> int:
                  "heartbeats", "heartbeat_misses", "suspected_crashes",
                  "false_suspicions", "rejoin_admissions",
                  "straggler_demotions", "escalations", "oracle_reads",
-                 "store_writes", "store_corrupt_detected"):
+                 "store_writes", "store_corrupt_detected",
+                 "preempt_warnings", "graceful_exits", "drain_missed",
+                 "spot_reclaims", "provisions", "provision_admissions",
+                 "respecs"):
         if summary.get(name):
             print(f"  {name:22s} {summary[name]}", file=out)
     if args.log:

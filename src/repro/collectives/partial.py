@@ -149,5 +149,16 @@ class PartialAllreduce:
             return 0.0
         return float(np.linalg.norm(carry))
 
+    def total_carry_norm(self) -> float:
+        """Summed L2 mass banked across every (key, rank) carry buffer.
+
+        Zero means no undelivered gradient information: a dead rank's
+        banked zeros keep :meth:`has_carries` true without holding any
+        mass, which is exactly the distinction elastic membership
+        changes need (rebuilding the reducer may drop zero-mass
+        entries, never real gradient).
+        """
+        return float(sum(np.linalg.norm(c) for c in self._carry.values()))
+
     def reset(self) -> None:
         self._carry.clear()

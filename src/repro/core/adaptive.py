@@ -514,6 +514,11 @@ class AdaptiveController:
         self._steps = 0
         self.assignments: dict[str, int] = {}
         self.reassign_count = 0
+        # elastic-membership hooks: fleet-relative error budget plus an
+        # audit trail of every respec (certified by ELA004)
+        self._alpha_scale = 1.0
+        self.respec_history: list[dict] = []
+        self._world = 0
 
     def observe(self, grads: dict[str, np.ndarray]) -> bool:
         """Feed one step's gradients; returns True if bits were retuned.
@@ -544,21 +549,55 @@ class AdaptiveController:
             stats.append(LayerStat(name, acc.size, float(np.linalg.norm(top))))
         return stats
 
-    def reassign(self) -> dict[str, int]:
+    @property
+    def effective_alpha(self) -> float:
+        """Error budget actually handed to the assigner this respec.
+
+        Heterogeneous fleets scale the budget: a fleet faster than the
+        reference GPU can afford a tighter (smaller-alpha) assignment
+        without slowing the step; a slower fleet loosens it.
+        """
+        return self.alpha * self._alpha_scale
+
+    def reassign(self, trigger: str = "period") -> dict[str, int]:
         """Recompute the assignment from accumulated statistics."""
         stats = self._stats()
         if not stats:
             return {}
+        alpha = self.effective_alpha
         self.assignments = ASSIGNERS[self.method](
-            stats, bitwidths=self.bitwidths, alpha=self.alpha
+            stats, bitwidths=self.bitwidths, alpha=alpha
         )
         base = self.config.compression
         for name, bits in self.assignments.items():
             self.config.per_layer[name] = base.with_bits(bits,
                                                          resolve_bucket(bits))
+        self.respec_history.append({
+            "trigger": trigger,
+            "world": self._world,
+            "alpha": alpha,
+            "stats": stats,
+            "assignment": dict(self.assignments),
+        })
         self._accumulated.clear()
         self.reassign_count += 1
         return dict(self.assignments)
+
+    def on_composition_change(self, world: int,
+                              alpha_scale: float = 1.0) -> dict[str, int]:
+        """Respec bit-widths after the training world grew or shrank.
+
+        ``alpha_scale`` rescales the error budget for the new fleet mix
+        (see :func:`repro.faults.elastic.fleet_alpha_scale`).  Returns
+        the fresh assignment, or ``{}`` when no statistics have been
+        accumulated yet (nothing to retune from — the next periodic
+        respec picks up the new scale).
+        """
+        self._world = world
+        self._alpha_scale = float(alpha_scale)
+        if not self._accumulated:
+            return {}
+        return self.reassign(trigger=f"composition:world={world}")
 
 
 def synthetic_stats_for_spec(spec, exclude_kinds=("norm", "bias"),

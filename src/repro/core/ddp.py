@@ -58,8 +58,22 @@ class CGXDistributedDataParallel:
     def world_size(self) -> int:
         return len(self.replicas)
 
+    def _member_ranks(self, members: list[int] | None) -> list[int]:
+        """Validated global ranks taking part in this step's reduction."""
+        if members is None:
+            return list(range(len(self.replicas)))
+        ranks = sorted(set(members))
+        if not ranks:
+            raise ValueError("need at least one member")
+        if any(not 0 <= r < len(self.replicas) for r in ranks):
+            raise ValueError(
+                f"member out of range: {ranks} with "
+                f"{len(self.replicas)} replicas")
+        return ranks
+
     def synchronize(self, participants: list[int] | None = None,
-                    average_over: int | None = None) -> ReductionReport:
+                    average_over: int | None = None,
+                    members: list[int] | None = None) -> ReductionReport:
         """Average gradients across replicas via the configured engine.
 
         Call after every worker has completed its backward pass.  Missing
@@ -69,11 +83,29 @@ class CGXDistributedDataParallel:
         degradation; skipped ranks' gradients ride the engine's carry
         buffers) and ``average_over`` re-normalizes the mean over the
         number of actually contributing ranks (elastic membership).
+
+        ``members`` names the global ranks that exist this step — elastic
+        worlds exclude departed replicas entirely (their slots stay in
+        ``self.replicas`` so indices never shift, but they neither
+        contribute gradients nor receive the reduction).  ``participants``
+        is interpreted in global rank numbers and must be a subset of the
+        members.
         """
+        ranks = self._member_ranks(members)
+        pos = {rank: i for i, rank in enumerate(ranks)}
+        if participants is not None:
+            missing = sorted(set(participants) - set(ranks))
+            if missing:
+                raise ValueError(
+                    f"participants {missing} are not members {ranks}")
+            local_participants = [pos[p] for p in participants]
+        else:
+            local_participants = None
+
         per_worker = []
-        for replica in self.replicas:
+        for rank in ranks:
             grads = {}
-            for name, param in replica.named_parameters():
+            for name, param in self.replicas[rank].named_parameters():
                 if param.grad is None:
                     grads[name] = np.zeros(param.data.shape, dtype=np.float32)
                 else:
@@ -82,12 +114,13 @@ class CGXDistributedDataParallel:
 
         reduced, report = self.engine.reduce(per_worker, self.rng,
                                              mode=self.mode, average=True,
-                                             participants=participants,
+                                             participants=local_participants,
                                              average_over=average_over)
-        for worker, replica in enumerate(self.replicas):
+        for rank in ranks:
+            replica = self.replicas[rank]
             for name, param in replica.named_parameters():
                 param.grad = np.ascontiguousarray(
-                    reduced[worker][name], dtype=np.float32
+                    reduced[pos[rank]][name], dtype=np.float32
                 )
         self.last_report = report
         return report
@@ -158,11 +191,13 @@ class CGXDistributedDataParallel:
                     f"{self._landed_step})")
             emit_overlap("grad_consumed", step, t, layer=name)
 
-    def check_in_sync(self, atol: float = 0.0) -> bool:
-        """True if all replicas hold (near-)identical weights."""
-        reference = dict(self.replicas[0].named_parameters())
-        for replica in self.replicas[1:]:
-            for name, param in replica.named_parameters():
+    def check_in_sync(self, atol: float = 0.0,
+                      members: list[int] | None = None) -> bool:
+        """True if all (member) replicas hold (near-)identical weights."""
+        ranks = self._member_ranks(members)
+        reference = dict(self.replicas[ranks[0]].named_parameters())
+        for rank in ranks[1:]:
+            for name, param in self.replicas[rank].named_parameters():
                 if not np.allclose(param.data, reference[name].data, atol=atol,
                                    rtol=0.0):
                     return False

@@ -193,6 +193,17 @@ class CommunicationEngine:
                 self._pending_residuals.pop(package.name))
         return comp
 
+    def banked_carry_norm(self) -> float:
+        """Total gradient mass banked in the quorum carry buffers.
+
+        The elastic drain gate: membership may only grow or shrink when
+        this is zero, because :class:`PartialAllreduce` carries are
+        keyed by buffer index and changing the buffer list while mass
+        is banked would orphan it (certified by ELA001).
+        """
+        return sum(reducer.total_carry_norm()
+                   for reducer in self._partials.values())
+
     # -- checkpointable state ------------------------------------------------
     def state_dict(self) -> dict:
         """Stateful pieces of the engine: EF residuals, quorum carries.

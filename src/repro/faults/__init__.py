@@ -29,10 +29,21 @@ mechanism and policy:
   schedule trace per (scheme x world x campaign) cell, including quorum
   demotion and rejoin, consumed by the deadlock & progress certifier
   (DLV001..DLV006) in :mod:`repro.analysis.liveness`.
+* :mod:`~repro.faults.elastic` — elastic membership: the
+  :class:`ElasticCoordinator` control plane for spot-preemption drain
+  (``preempt_warning``) and autoscale growth (``provision``), the
+  ``spot-churn`` / ``autoscale-burst`` campaigns, and the pure
+  drain-protocol audit behind the ELA battery in
+  :mod:`repro.analysis.elastic`.
 """
 
 from .cases import (LIVENESS_CAMPAIGNS, LivenessAux, LivenessCase,
                     liveness_cases, trace_liveness_case)
+from .elastic import (DEFAULT_GPU, DRAIN_TOLERANCE, ElasticCoordinator,
+                      ElasticDecision, autoscale_burst_campaign,
+                      check_drain_protocol, elastic_events,
+                      fleet_alpha_scale, gpu_compute_scale,
+                      spot_churn_campaign)
 from .health import (VERDICTS, HealthMonitor, HealthPolicy,
                      HeartbeatTransport, PhiAccrualDetector, RankHealth,
                      Supervisor, SupervisorDecision)
@@ -41,17 +52,24 @@ from .inject import (FaultChannel, FaultyNetwork, corrupt_payload,
 from .plan import (CAMPAIGNS, FaultEvent, FaultPlan, FaultRecord, PlanRuntime,
                    StepFaults, crash, link_outage, link_slowdown,
                    make_campaign, message_loss, oracle_guard,
-                   payload_corruption, straggler)
+                   payload_corruption, preempt_warning, provision, straggler)
 from .policy import (FaultBudgetExceeded, FaultCounters, LinkDownError,
-                     ResiliencePolicy, plan_fallback, select_participants)
+                     ResiliencePolicy, plan_fallback, select_members,
+                     select_participants)
 from .store import CheckpointCorrupt, CheckpointStore
 
 __all__ = [
     "FaultEvent", "FaultPlan", "StepFaults", "FaultRecord", "PlanRuntime",
     "link_slowdown", "link_outage", "message_loss", "payload_corruption",
-    "straggler", "crash", "CAMPAIGNS", "make_campaign", "oracle_guard",
+    "straggler", "crash", "preempt_warning", "provision",
+    "CAMPAIGNS", "make_campaign", "oracle_guard",
     "ResiliencePolicy", "FaultCounters", "FaultBudgetExceeded",
-    "LinkDownError", "select_participants", "plan_fallback",
+    "LinkDownError", "select_participants", "select_members",
+    "plan_fallback",
+    "DEFAULT_GPU", "DRAIN_TOLERANCE", "ElasticCoordinator",
+    "ElasticDecision", "elastic_events", "fleet_alpha_scale",
+    "gpu_compute_scale", "check_drain_protocol", "spot_churn_campaign",
+    "autoscale_burst_campaign",
     "FaultChannel", "FaultyNetwork", "inject_data_path", "payload_crc",
     "corrupt_payload",
     "VERDICTS", "HealthPolicy", "PhiAccrualDetector", "RankHealth",

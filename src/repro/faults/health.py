@@ -40,6 +40,7 @@ import math
 import statistics
 from collections import defaultdict, deque
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.cluster.topology import Topology, nvlink_mesh
 
@@ -216,6 +217,33 @@ class HealthMonitor:
         self._pending: list[tuple[float, int, int]] = []  # (arrival, seq, rank)
         self._offset: list[float | None] = [None] * world
         self._late_streak = [0] * world
+        # boot time per rank: the bootstrap grace window counts from
+        # here, so a machine provisioned at step 40 is not instantly
+        # "crashed-from-start" (elastic growth support)
+        self._activated: list[float] = [0.0] * world
+
+    def grow(self, world: int) -> None:
+        """Extend the detector arrays to a larger elastic capacity."""
+        while self.world < world:
+            self._detectors.append(PhiAccrualDetector(self.health))
+            self._offset.append(None)
+            self._late_streak.append(0)
+            self._activated.append(0.0)
+            self.world += 1
+
+    def activate(self, rank: int, step: int) -> None:
+        """A machine for ``rank`` booted at ``step``: start its grace
+        clock there instead of at the beginning of the run."""
+        if rank >= self.world:
+            self.grow(rank + 1)
+        self._activated[rank] = step * self.health.interval
+
+    def deactivate(self, rank: int) -> None:
+        """Forget a departed rank's history entirely (graceful exit)."""
+        self._detectors[rank] = PhiAccrualDetector(self.health)
+        self._offset[rank] = None
+        self._late_streak[rank] = 0
+        self._activated[rank] = 0.0
 
     def observe(self, step: int, arrivals: dict[int, float | None]
                 ) -> dict[int, RankHealth]:
@@ -247,8 +275,11 @@ class HealthMonitor:
             prev = self._offset[rank]
             self._offset[rank] = offset if prev is None \
                 else 0.5 * prev + 0.5 * offset
+        # assess exactly the ranks the transport reported on — under a
+        # fixed world that is every rank; under elastic membership it
+        # is the machines that currently exist
         return {rank: self._assess(rank, assess_t)
-                for rank in range(self.world)}
+                for rank in sorted(arrivals)}
 
     def _base_offset(self) -> float:
         known = [o for o in self._offset if o is not None]
@@ -260,9 +291,10 @@ class HealthMonitor:
         h = self.health
         detector = self._detectors[rank]
         if detector.beats_seen == 0:
-            # never heard from: grant the bootstrap grace, then declare
-            # the rank crashed-from-start
-            crashed = assess_t >= h.bootstrap_timeout * h.interval
+            # never heard from: grant the bootstrap grace (counted from
+            # the rank's boot time), then declare it crashed-from-start
+            crashed = assess_t - self._activated[rank] \
+                >= h.bootstrap_timeout * h.interval
             return RankHealth(rank, "crashed" if crashed else "healthy",
                               float("inf") if crashed else 0.0, 1.0, 0, None)
         phi = detector.phi(assess_t)
@@ -292,6 +324,7 @@ class HealthMonitor:
         self._pending.clear()
         self._offset = [None] * self.world
         self._late_streak = [0] * self.world
+        self._activated = [0.0] * self.world
 
 
 class HeartbeatTransport:
@@ -308,18 +341,34 @@ class HeartbeatTransport:
 
     def __init__(self, runtime: PlanRuntime, world: int,
                  health: HealthPolicy | None = None, monitor_rank: int = 0,
-                 topology: Topology | None = None):
+                 topology: Topology | None = None,
+                 capacity: int | None = None):
         if not 0 <= monitor_rank < world:
             raise ValueError("monitor_rank out of range")
+        if capacity is not None and capacity < world:
+            raise ValueError("capacity must be >= world")
         self.runtime = runtime
         self.world = world
+        self.capacity = capacity or world
         self.health = health or HealthPolicy()
         self.monitor_rank = monitor_rank
-        self.network = FaultyNetwork(topology or nvlink_mesh(max(2, world)),
-                                     "shm", runtime)
+        # the fabric is provisioned for the elastic peak up front, so a
+        # machine joining mid-run finds its links already modeled
+        self.network = FaultyNetwork(
+            topology or nvlink_mesh(max(2, self.capacity)), "shm", runtime)
 
-    def beats(self, step: int) -> dict[int, float | None]:
-        """Arrival time at the monitor of each rank's beat for ``step``."""
+    def beats(self, step: int, ranks: "list[int] | None" = None,
+              compute_scale_of: "Callable[[int], float] | None" = None
+              ) -> dict[int, float | None]:
+        """Arrival time at the monitor of each rank's beat for ``step``.
+
+        ``ranks`` restricts emission to the machines that currently
+        exist (elastic membership; default: the fixed world), and
+        ``compute_scale_of`` layers a per-rank heterogeneous GPU
+        envelope on top of the plan's straggler scaling — a slower
+        provisioned machine emits later, which is exactly the signal
+        the cross-sectional straggler detector reads.
+        """
         h = self.health
         runtime = self.runtime
         faults = runtime.faults()
@@ -327,12 +376,14 @@ class HeartbeatTransport:
         dead = faults.dead_ranks()
         out: dict[int, float | None] = {}
         emits = []
-        for rank in range(self.world):
+        for rank in (range(self.world) if ranks is None else sorted(ranks)):
             if rank in dead:
                 out[rank] = None     # a dead process emits nothing
                 continue
-            emits.append((now + h.compute_cost * h.interval
-                          * faults.compute_scale(rank), rank))
+            scale = faults.compute_scale(rank)
+            if compute_scale_of is not None:
+                scale *= compute_scale_of(rank)
+            emits.append((now + h.compute_cost * h.interval * scale, rank))
         # beats enter the wire in emission order: the store-and-forward
         # pool serves requests in call order, so a straggler's late beat
         # must not queue ahead of a healthy rank's earlier one
@@ -383,10 +434,26 @@ class Supervisor:
         self.believed_dead: set[int] = set()
         self.flaps: dict[int, int] = defaultdict(int)
         self._pending_rejoin: dict[int, int] = defaultdict(int)
+        self._provisional: set[int] = set()
 
     def _record(self, kind: str, **detail: object) -> None:
         if self.runtime is not None:
             self.runtime.record(kind, **detail)
+
+    def register_provision(self, rank: int) -> None:
+        """A provisioned machine is booting: vet it through the rejoin
+        confirmation path (``rejoin_confirmations`` healthy beats)
+        before the coordinator may admit it — world growth is driven by
+        observed heartbeats, never by the plan."""
+        self._provisional.add(rank)
+        self.believed_dead.add(rank)
+
+    def mark_departed(self, rank: int) -> None:
+        """Forget a gracefully departed member entirely."""
+        self.believed_dead.discard(rank)
+        self.flaps.pop(rank, None)
+        self._pending_rejoin.pop(rank, None)
+        self._provisional.discard(rank)
 
     def decide(self, step: int, cards: dict[int, RankHealth]
                ) -> SupervisorDecision:
@@ -404,9 +471,13 @@ class Supervisor:
                         self.believed_dead.discard(rank)
                         self._pending_rejoin[rank] = 0
                         admitted.append(rank)
-                        self._record("admit_rejoin", rank=rank)
-                        if counters is not None:
-                            counters.rejoin_admissions += 1
+                        if rank in self._provisional:
+                            self._provisional.discard(rank)
+                            self._record("confirm_provision", rank=rank)
+                        else:
+                            self._record("admit_rejoin", rank=rank)
+                            if counters is not None:
+                                counters.rejoin_admissions += 1
                 else:
                     self._pending_rejoin[rank] = 0
             elif card.verdict == "crashed":
@@ -417,12 +488,17 @@ class Supervisor:
                 if counters is not None:
                     counters.suspected_crashes += 1
 
-        demoted = [r for r in sorted(cards)
+        # membership decisions range over the assessed set — the fixed
+        # world in classic supervised runs, the machines that currently
+        # exist under elastic membership
+        assessed = sorted(cards)
+        demoted = [r for r in assessed
                    if r not in self.believed_dead
                    and cards[r].verdict == "straggler"]
-        participants = [r for r in range(self.world)
+        participants = [r for r in assessed
                         if r not in self.believed_dead and r not in demoted]
-        floor = max(1, math.ceil(self.policy.min_quorum_fraction * self.world))
+        floor = max(1, math.ceil(
+            self.policy.min_quorum_fraction * max(len(assessed), 1)))
         if len(participants) < floor and demoted:
             readmit = sorted(demoted, key=lambda r: (cards[r].lag, r))
             while len(participants) < floor and readmit:
@@ -431,9 +507,8 @@ class Supervisor:
                 participants.append(rank)
             participants.sort()
         if not participants:
-            alive = [r for r in range(self.world)
-                     if r not in self.believed_dead]
-            participants = alive[:1] if alive else [0]
+            alive = [r for r in assessed if r not in self.believed_dead]
+            participants = alive[:1] if alive else assessed[:1] or [0]
         for rank in demoted:
             self._record("demote_straggler", rank=rank)
             if counters is not None:
@@ -460,3 +535,4 @@ class Supervisor:
         self.believed_dead.clear()
         self.flaps.clear()
         self._pending_rejoin.clear()
+        self._provisional.clear()

@@ -29,13 +29,17 @@ from .policy import FaultCounters, ResiliencePolicy
 __all__ = [
     "FAULT_KINDS", "FaultEvent", "FaultPlan", "StepFaults", "FaultRecord",
     "PlanRuntime", "link_slowdown", "link_outage", "message_loss",
-    "payload_corruption", "straggler", "crash",
-    "CAMPAIGNS", "make_campaign", "oracle_guard",
+    "payload_corruption", "straggler", "crash", "preempt_warning",
+    "provision", "CAMPAIGNS", "make_campaign", "oracle_guard",
 ]
 
-#: every fault class the engine can inject
+#: every fault class the engine can inject.  ``preempt_warning`` and
+#: ``provision`` are *control-plane* events: the cloud provider delivers
+#: them to the job explicitly (a spot reclaim notice, a scale-up
+#: callback), so — unlike the physics kinds — reading them is not an
+#: oracle access (see :meth:`StepFaults.preempt_notices`).
 FAULT_KINDS = ("link_slow", "link_down", "message_loss", "payload_corrupt",
-               "straggler", "crash")
+               "straggler", "crash", "preempt_warning", "provision")
 
 
 @dataclass(frozen=True)
@@ -53,11 +57,13 @@ class FaultEvent:
     kind: str
     start: int
     stop: int | None = None
-    rank: int | None = None        # straggler / crash subject
+    rank: int | None = None        # straggler / crash / elastic subject
     src: int | None = None         # route endpoints
     dst: int | None = None
     factor: float = 1.0            # slowdown multiplier (link_slow, straggler)
     probability: float = 0.0       # per-message probability (loss, corrupt)
+    deadline_steps: int = 0        # drain window (preempt_warning)
+    gpu: str | None = None         # machine envelope (provision)
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -66,14 +72,44 @@ class FaultEvent:
         if self.start < 0:
             raise ValueError(f"{self.kind}: start step must be >= 0")
         if self.stop is not None and self.stop <= self.start:
+            if self.kind == "crash":
+                raise ValueError(
+                    f"crash: rejoin step {self.stop} must be > crash "
+                    f"step {self.start}")
             raise ValueError(f"{self.kind}: stop must be > start")
         if self.kind in ("link_slow", "straggler") and self.factor < 1.0:
             raise ValueError(f"{self.kind}: factor must be >= 1")
         if self.kind in ("message_loss", "payload_corrupt") \
                 and not 0.0 <= self.probability < 1.0:
             raise ValueError(f"{self.kind}: probability must be in [0, 1)")
-        if self.kind in ("straggler", "crash") and self.rank is None:
+        if self.kind in ("straggler", "crash", "preempt_warning",
+                         "provision") and self.rank is None:
             raise ValueError(f"{self.kind}: rank is required")
+        if self.kind == "preempt_warning":
+            if self.deadline_steps <= 0:
+                raise ValueError(
+                    f"preempt_warning: deadline_steps must be > 0 "
+                    f"(got {self.deadline_steps}); a reclaim notice "
+                    f"with no drain window is just a crash")
+            if self.stop is not None:
+                raise ValueError("preempt_warning: stop is implied by "
+                                 "the deadline (start + deadline_steps)")
+        if self.kind == "provision":
+            if self.gpu is None:
+                raise ValueError("provision: a gpu spec is required")
+            from repro.cluster.gpu import GPUS
+            if self.gpu not in GPUS:
+                raise ValueError(f"provision: unknown gpu {self.gpu!r}; "
+                                 f"choose from {sorted(GPUS)}")
+            if self.stop is not None:
+                raise ValueError("provision: stop is meaningless (a "
+                                 "provisioned machine stays until "
+                                 "preempted)")
+
+    @property
+    def deadline(self) -> int:
+        """Absolute reclaim step of a ``preempt_warning`` event."""
+        return self.start + self.deadline_steps
 
     def active(self, step: int) -> bool:
         return step >= self.start and (self.stop is None or step < self.stop)
@@ -98,6 +134,10 @@ class FaultEvent:
             out["factor"] = self.factor
         if self.kind in ("message_loss", "payload_corrupt"):
             out["probability"] = self.probability
+        if self.kind == "preempt_warning":
+            out["deadline_steps"] = self.deadline_steps
+        if self.kind == "provision":
+            out["gpu"] = self.gpu
         return out
 
 
@@ -142,6 +182,30 @@ def crash(rank: int, at: int, rejoin: int | None = None) -> FaultEvent:
     return FaultEvent("crash", at, rejoin, rank=rank)
 
 
+def preempt_warning(rank: int, at: int, deadline_steps: int) -> FaultEvent:
+    """Spot reclaim notice delivered to ``rank`` at step ``at``.
+
+    The machine must drain and leave the membership within
+    ``deadline_steps`` (the "2-minute warning", in step units); at
+    ``at + deadline_steps`` the provider reclaims it unconditionally —
+    a rank still present then is dead, exactly like a crash with no
+    rejoin.
+    """
+    return FaultEvent("preempt_warning", at, None, rank=rank,
+                      deadline_steps=deadline_steps)
+
+
+def provision(rank: int, at: int, gpu_spec: str = "RTX3090") -> FaultEvent:
+    """A new machine for ``rank`` boots at step ``at``.
+
+    ``rank`` must extend the plan's initial world (capacity slots are
+    ``world, world + 1, ...``); ``gpu_spec`` names its compute envelope
+    in :data:`repro.cluster.gpu.GPUS`, so autoscaled fleets are
+    heterogeneous by construction.
+    """
+    return FaultEvent("provision", at, None, rank=rank, gpu=gpu_spec)
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A named, seeded schedule of fault events over ``world`` ranks."""
@@ -154,13 +218,70 @@ class FaultPlan:
     def __post_init__(self):
         if self.world < 1:
             raise ValueError("world must be >= 1")
+        provisions = self._validate_provisions()
+        capacity = self.world + len(provisions)
         for event in self.events:
+            if event.kind == "provision":
+                continue
             for attr in ("rank", "src", "dst"):
                 value = getattr(event, attr)
-                if value is not None and not 0 <= value < self.world:
+                if value is not None and not 0 <= value < capacity:
                     raise ValueError(
                         f"{event.kind}: {attr}={value} out of range for "
-                        f"world {self.world}")
+                        f"world {self.world} (+{len(provisions)} "
+                        f"provisioned)")
+        self._validate_warnings()
+
+    def _validate_provisions(self) -> list[FaultEvent]:
+        """Provision events must extend the world, uniquely, in order."""
+        provisions = sorted((e for e in self.events if e.kind == "provision"),
+                            key=lambda e: (e.rank, e.start))
+        seen: set[int] = set()
+        for event in provisions:
+            assert event.rank is not None
+            if event.rank < self.world:
+                raise ValueError(
+                    f"provision: rank {event.rank} is already in the "
+                    f"initial world of {self.world} (double-admit)")
+            if event.rank in seen:
+                raise ValueError(
+                    f"provision: rank {event.rank} provisioned twice "
+                    f"(double-admit)")
+            seen.add(event.rank)
+        expected = list(range(self.world, self.world + len(provisions)))
+        got = sorted(seen)
+        if got != expected:
+            raise ValueError(
+                f"provision: ranks must extend the world contiguously "
+                f"(expected {expected}, got {got})")
+        by_rank = {e.rank: e for e in provisions}
+        for event in self.events:
+            if event.kind not in ("crash", "straggler", "preempt_warning"):
+                continue
+            birth = by_rank.get(event.rank)
+            if birth is not None and event.start < birth.start:
+                raise ValueError(
+                    f"{event.kind}: rank {event.rank} at step "
+                    f"{event.start} overlaps its provision at step "
+                    f"{birth.start} (machine does not exist yet)")
+        return provisions
+
+    def _validate_warnings(self) -> None:
+        warned: set[int] = set()
+        for event in self.events:
+            if event.kind != "preempt_warning":
+                continue
+            if event.rank in warned:
+                raise ValueError(
+                    f"preempt_warning: rank {event.rank} warned twice "
+                    f"(a reclaimed machine cannot be re-warned)")
+            warned.add(event.rank)  # type: ignore[arg-type]
+
+    @property
+    def max_world(self) -> int:
+        """Peak membership capacity: initial world plus provisioned slots."""
+        return self.world + sum(1 for e in self.events
+                                if e.kind == "provision")
 
     def at_step(self, step: int) -> "StepFaults":
         """The faults active at ``step`` (a queryable view)."""
@@ -235,8 +356,14 @@ class StepFaults:
 
     def dead_ranks(self) -> set[int]:
         _oracle_note("dead_ranks")
-        return {e.rank for e in self.events
+        dead = {e.rank for e in self.events
                 if e.kind == "crash" and e.rank is not None}
+        # past its drain deadline, a warned machine is reclaimed by the
+        # provider whether or not the job drained it — spot physics
+        dead |= {e.rank for e in self.events
+                 if e.kind == "preempt_warning" and e.rank is not None
+                 and self.step >= e.deadline}
+        return dead
 
     def live_ranks(self) -> list[int]:
         _oracle_note("live_ranks")
@@ -269,6 +396,27 @@ class StepFaults:
     def any_faults(self) -> bool:
         _oracle_note("any_faults")
         return bool(self.events)
+
+    # -- control-plane notices (NOT oracle reads) ---------------------------
+    #
+    # Preemption warnings and provisioning callbacks are messages a real
+    # cluster *receives* — the cloud delivers the 2-minute reclaim
+    # notice to the instance, the autoscaler announces the machine it
+    # just booted.  Supervised decision paths may therefore consume
+    # these without tripping ``oracle_guard`` (HLT003/ELA batteries
+    # still certify zero reads of the physics queries above).
+
+    def preempt_notices(self) -> tuple[tuple[int, int], ...]:
+        """Delivered reclaim notices: ``(rank, deadline_step)`` pairs."""
+        return tuple(sorted(
+            (e.rank, e.deadline) for e in self.events
+            if e.kind == "preempt_warning" and e.rank is not None))
+
+    def provision_notices(self) -> tuple[tuple[int, int, str], ...]:
+        """Machines up by this step: ``(rank, boot_step, gpu)`` triples."""
+        return tuple(sorted(
+            (e.rank, e.start, e.gpu or "") for e in self.events
+            if e.kind == "provision" and e.rank is not None))
 
 
 @dataclass(frozen=True)
@@ -311,9 +459,19 @@ class PlanRuntime:
         self.step = self.step + 1 if step is None else step
         self._faults = self.plan.at_step(self.step)
         dead = self._faults.dead_ranks()
+        reclaimed = {e.rank for e in self._faults.events
+                     if e.kind == "preempt_warning" and e.rank is not None
+                     and self.step >= e.deadline}
         for rank in sorted(dead - self._dead_prev):
-            self.record("crash", rank=rank)
-            self.counters.crashes += 1
+            if rank in reclaimed:
+                # the provider took the machine back at its deadline —
+                # a distinct log edge so drain audits can tell a spot
+                # reclaim from an unplanned crash
+                self.record("spot_reclaim", rank=rank)
+                self.counters.spot_reclaims += 1
+            else:
+                self.record("crash", rank=rank)
+                self.counters.crashes += 1
         for rank in sorted(self._dead_prev - dead):
             self.record("rejoin", rank=rank)
             self.counters.rejoins += 1

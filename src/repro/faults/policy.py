@@ -15,13 +15,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, fields
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover
     from .plan import StepFaults
 
 __all__ = ["ResiliencePolicy", "FaultCounters", "FaultBudgetExceeded",
-           "LinkDownError", "select_participants", "plan_fallback"]
+           "LinkDownError", "select_participants", "select_members",
+           "plan_fallback"]
 
 
 class FaultBudgetExceeded(RuntimeError):
@@ -117,6 +118,14 @@ class FaultCounters:
     oracle_reads: int = 0        # StepFaults reads on the decision path
     store_writes: int = 0        # durable checkpoints published
     store_corrupt_detected: int = 0
+    # elastic accounting (spot preemption + autoscale provisioning)
+    preempt_warnings: int = 0    # reclaim notices delivered to members
+    graceful_exits: int = 0      # warned ranks drained out before deadline
+    drain_missed: int = 0        # warned ranks degraded to the crash path
+    spot_reclaims: int = 0       # machines taken back at their deadline
+    provisions: int = 0          # autoscale machines announced
+    provision_admissions: int = 0  # provisioned ranks admitted to the world
+    respecs: int = 0             # adaptive respecs on composition change
     extra: dict = field(default_factory=dict)
 
     # counter fields are everything except the free-form ``extra`` dict;
@@ -146,8 +155,22 @@ def select_participants(faults: "StepFaults", policy: ResiliencePolicy
     demoted ranks are re-admitted (deterministically) until the quorum
     is legal.
     """
-    live = faults.live_ranks()
-    floor = max(1, math.ceil(policy.min_quorum_fraction * faults.world))
+    return select_members(faults, policy, range(faults.world))
+
+
+def select_members(faults: "StepFaults", policy: ResiliencePolicy,
+                   members: "Iterable[int]") -> list[int]:
+    """:func:`select_participants` over an elastic membership.
+
+    Identical decision logic, but the candidate set and the quorum
+    floor come from the coordinator's current ``members`` rather than
+    the plan's fixed world — provisioned ranks join the straggler
+    budget the moment they are admitted, departed ranks never reappear.
+    """
+    pool = sorted(set(members))
+    dead = faults.dead_ranks()
+    live = [r for r in pool if r not in dead]
+    floor = max(1, math.ceil(policy.min_quorum_fraction * len(pool)))
     kept = [r for r in live
             if faults.compute_scale(r) <= policy.straggler_budget]
     if len(kept) < floor:

@@ -18,10 +18,12 @@ import numpy as np
 
 from repro.core import AdaptiveController, CGXConfig, \
     CGXDistributedDataParallel, OverlapDelays
-from repro.faults import (CheckpointStore, FaultPlan, HealthMonitor,
-                          HealthPolicy, HeartbeatTransport, PlanRuntime,
-                          ResiliencePolicy, Supervisor, inject_data_path,
-                          oracle_guard, select_participants)
+from repro.faults import (DRAIN_TOLERANCE, CheckpointStore, ElasticCoordinator,
+                          FaultPlan, HealthMonitor, HealthPolicy,
+                          HeartbeatTransport, PlanRuntime, ResiliencePolicy,
+                          Supervisor, elastic_events, fleet_alpha_scale,
+                          inject_data_path, oracle_guard, select_members,
+                          select_participants)
 from repro.nn.amp import AmpLevel, apply_grad_precision
 from repro.nn.optim import Adam, SGD, clip_grad_norm
 
@@ -105,6 +107,16 @@ class DataParallelTrainer:
                     f"fault plan is for world {fault_plan.world}, "
                     f"trainer has {world_size} workers")
             self.fault_runtime = PlanRuntime(fault_plan, policy)
+        self.elastic: ElasticCoordinator | None = None
+        if fault_plan is not None and elastic_events(fault_plan):
+            if overlap:
+                raise ValueError(
+                    "elastic plans require overlap=False (the overlapped "
+                    "engine fixes its bucket plan per world size; respec "
+                    "on composition change is sequential-mode only)")
+            assert self.fault_runtime is not None
+            self.elastic = ElasticCoordinator(self.fault_runtime, world_size,
+                                              supervised=supervised)
         self.supervised = supervised
         self.health = health or HealthPolicy()
         self.store = store
@@ -113,8 +125,10 @@ class DataParallelTrainer:
         self.supervisor: Supervisor | None = None
         if supervised:
             assert self.fault_runtime is not None
+            capacity = self.fault_runtime.plan.max_world
             self.heartbeat = HeartbeatTransport(self.fault_runtime,
-                                                world_size, self.health)
+                                                world_size, self.health,
+                                                capacity=capacity)
             self.monitor = HealthMonitor(world_size, self.health)
             self.supervisor = Supervisor(world_size,
                                          self.fault_runtime.policy,
@@ -178,16 +192,34 @@ class DataParallelTrainer:
             self._restore_from_store()
         self._step_index += 1
         runtime = self.fault_runtime
+        coord = self.elastic
         participants: list[int] | None = None
         average_over: int | None = None
         dead: set[int] = set()
+        members: list[int] | None = None
+        joined: tuple[int, ...] = ()
+        drained = True
         if runtime is not None:
             faults = runtime.advance(self._step_index)
             dead = faults.dead_ranks()
+        if coord is not None:
+            # control plane: delivered notices only, never the physics
+            booted = coord.poll_notices(self._step_index, faults)
+            drained = self.ddp.engine.banked_carry_norm() <= DRAIN_TOLERANCE
+            for rank in booted:
+                self._ensure_replica(rank)
+                if self.supervised:
+                    assert self.monitor is not None \
+                        and self.supervisor is not None
+                    self.monitor.activate(rank, self._step_index)
+                    self.supervisor.register_provision(rank)
         if self.supervised:
             assert runtime is not None and self.heartbeat is not None \
                 and self.monitor is not None and self.supervisor is not None
-            arrivals = self.heartbeat.beats(self._step_index)
+            beat_ranks = coord.machine_ranks() if coord is not None else None
+            scale_of = coord.gpu_scale if coord is not None else None
+            arrivals = self.heartbeat.beats(self._step_index, ranks=beat_ranks,
+                                            compute_scale_of=scale_of)
             with oracle_guard() as reads:
                 cards = self.monitor.observe(self._step_index, arrivals)
                 decision = self.supervisor.decide(self._step_index, cards)
@@ -197,33 +229,74 @@ class DataParallelTrainer:
             for rank in decision.newly_suspected:
                 if rank not in dead:
                     runtime.counters.false_suspicions += 1
-            for rank in decision.admitted:
-                self._adopt_peer_state(rank, set(decision.believed_dead))
+            if coord is not None:
+                coord.confirm(decision.admitted)
+                edec = coord.admit(self._step_index, drained)
+                members = list(edec.members)
+                joined = edec.joined
+                for rank in joined:
+                    self._adopt_peer_state(rank, set(decision.believed_dead))
+                for rank in decision.admitted:
+                    if not coord.is_provisioned(rank):
+                        self._adopt_peer_state(rank,
+                                               set(decision.believed_dead))
+            else:
+                for rank in decision.admitted:
+                    self._adopt_peer_state(rank, set(decision.believed_dead))
             self._dead_prev = set(decision.believed_dead)
-            if len(decision.participants) < self.world_size:
-                participants = list(decision.participants)
-                runtime.counters.quorum_steps += 1
-            if decision.believed_dead:
-                average_over = self.world_size - len(decision.believed_dead)
+            if members is not None:
+                mset = set(members)
+                quorum = [r for r in decision.participants if r in mset]
+                if quorum and len(quorum) < len(members):
+                    participants = quorum
+                    runtime.counters.quorum_steps += 1
+                believed = set(decision.believed_dead) & mset
+                if believed:
+                    average_over = len(members) - len(believed)
+            else:
+                if len(decision.participants) < self.world_size:
+                    participants = list(decision.participants)
+                    runtime.counters.quorum_steps += 1
+                if decision.believed_dead:
+                    average_over = (self.world_size
+                                    - len(decision.believed_dead))
             if decision.escalate:
                 runtime.counters.escalations += 1
                 if self.store is not None:
                     self._pending_escalation = True
         elif runtime is not None:
+            if coord is not None:
+                edec = coord.admit(self._step_index, drained)
+                members = list(edec.members)
+                joined = edec.joined
+                for rank in joined:
+                    self._adopt_peer_state(rank, dead)
             for rank in sorted(self._dead_prev - dead):
                 self._adopt_peer_state(rank, dead)
-            self._dead_prev = dead
-            quorum = select_participants(faults, runtime.policy)
-            if len(quorum) < self.world_size:
-                participants = quorum
-                runtime.counters.quorum_steps += 1
-            if dead:
-                average_over = self.world_size - len(dead)
+            self._dead_prev = set(dead)
+            if members is not None:
+                quorum = select_members(faults, runtime.policy, members)
+                dead_members = dead & set(members)
+                if len(quorum) < len(members):
+                    participants = quorum
+                    runtime.counters.quorum_steps += 1
+                if dead_members:
+                    average_over = len(members) - len(dead_members)
+            else:
+                quorum = select_participants(faults, runtime.policy)
+                if len(quorum) < self.world_size:
+                    participants = quorum
+                    runtime.counters.quorum_steps += 1
+                if dead:
+                    average_over = self.world_size - len(dead)
 
         losses = []
         self._ready_order = []
         self._ready_seen = set()
-        for rank, replica in enumerate(self.replicas):
+        compute_ranks = members if members is not None \
+            else range(len(self.replicas))
+        for rank in compute_ranks:
+            replica = self.replicas[rank]
             replica.zero_grad()
             if rank in dead:
                 continue  # crashed: no compute, zero contribution
@@ -253,21 +326,28 @@ class DataParallelTrainer:
                 self.ddp.mark_consumed(self._step_index)
             else:
                 report = self.ddp.synchronize(participants=participants,
-                                              average_over=average_over)
+                                              average_over=average_over,
+                                              members=members)
         self._last_report = report
+        ref = self._reference_rank()
         if self.adaptive is not None:
             grads = {name: param.grad
-                     for name, param in self.replicas[0].named_parameters()
+                     for name, param in
+                     self.replicas[ref].named_parameters()
                      if param.grad is not None}
             self.adaptive.observe(grads)
         if self.recipe.grad_clip > 0:
             # clipping needs the synchronized global norm; apply per
             # replica after reduction (identical values on each).
-            for replica in self.replicas:
-                clip_grad_norm(replica.parameters(), self.recipe.grad_clip)
-        for rank, optimizer in enumerate(self.optimizers):
+            for rank in compute_ranks:
+                clip_grad_norm(self.replicas[rank].parameters(),
+                               self.recipe.grad_clip)
+        for rank in compute_ranks:
             if rank not in dead:
-                optimizer.step()
+                self.optimizers[rank].step()
+        if coord is not None:
+            assert runtime is not None
+            self._elastic_end_step(coord, runtime, joined, dead)
         if self.supervised and self.store is not None \
                 and self._step_index % self.health.checkpoint_every == 0:
             self.store.save(self.capture_state(), self._step_index)
@@ -275,6 +355,58 @@ class DataParallelTrainer:
                 runtime.counters.store_writes += 1
                 runtime.record("store_write")
         return float(np.mean(losses))
+
+    def _reference_rank(self) -> int:
+        """Lowest current member: the replica evaluation/statistics read.
+
+        Rank 0 in fixed worlds; under elastic membership rank 0 itself
+        may have been preempted away, so the reference follows the
+        lowest live member (all members hold identical weights).
+        """
+        if self.elastic is not None:
+            return min(self.elastic.members)
+        return 0
+
+    def _ensure_replica(self, rank: int) -> None:
+        """Grow the replica/optimizer lists to cover a provisioned rank.
+
+        ``self.replicas`` is the same list object the DDP wrapper holds,
+        so appending here grows the reduction world in lock-step.  The
+        fresh model's seed-deterministic init is immediately overwritten
+        by the warm start at admission.
+        """
+        while len(self.replicas) <= rank:
+            replica = self.task.build_model(self.seed)
+            self.replicas.append(replica)
+            self.optimizers.append(self._make_optimizer(replica))
+
+    def _elastic_end_step(self, coord: ElasticCoordinator,
+                          runtime: PlanRuntime, joined: tuple[int, ...],
+                          dead: set[int]) -> None:
+        """Graceful exits + respec after the step's reduction landed."""
+        drained = self.ddp.engine.banked_carry_norm() <= DRAIN_TOLERANCE
+        exited = coord.end_step(self._step_index, drained, dead)
+        if exited:
+            # the departing machines' last contribution is in this
+            # step's reduced state: persist it before they vanish
+            if self.store is not None:
+                self.store.save(self.capture_state(), self._step_index)
+                runtime.counters.store_writes += 1
+                runtime.record("store_write")
+            for rank in exited:
+                runtime.record("drain_checkpoint", rank=rank)
+                if self.supervised:
+                    assert self.supervisor is not None \
+                        and self.monitor is not None
+                    self.supervisor.mark_departed(rank)
+                    self.monitor.deactivate(rank)
+        if (joined or exited) and self.adaptive is not None:
+            gpus = [coord.rank_gpus[r] for r in coord.member_list()]
+            bits = self.adaptive.on_composition_change(
+                len(coord.members), alpha_scale=fleet_alpha_scale(gpus))
+            runtime.record("respec", world=len(coord.members),
+                           layers=len(bits))
+            runtime.counters.respecs += 1
 
     def _complete_ready_order(self) -> list[str]:
         """The step's gradient emission order, covering every parameter.
@@ -296,7 +428,9 @@ class DataParallelTrainer:
     # -- fault recovery ----------------------------------------------------
     def _adopt_peer_state(self, rank: int, dead: set[int]) -> None:
         """A rejoining ``rank`` copies weights + optimizer state from a peer."""
-        peers = [r for r in range(self.world_size)
+        pool = self.elastic.member_list() if self.elastic is not None \
+            else range(self.world_size)
+        peers = [r for r in pool
                  if r != rank and r not in dead and r not in self._dead_prev]
         if not peers:
             return  # no healthy source; keep the stale weights
@@ -361,7 +495,13 @@ class DataParallelTrainer:
         }
 
     def restore_state(self, state: dict) -> None:
-        """Inverse of :meth:`capture_state` (works on a fresh trainer)."""
+        """Inverse of :meth:`capture_state` (works on a fresh trainer).
+
+        A snapshot taken after elastic growth carries more replicas
+        than a fresh trainer starts with; the extra slots are recreated
+        before their state is poured back in.
+        """
+        self._ensure_replica(len(state["weights"]) - 1)
         for rank, (replica, optimizer) in enumerate(
                 zip(self.replicas, self.optimizers)):
             weights = state["weights"][rank]
@@ -414,7 +554,8 @@ class DataParallelTrainer:
             wire_total += self._last_report.wire_bytes
             retries_total += self._last_report.retries
             if step % eval_every == 0 or step == steps:
-                metric = self.task.evaluate(self.replicas[0])
+                metric = self.task.evaluate(
+                    self.replicas[self._reference_rank()])
                 history.append({"step": step, "loss": loss, "metric": metric})
         return TrainResult(
             task=self.task.name,
@@ -431,6 +572,8 @@ class DataParallelTrainer:
         )
 
     def in_sync(self) -> bool:
+        if self.elastic is not None:
+            return self.ddp.check_in_sync(members=self.elastic.member_list())
         return self.ddp.check_in_sync()
 
 

@@ -180,7 +180,7 @@ def test_all_flag_selects_every_pass():
     assert select_passes(args) == ALL_PASSES
     assert set(ALL_PASSES) == {"lint", "schedule", "contracts", "races",
                                "plans", "shapes", "health", "liveness",
-                               "overlap", "sched"}
+                               "overlap", "sched", "elastic"}
 
 
 def test_all_flag_rejects_pass_selection_flags():

@@ -1,0 +1,117 @@
+"""ELA battery: rule table, clean certification, tampered logs trip
+ELA002, pass selection and rendering.
+
+The heavyweight end-to-end properties (convergence parity, respec
+feasibility, byte-identical logs) are exercised directly against the
+trainer in ``test_elastic.py``; here we certify the battery itself —
+its sub-verifiers come back clean on the stock campaigns, and the pure
+log audit behind ELA002 fails closed on a doctored record stream.
+"""
+
+import io
+
+import pytest
+
+from repro.analysis.elastic import (
+    ELA_RULES,
+    ELASTIC_CAMPAIGNS,
+    LOSS_TOLERANCE,
+    _finding,
+    verify_drain_protocol,
+)
+from repro.analysis.findings import Finding
+from repro.faults import FaultRecord, check_drain_protocol, make_campaign
+
+
+def run_cli(argv):
+    from repro.analysis.cli import main as analysis_main
+
+    out = io.StringIO()
+    code = analysis_main(argv, out=out)
+    return code, out.getvalue()
+
+
+# -- the rule table ----------------------------------------------------------
+
+def test_ela_rule_table_is_complete():
+    assert sorted(ELA_RULES) == [f"ELA00{i}" for i in range(1, 6)]
+    assert ELASTIC_CAMPAIGNS == ("spot-churn", "autoscale-burst")
+    assert 0 < LOSS_TOLERANCE <= 0.02
+
+
+# -- clean campaigns certify clean -------------------------------------------
+
+def test_stock_campaigns_pass_the_drain_protocol():
+    assert verify_drain_protocol() == []
+
+
+# -- ELA002 fails closed on tampered logs ------------------------------------
+
+def _record(step, kind, **detail):
+    return FaultRecord(step=step, kind=kind,
+                       detail=tuple(sorted(detail.items())))
+
+
+def test_tampered_log_missing_exit_trips_ela002():
+    """Strip a warned rank's resolution from the log: audit flags it."""
+    plan = make_campaign("spot-churn", 4)
+    warned = next(e for e in plan.events if e.kind == "preempt_warning")
+    records = [_record(warned.start, "preempt_warning", rank=warned.rank,
+                       deadline=warned.deadline)]
+    messages = check_drain_protocol(plan, records)
+    assert any("neither drained out nor degraded" in m for m in messages)
+    findings = [_finding("ELA002", "spot-churn", m) for m in messages]
+    assert {f.rule for f in findings} == {"ELA002"}
+
+
+def test_tampered_log_late_exit_trips_ela002():
+    """A forged exit stamped at the deadline is sending past reclaim."""
+    plan = make_campaign("spot-churn", 4)
+    warned = next(e for e in plan.events if e.kind == "preempt_warning")
+    records = [
+        _record(warned.start, "preempt_warning", rank=warned.rank,
+                deadline=warned.deadline),
+        _record(warned.deadline, "spot_exit", rank=warned.rank,
+                deadline=warned.deadline),
+    ]
+    messages = check_drain_protocol(plan, records)
+    assert any("kept sending after the provider reclaimed" in m
+               for m in messages)
+
+
+# -- pass selection ----------------------------------------------------------
+
+def test_elastic_flag_selects_only_the_ela_battery():
+    from repro.analysis.cli import ALL_PASSES, build_parser, select_passes
+
+    args = build_parser().parse_args(["--elastic"])
+    assert select_passes(args) == ("elastic",)
+    args = build_parser().parse_args(["--elastic", "--sched"])
+    assert select_passes(args) == ("sched", "elastic")
+    assert ALL_PASSES[-1] == "elastic"
+
+
+def test_elastic_conflicts_with_schedule_only():
+    with pytest.raises(SystemExit):
+        from repro.analysis.cli import build_parser, select_passes
+
+        select_passes(build_parser().parse_args(
+            ["--schedule-only", "--elastic"]))
+
+
+def test_elastic_battery_findings_render_with_campaign(monkeypatch):
+    import repro.analysis.elastic as elastic_mod
+
+    planted = [_finding("ELA003", "spot-churn", "synthetic drift")]
+    monkeypatch.setattr(elastic_mod, "verify_elastic", lambda: planted)
+    code, out = run_cli(["--elastic"])
+    assert code == 1
+    assert "elastic[spot-churn@world=4]: ELA003 synthetic drift" in out
+
+
+def test_elastic_findings_fingerprint_by_campaign():
+    a = _finding("ELA005", "spot-churn", "synthetic")
+    b = _finding("ELA005", "autoscale-burst", "synthetic")
+    assert isinstance(a, Finding)
+    assert a.fingerprint != b.fingerprint
+    assert a.render() == "elastic[spot-churn@world=4]: ELA005 synthetic"

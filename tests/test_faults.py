@@ -105,7 +105,8 @@ def test_step_faults_queries():
 
 
 def test_campaigns_registry():
-    assert set(CAMPAIGNS) == {"straggler", "lossy-link", "crash-rejoin"}
+    assert set(CAMPAIGNS) == {"straggler", "lossy-link", "crash-rejoin",
+                              "spot-churn", "autoscale-burst"}
     with pytest.raises(KeyError):
         make_campaign("volcano")
     for name in CAMPAIGNS:
